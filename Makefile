@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples results clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+results: test bench
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build *.egg-info .pytest_benchmarks .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

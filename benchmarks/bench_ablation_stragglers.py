@@ -1,0 +1,63 @@
+"""Ablation: synchronous-straggler cost vs GPU count.
+
+Synchronous SGD steps at the pace of the slowest rank.  This bench
+computes the expected straggler slowdown (extreme-value formula vs
+Monte-Carlo) across GPU counts and jitter levels, and derives the
+efficiency ceiling jitter alone imposes — contextualizing the
+efficiency fade of Tables III/IV (90% -> 40% for the word LM).
+"""
+
+import numpy as np
+
+from repro.perf import (
+    efficiency_ceiling,
+    expected_max_gaussian,
+    simulate_synchronous_step,
+    straggler_slowdown,
+)
+from repro.report import format_table
+
+WORLDS = (8, 16, 32, 64, 192)
+CVS = (0.05, 0.10, 0.20)
+
+
+def sweep():
+    rng = np.random.default_rng(0)
+    rows = []
+    for world in WORLDS:
+        row = [world]
+        for cv in CVS:
+            analytic = straggler_slowdown(world, cv)
+            mc = simulate_synchronous_step(world, 1.0, cv, rng, n_steps=3000)
+            row.append(f"{analytic:.3f} / {mc:.3f}")
+        row.append(f"{efficiency_ceiling(world, 0.10):.0%}")
+        rows.append(row)
+    return rows
+
+
+def test_ablation_stragglers(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["GPUs"] + [f"slowdown cv={cv} (formula/MC)" for cv in CVS]
+        + ["efficiency ceiling (cv=0.1)"],
+        rows,
+        title="Synchronous straggler cost: expected max of G per-rank "
+        "step times (paper efficiency at 64 GPUs: word 40%, char 82%)",
+    )
+    footer = (
+        "\nJitter alone caps efficiency in the 80-95% band — it explains "
+        "the char LM's gentle fade but not the word LM's collapse, which "
+        "the model attributes to its low arithmetic intensity."
+    )
+    report("ablation_stragglers", table + footer)
+
+    # Formula and Monte-Carlo agree; the ceiling decreases with G but
+    # stays above the char LM's measured efficiencies.
+    mc64 = simulate_synchronous_step(
+        64, 1.0, 0.1, np.random.default_rng(1), n_steps=4000
+    )
+    assert expected_max_gaussian(64, 1.0, 0.1) == np.float64(
+        expected_max_gaussian(64, 1.0, 0.1)
+    )
+    assert abs(expected_max_gaussian(64, 1.0, 0.1) - mc64) / mc64 < 0.07
+    assert efficiency_ceiling(64, 0.10) > 0.8

@@ -1,0 +1,103 @@
+"""Section V-D: comparison with prior large-scale LM work (Puri et al.).
+
+The paper trains its RHN char LM on Amazon Reviews with 64 Titan X GPUs
+and compares against 128 V100s: BPC 1.208 vs 1.218 after one epoch,
+taking 14x longer on 41x less powerful hardware — a normalized gain of
+~2.9x (3.3x at 3 epochs).
+
+This bench reproduces (a) the *normalized-compute* arithmetic from the
+platform specs, (b) the model's epoch-hour estimate for the Amazon-scale
+char workload, and (c) a real miniature BPC measurement on the synthetic
+Amazon-like character stream.
+"""
+
+import numpy as np
+
+from repro.data import AMAZON_REVIEWS, BatchSpec, make_corpus
+from repro.optim import Adam
+from repro.perf import (
+    ALL_TECHNIQUES,
+    CHAR_LM_1B,
+    PAPER_PLATFORM,
+    PRIOR_WORK_PLATFORM,
+    PerfModel,
+)
+from repro.report import format_table
+from repro.train import (
+    CharLanguageModel,
+    CharLMConfig,
+    DistributedTrainer,
+    TrainConfig,
+    bits_per_char,
+)
+
+PAPER_BPC_OURS = 1.208
+PAPER_BPC_PRIOR = 1.218
+PAPER_TIME_RATIO = 14.0
+
+
+def compute_normalized_gain():
+    ours = PAPER_PLATFORM.aggregate_peak_flops(64)
+    prior = PRIOR_WORK_PLATFORM.aggregate_peak_flops(128)
+    compute_ratio = prior / ours
+    gain = compute_ratio / PAPER_TIME_RATIO
+    # Model estimate for one epoch of the 38.76B-char Amazon corpus.
+    workload = CHAR_LM_1B.scaled(tokens_per_epoch=38.76e9)
+    hours = PerfModel(workload).epoch_hours(64, ALL_TECHNIQUES)
+    return compute_ratio, gain, hours
+
+
+def train_mini_bpc():
+    vocab = 98
+    cfg_model = CharLMConfig(
+        vocab_size=vocab, embedding_dim=8, hidden_dim=14, depth=2, dropout=0.0
+    )
+    corpus = make_corpus(AMAZON_REVIEWS.scaled(vocab), 40_000, seed=77)
+    cfg = TrainConfig(world_size=4, batch=BatchSpec(2, 10), base_lr=3e-3)
+    trainer = DistributedTrainer(
+        lambda rng, rank: CharLanguageModel(
+            cfg_model, rng, dropout_rng=np.random.default_rng(rank)
+        ),
+        lambda params, lr: Adam(params, lr),
+        corpus.train,
+        corpus.valid,
+        cfg,
+    )
+    initial = bits_per_char(trainer.evaluate())
+    for _ in range(100):
+        trainer.train_step()
+    final = bits_per_char(trainer.evaluate())
+    return initial, final
+
+
+def test_amazon_comparison(benchmark, report):
+    compute_ratio, gain, hours = benchmark.pedantic(
+        compute_normalized_gain, rounds=1, iterations=1
+    )
+    initial_bpc, final_bpc = train_mini_bpc()
+    table = format_table(
+        ["quantity", "paper", "measured/model"],
+        [
+            ["peak compute ratio (V100x128 / TitanXx64)", "41x", f"{compute_ratio:.0f}x"],
+            ["time ratio (ours / prior)", "14x", "(paper constant)"],
+            ["normalized gain", "2.9x", f"{gain:.1f}x"],
+            ["model epoch hours (Amazon, 64 GPUs)", "17.6", f"{hours:.1f}"],
+            ["BPC after 1 epoch (paper scale)", PAPER_BPC_OURS, "-"],
+            ["prior work BPC", PAPER_BPC_PRIOR, "-"],
+            ["miniature BPC before training", "-", f"{initial_bpc:.3f}"],
+            ["miniature BPC after training", "-", f"{final_bpc:.3f}"],
+        ],
+        title="Section V-D — comparison with Puri et al. on Amazon Reviews",
+    )
+    note = (
+        "\nNote: the model's epoch estimate extrapolates the Table-IV "
+        "calibration to Amazon's 38.76B chars; the paper's own 17.6h "
+        "implies a larger effective batch for that run."
+    )
+    report("amazon_comparison", table + note)
+
+    assert compute_ratio == 41.0 or abs(compute_ratio - 41) < 1
+    assert gain == np.float64(compute_ratio / 14)
+    assert 2.5 < gain < 3.5
+    # The miniature model genuinely compresses text.
+    assert final_bpc < initial_bpc

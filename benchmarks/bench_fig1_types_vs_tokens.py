@@ -1,0 +1,57 @@
+"""Figure 1: types (unique words) vs tokens across the four corpora.
+
+Regenerates the log-log curves and the pooled power-law fit.  The paper
+reports ``U = 7.02 N^0.64`` with R² = 1.00 and a ~100x token/type gap at
+N = 40M; at our synthetic scale (4M tokens) the fitted exponent lands in
+the same 0.6-0.7 band and the gap at the largest N is reported alongside.
+"""
+
+import numpy as np
+
+from repro.data import FIGURE1_PRESETS, fit_heaps_law, make_corpus, type_token_curve
+from repro.report import format_series, format_table
+
+N_TOKENS = 4_000_000
+
+
+def generate_curves():
+    curves = {}
+    for preset in FIGURE1_PRESETS:
+        corpus = make_corpus(preset, N_TOKENS, seed=42)
+        ns, us = type_token_curve(corpus.tokens, num_points=14)
+        curves[preset.name] = (ns, us)
+    return curves
+
+
+def test_fig1_types_vs_tokens(benchmark, report):
+    curves = benchmark.pedantic(generate_curves, rounds=1, iterations=1)
+
+    lines = ["Figure 1 — Types (U) vs Tokens (N), log-spaced checkpoints", ""]
+    rows = []
+    pooled_n, pooled_u = [], []
+    for name, (ns, us) in curves.items():
+        lines.append(format_series(name, ns.tolist(), us.tolist()))
+        fit = fit_heaps_law(ns, us)
+        gap = ns[-1] / us[-1]
+        rows.append([name, round(fit.exponent, 3), round(fit.coefficient, 2),
+                     round(fit.r_squared, 4), round(gap, 1)])
+        pooled_n.extend(ns.tolist())
+        pooled_u.extend(us.tolist())
+        assert 0.5 < fit.exponent < 0.8
+        assert fit.r_squared > 0.99
+
+    pooled = fit_heaps_law(np.array(pooled_n), np.array(pooled_u))
+    lines.append("")
+    lines.append(
+        format_table(
+            ["dataset", "exponent", "coeff", "R^2", "N/U gap @ max N"],
+            rows,
+            title="Per-dataset Heaps fits (paper, pooled: U = 7.02 N^0.64, R^2 = 1.00)",
+        )
+    )
+    lines.append(
+        f"\nPooled fit: U = {pooled.coefficient:.2f} N^{pooled.exponent:.3f} "
+        f"(R^2 = {pooled.r_squared:.4f})"
+    )
+    report("fig1_types_vs_tokens", "\n".join(lines))
+    assert 0.55 < pooled.exponent < 0.75

@@ -1,0 +1,92 @@
+"""Figure 5: word-LM validation perplexity vs epochs at 16/32/64 GPUs.
+
+Real training at miniature scale (the simulated GPU counts 4/8/16 stand
+in for the paper's 16/32/64; all other mechanics — LR scaling by
+ln(nodes), per-rank sharding, unique exchange — are the paper's).  The
+shape under test: **larger GPU counts start with worse perplexity at
+epoch 1 but become indistinguishable with more epochs** (paper: 84.3 /
+87.9 / 95.3 at epoch 1 converging to 73.5 / 72.1 / 72.4 at epoch 2).
+"""
+
+from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+from repro.optim import SGD
+from repro.report import format_series, format_table
+from repro.train import (
+    DistributedTrainer,
+    TrainConfig,
+    WordLanguageModel,
+    WordLMConfig,
+)
+
+VOCAB = 500
+MODEL = WordLMConfig(
+    vocab_size=VOCAB, embedding_dim=10, hidden_dim=16, projection_dim=10,
+    num_samples=24,
+)
+CORPUS = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 16_000, seed=21)
+WORLDS = (4, 8, 16)  # stand-ins for the paper's 16/32/64
+EPOCHS = 2
+
+
+def train_curves():
+    curves = {}
+    for world in WORLDS:
+        cfg = TrainConfig(
+            world_size=world,
+            batch=BatchSpec(2, 8),
+            base_lr=0.25,
+            gpus_per_node=2,  # keeps the ln(nodes) LR rule active
+        )
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(MODEL, rng),
+            lambda params, lr: SGD(params, lr),
+            CORPUS.train,
+            CORPUS.valid,
+            cfg,
+        )
+        points = []
+        # Full epochs: larger G takes proportionally fewer optimizer
+        # steps per epoch — the mechanism behind the paper's epoch-1 gap.
+        for _ in range(EPOCHS):
+            stats = trainer.train_epoch(evals_per_epoch=2)
+            points.extend(
+                (p.epoch, p.perplexity) for p in stats.eval_points
+            )
+        curves[world] = points
+    return curves
+
+
+def test_fig5_word_lm_accuracy(benchmark, report):
+    curves = benchmark.pedantic(train_curves, rounds=1, iterations=1)
+    lines = [
+        "Figure 5 — word LM validation perplexity vs epochs "
+        "(simulated GPU counts stand in for 16/32/64)",
+        "",
+    ]
+    for world, points in curves.items():
+        xs = [round(e, 2) for e, _ in points]
+        ys = [round(p, 2) for _, p in points]
+        lines.append(format_series(f"{world} gpu", xs, ys))
+
+    first = {w: pts[0][1] for w, pts in curves.items()}
+    final = {w: pts[-1][1] for w, pts in curves.items()}
+    lines.append("")
+    lines.append(
+        format_table(
+            ["GPUs", "early ppl", "final ppl"],
+            [[w, round(first[w], 2), round(final[w], 2)] for w in WORLDS],
+            title="Early vs final perplexity (paper: early gap closes)",
+        )
+    )
+    report("fig5_word_lm_accuracy", "\n".join(lines))
+
+    # Shape assertions (paper: 95.3 > 87.9 > 84.3 at epoch 1, converging
+    # to 72-73 by epoch 2): larger G starts worse, all learn, and final
+    # perplexities converge to a band tighter than the early spread.
+    for w in WORLDS:
+        assert final[w] < first[w]
+    assert first[WORLDS[-1]] > first[WORLDS[0]]
+    spread_first = max(first.values()) / min(first.values())
+    spread_final = max(final.values()) / min(final.values())
+    assert spread_final < spread_first
+    assert spread_final < 1.3

@@ -1,0 +1,81 @@
+"""Micro-benchmarks: real training-step throughput of this implementation.
+
+pytest-benchmark timings of the actual SPMD step (forward + backward +
+exchange + optimizer) for both model families, plus per-layer forward
+costs — the library's own performance regression net.
+"""
+
+import numpy as np
+
+from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+from repro.nn import LSTM, RHN
+from repro.optim import SGD, Adam
+from repro.train import (
+    CharLanguageModel,
+    CharLMConfig,
+    DistributedTrainer,
+    TrainConfig,
+    WordLanguageModel,
+    WordLMConfig,
+)
+
+VOCAB = 500
+CORPUS = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 60_000, seed=9)
+
+
+def word_trainer():
+    cfg = TrainConfig(world_size=4, batch=BatchSpec(4, 20), base_lr=0.2)
+    model_cfg = WordLMConfig(
+        vocab_size=VOCAB, embedding_dim=32, hidden_dim=64, projection_dim=32,
+        num_samples=64,
+    )
+    return DistributedTrainer(
+        lambda rng, rank: WordLanguageModel(model_cfg, rng),
+        lambda params, lr: SGD(params, lr),
+        CORPUS.train, CORPUS.valid, cfg,
+    )
+
+
+def char_trainer():
+    cfg = TrainConfig(world_size=4, batch=BatchSpec(4, 20), base_lr=1e-3)
+    model_cfg = CharLMConfig(
+        vocab_size=VOCAB, embedding_dim=16, hidden_dim=32, depth=3, dropout=0.1
+    )
+    return DistributedTrainer(
+        lambda rng, rank: CharLanguageModel(
+            model_cfg, rng, dropout_rng=np.random.default_rng(rank)
+        ),
+        lambda params, lr: Adam(params, lr),
+        CORPUS.train, CORPUS.valid, cfg,
+    )
+
+
+def test_bench_word_lm_train_step(benchmark):
+    trainer = word_trainer()
+    trainer.train_step()  # warm up caches
+    benchmark(trainer.train_step)
+    tokens_per_step = trainer.config.batch.global_batch_tokens(4)
+    benchmark.extra_info["tokens_per_step"] = tokens_per_step
+
+
+def test_bench_char_lm_train_step(benchmark):
+    trainer = char_trainer()
+    trainer.train_step()
+    benchmark(trainer.train_step)
+
+
+def test_bench_lstm_forward(benchmark):
+    lstm = LSTM(64, 128, np.random.default_rng(0))
+    x = np.random.default_rng(1).standard_normal((16, 50, 64))
+    benchmark(lambda: lstm.forward(x))
+
+
+def test_bench_rhn_forward(benchmark):
+    rhn = RHN(64, 128, 5, np.random.default_rng(0))
+    x = np.random.default_rng(1).standard_normal((16, 20, 64))
+    benchmark(lambda: rhn.forward(x))
+
+
+def test_bench_word_lm_evaluate(benchmark):
+    trainer = word_trainer()
+    benchmark(trainer.evaluate)

@@ -1,0 +1,88 @@
+"""Table III: word-LM per-epoch hours and parallel efficiency.
+
+Runs the calibrated performance model over 8-64 GPUs with and without
+the paper's techniques, reproducing the hours, the efficiency columns,
+the OOM cells, and the peak-memory trajectory (3.9/7.1/10.3 GB baseline
+vs ~1.2 GB flat).
+"""
+
+from repro.perf import ALL_TECHNIQUES, BASELINE, WORD_LM_1B, PerfModel
+from repro.report import format_table
+
+PAPER = {
+    # GPUs: (without_hours, without_eff, with_hours, with_eff)
+    8: (35.1, 1.00, 14.6, 1.00),
+    16: (41.1, 0.43, 8.1, 0.90),
+    24: (40.4, 0.29, 6.4, 0.76),
+    32: (None, None, 5.4, 0.67),
+    64: (None, None, 4.5, 0.40),
+}
+
+
+def compute():
+    model = PerfModel(WORD_LM_1B)
+    rows = []
+    for g, (p_wo, p_wo_eff, p_w, p_w_eff) in PAPER.items():
+        oom = model.is_oom(g, BASELINE)
+        wo = "OOM *" if oom else f"{model.epoch_hours(g, BASELINE):.1f}"
+        wo_eff = (
+            "-" if oom else f"{model.parallel_efficiency(g, BASELINE):.0%}"
+        )
+        w = f"{model.epoch_hours(g, ALL_TECHNIQUES):.1f}"
+        w_eff = f"{model.parallel_efficiency(g, ALL_TECHNIQUES):.0%}"
+        mem_wo = "OOM" if oom else f"{model.peak_memory_bytes(g, BASELINE) / 1e9:.1f}"
+        mem_w = f"{model.peak_memory_bytes(g, ALL_TECHNIQUES) / 1e9:.2f}"
+        rows.append(
+            [
+                g,
+                "OOM *" if p_wo is None else p_wo,
+                wo,
+                wo_eff,
+                p_w,
+                w,
+                w_eff,
+                mem_wo,
+                mem_w,
+            ]
+        )
+    return model, rows
+
+
+def test_table3_word_lm_time(benchmark, report, save_structured):
+    model, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "GPUs",
+            "paper w/o (h)",
+            "model w/o (h)",
+            "model w/o eff",
+            "paper w/ (h)",
+            "model w/ (h)",
+            "model w/ eff",
+            "mem w/o (GB)",
+            "mem w/ (GB)",
+        ],
+        rows,
+        title="Table III — word LM per-epoch time on 1-Billion-Word "
+        "(* = out of GPU memory)",
+    )
+    mem_red = model.peak_memory_bytes(24, BASELINE) / model.peak_memory_bytes(
+        24, ALL_TECHNIQUES
+    )
+    speed = model.epoch_hours(8, BASELINE) / model.epoch_hours(64, ALL_TECHNIQUES)
+    footer = (
+        f"\nMemory reduction at 24 GPUs: {mem_red:.1f}x (paper: 8.6x)"
+        f"\nSpeedup 8-GPU baseline -> 64-GPU w/ techniques: {speed:.1f}x "
+        f"(paper: 7.7x)"
+    )
+    report("table3_word_lm_time", table + footer)
+    save_structured(
+        "table3_word_lm_time",
+        ["gpus", "paper_without_h", "model_without_h", "model_without_eff",
+         "paper_with_h", "model_with_h", "model_with_eff",
+         "mem_without_gb", "mem_with_gb"],
+        rows,
+        meta={"table": "III", "workload": "word-lm-1b"},
+    )
+    assert model.is_oom(32, BASELINE) and model.is_oom(64, BASELINE)
+    assert 6 < mem_red < 13

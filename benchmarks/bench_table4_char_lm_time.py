@@ -1,0 +1,61 @@
+"""Table IV: char-LM per-epoch hours and parallel efficiency.
+
+Same harness as Table III for the character model: small vocabulary, full
+softmax, baseline OOM beyond 24 GPUs, 6.6x speedup at 8x GPUs.
+"""
+
+from repro.perf import ALL_TECHNIQUES, BASELINE, CHAR_LM_1B, PerfModel
+from repro.report import format_table
+
+PAPER = {
+    8: (25.7, 1.00, 23.2, 1.00),
+    16: (14.5, 0.89, 12.9, 0.96),
+    24: (10.6, 0.81, 8.2, 0.94),
+    32: (None, None, 6.8, 0.86),
+    64: (None, None, 3.5, 0.82),
+}
+
+
+def compute():
+    model = PerfModel(CHAR_LM_1B)
+    rows = []
+    for g, (p_wo, _, p_w, p_w_eff) in PAPER.items():
+        oom = model.is_oom(g, BASELINE)
+        wo = "OOM *" if oom else f"{model.epoch_hours(g, BASELINE):.1f}"
+        w = f"{model.epoch_hours(g, ALL_TECHNIQUES):.1f}"
+        eff = f"{model.parallel_efficiency(g, ALL_TECHNIQUES):.0%}"
+        rows.append([g, "OOM *" if p_wo is None else p_wo, wo, p_w, w,
+                     f"{p_w_eff:.0%}", eff])
+    return model, rows
+
+
+def test_table4_char_lm_time(benchmark, report, save_structured):
+    model, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "GPUs",
+            "paper w/o (h)",
+            "model w/o (h)",
+            "paper w/ (h)",
+            "model w/ (h)",
+            "paper eff",
+            "model eff",
+        ],
+        rows,
+        title="Table IV — char LM per-epoch time on 1-Billion-Word "
+        "(* = out of GPU memory)",
+    )
+    speedup = model.epoch_hours(8, ALL_TECHNIQUES) / model.epoch_hours(
+        64, ALL_TECHNIQUES
+    )
+    footer = f"\nSpeedup 8 -> 64 GPUs with techniques: {speedup:.1f}x (paper: 6.6x)"
+    report("table4_char_lm_time", table + footer)
+    save_structured(
+        "table4_char_lm_time",
+        ["gpus", "paper_without_h", "model_without_h", "paper_with_h",
+         "model_with_h", "paper_eff", "model_eff"],
+        rows,
+        meta={"table": "IV", "workload": "char-lm-1b"},
+    )
+    assert model.is_oom(32, BASELINE)
+    assert 5.0 < speedup < 8.0

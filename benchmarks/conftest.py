@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures: result output directory and report helper."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Print a report block and persist it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+@pytest.fixture
+def save_structured(results_dir):
+    """Persist a table as CSV + JSON next to the text reports."""
+
+    def _save(name: str, headers, rows, meta=None) -> None:
+        from repro.report import write_results
+
+        write_results(results_dir, name, headers, rows, meta=meta)
+
+    return _save

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Neural LM vs count-based n-gram baselines, on i.i.d. and bursty data.
+
+On an i.i.d. Zipf stream the unigram distribution is the information-
+theoretic optimum — a neural model can only *approach* it, making the
+n-gram an honest sanity anchor.  On a *bursty* stream (the cache model
+of real text), context carries information and higher-order / neural
+models pull ahead.
+
+Run:  python examples/baselines_comparison.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    BatchSpec,
+    ONE_BILLION_WORD,
+    ZipfMandelbrot,
+    make_bursty_tokens,
+    make_corpus,
+)
+from repro.optim import SGD
+from repro.report import format_table
+from repro.train import (
+    DistributedTrainer,
+    NGramModel,
+    TrainConfig,
+    WordLanguageModel,
+    WordLMConfig,
+    perplexity,
+)
+
+VOCAB = 120
+STEPS = 250
+
+
+def neural_ppl(train: np.ndarray, valid: np.ndarray) -> float:
+    cfg = TrainConfig(world_size=4, batch=BatchSpec(2, 10), base_lr=0.3)
+    model_cfg = WordLMConfig(
+        vocab_size=VOCAB, embedding_dim=12, hidden_dim=20, projection_dim=12,
+        num_samples=20,
+    )
+    trainer = DistributedTrainer(
+        lambda rng, rank: WordLanguageModel(model_cfg, rng),
+        lambda params, lr: SGD(params, lr),
+        train, valid, cfg,
+    )
+    for _ in range(STEPS):
+        trainer.train_step()
+    return perplexity(trainer.evaluate())
+
+
+def evaluate_stream(name: str, train: np.ndarray, valid: np.ndarray) -> list:
+    uni = NGramModel(VOCAB, order=1).fit(train)
+    bi = NGramModel(VOCAB, order=2).fit(train)
+    tri = NGramModel(VOCAB, order=3).fit(train)
+    return [
+        name,
+        round(uni.perplexity(valid), 2),
+        round(bi.perplexity(valid), 2),
+        round(tri.perplexity(valid), 2),
+        round(neural_ppl(train, valid), 2),
+    ]
+
+
+def main() -> None:
+    rows = []
+
+    iid = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 60_000, seed=14)
+    rows.append(evaluate_stream("i.i.d. Zipf", iid.train, iid.valid))
+
+    dist = ZipfMandelbrot(
+        vocab_size=VOCAB,
+        exponent=ONE_BILLION_WORD.zipf_exponent,
+        shift=ONE_BILLION_WORD.zipf_shift * VOCAB / ONE_BILLION_WORD.vocab_size,
+    )
+    bursty = make_bursty_tokens(
+        dist, 60_000, np.random.default_rng(15), p_repeat=0.45, window=30
+    )
+    split = int(bursty.size * 0.95)
+    rows.append(
+        evaluate_stream("bursty (cache model)", bursty[:split], bursty[split:])
+    )
+
+    print(
+        format_table(
+            ["stream", "unigram ppl", "bigram ppl", "trigram ppl", "neural ppl"],
+            rows,
+            title="Neural LM vs n-gram baselines "
+            f"(vocab {VOCAB}, {STEPS} training steps)",
+        )
+    )
+    print(
+        "\nOn i.i.d. data the unigram is optimal — every model converges "
+        "toward it and none can beat it.  Burstiness makes context "
+        "informative, but over a ~30-token recency window only the "
+        "recurrent model can exploit it: the LSTM beats the unigram while "
+        "fixed-order n-grams, blind past 1-2 tokens, cannot — the core "
+        "argument for neural LMs on real text."
+    )
+
+
+if __name__ == "__main__":
+    main()

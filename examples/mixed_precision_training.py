@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Mixed-precision training: the failure, the fix, the recipe.
+
+Three arms on the same miniature word LM held in **FP16 parameters**:
+
+1. naive FP16 SGD — per-step updates fall below FP16's resolution at the
+   weight magnitude and silently vanish ("update swamping");
+2. FP32 master weights — updates accumulate in FP32 and training works;
+3. master weights + dynamic loss scaling — the full recipe of the
+   paper's mixed-precision references [33, 34], robust to the occasional
+   overflow as well.
+
+An FP64 reference run anchors the comparison.
+
+Run:  python examples/mixed_precision_training.py
+"""
+
+import numpy as np
+
+from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+from repro.optim import SGD, MasterWeightOptimizer
+from repro.report import format_table
+from repro.train import (
+    DistributedTrainer,
+    TrainConfig,
+    WordLanguageModel,
+    WordLMConfig,
+    perplexity,
+)
+
+VOCAB = 200
+MODEL = WordLMConfig(
+    vocab_size=VOCAB, embedding_dim=10, hidden_dim=14, projection_dim=10,
+    num_samples=16,
+)
+CORPUS = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 30_000, seed=19)
+STEPS = 120
+# A small rate makes per-step updates tiny relative to the weights —
+# the regime where FP16's ~1e-3 relative resolution starts to swamp.
+LR = 0.02
+
+
+def run(dtype, optimizer_factory, loss_scale=None) -> float:
+    cfg = TrainConfig(
+        world_size=2, batch=BatchSpec(2, 8), base_lr=LR, loss_scale=loss_scale
+    )
+    trainer = DistributedTrainer(
+        lambda rng, rank: WordLanguageModel(MODEL, rng, dtype=dtype),
+        optimizer_factory,
+        CORPUS.train, CORPUS.valid, cfg,
+    )
+    for _ in range(STEPS):
+        trainer.train_step()
+    return perplexity(trainer.evaluate())
+
+
+def swamping_demo() -> None:
+    """The isolated failure: 100 updates of 1e-5 on an FP16 weight of 1.0."""
+    from repro.nn import Parameter
+
+    naive = Parameter(np.ones(1, np.float16))
+    opt_naive = SGD([naive], lr=1e-4)
+    mastered = Parameter(np.ones(1, np.float16))
+    opt_master = MasterWeightOptimizer(
+        [mastered], lambda p, lr: SGD(p, lr), lr=1e-4
+    )
+    for _ in range(100):
+        naive.accumulate_grad(np.full(1, 0.1, np.float16))
+        mastered.accumulate_grad(np.full(1, 0.1, np.float16))
+        opt_naive.step()
+        opt_master.step()
+    print("Update swamping in isolation — 100 updates of 1e-5 on w = 1.0:")
+    print(f"  naive fp16     : w = {float(naive.data[0]):.6f}  (nothing happened)")
+    print(f"  fp32 masters   : w = {float(mastered.data[0]):.6f}  "
+          "(the 1e-3 drift landed)\n")
+
+
+def main() -> None:
+    swamping_demo()
+    arms = [
+        (
+            "fp64 reference",
+            run(np.float64, lambda p, lr: SGD(p, lr)),
+        ),
+        (
+            "fp16 naive SGD",
+            run(np.float16, lambda p, lr: SGD(p, lr)),
+        ),
+        (
+            "fp16 + fp32 master weights",
+            run(
+                np.float16,
+                lambda p, lr: MasterWeightOptimizer(
+                    p, lambda m, l: SGD(m, l), lr=lr
+                ),
+            ),
+        ),
+        (
+            "fp16 + masters + dynamic loss scaling",
+            run(
+                np.float16,
+                lambda p, lr: MasterWeightOptimizer(
+                    p, lambda m, l: SGD(m, l), lr=lr
+                ),
+                loss_scale="dynamic",
+            ),
+        ),
+    ]
+    ref = arms[0][1]
+    rows = [
+        [name, round(ppl, 2), f"{ppl / ref - 1:+.1%}"] for name, ppl in arms
+    ]
+    print(
+        format_table(
+            ["arm", "val perplexity", "vs fp64"],
+            rows,
+            title=f"Mixed-precision training (word LM, {STEPS} steps, lr={LR})",
+        )
+    )
+    print(
+        "\nAt this miniature scale naive FP16 only drifts percent-level "
+        "behind (early gradients are large); at production scale — tiny "
+        "per-step updates over millions of steps — the isolated swamping "
+        "effect above compounds into full stalls.  FP32 master weights "
+        "track the FP64 trajectory exactly, and loss scaling keeps the "
+        "FP16 backward out of the underflow region — the recipe the "
+        "paper's Section III-C borrows for communication."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""A guided walkthrough of the paper's figures, with its literal numbers.
+
+* **Figure 2** — the sentence "I want a pen and a" through an input
+  embedding: word-indices [4343, 9665, 1, 3852, 6163, 1], the repeated
+  "a" sharing one embedding row.
+* **Figure 3** — why ALLREDUCE breaks: GPU1's first token maps to word
+  1234, GPU2's to word 9854 — same gradient-row position, different
+  embedding rows.
+* **Figure 4** — the uniqueness exchange on the figure's exact indices:
+  GPU1 holds [5, 3, 9, 4, 3, 8], GPU2 [3, 9, 5, 3, 3, 8, 8, 4]; both
+  derive the global unique set [3, 4, 5, 8, 9].
+* **Section III-A** — the 256-GPU worked example: 35.2 GB -> 0.137 GB.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.cluster import Communicator
+from repro.core import local_unique_reduce, unique_exchange, worked_example_256_gpus
+from repro.nn import Embedding, SparseGrad
+
+
+def figure2_embedding_lookup() -> None:
+    print("=" * 70)
+    print("Figure 2 — input embedding lookup")
+    print("=" * 70)
+    # The paper's example: |V| = 10,000, D = 1024, K = 6 tokens.
+    rng = np.random.default_rng(0)
+    emb = Embedding(10_000, 1024, rng)
+    sentence = ["I", "want", "a", "pen", "and", "a"]
+    word_indices = np.array([[4343, 9665, 1, 3852, 6163, 1]])
+    activations, cache = emb.forward(word_indices)
+    print(f"tokens: {sentence}")
+    print(f"word indices: {word_indices[0].tolist()}")
+    print(f"activation matrix: {activations.shape[1]} x {activations.shape[2]} "
+          "(K x D, dense)")
+    same = np.array_equal(activations[0, 2], activations[0, 5])
+    print(f"rows 3 and 6 (both 'a') identical: {same}")
+
+    # Back-propagation: the repeated 'a' accumulates two gradient rows.
+    grad = rng.standard_normal(activations.shape)
+    emb.backward(grad, cache)
+    merged = emb.weight.merged_sparse_grad()
+    expected_row_1 = grad[0, 2] + grad[0, 5]
+    got_row_1 = merged.values[merged.indices.tolist().index(1)]
+    print(f"gradient of row 1 ('a') is the sum of token grads 3 and 6: "
+          f"{np.allclose(got_row_1, expected_row_1)}\n")
+
+
+def figure3_why_allreduce_breaks() -> None:
+    print("=" * 70)
+    print("Figure 3 — why plain ALLREDUCE breaks for embeddings")
+    print("=" * 70)
+    gpu1 = SparseGrad(
+        indices=np.array([1234, 777, 42]), values=np.ones((3, 4))
+    )
+    gpu2 = SparseGrad(
+        indices=np.array([9854, 1234, 99]), values=np.full((3, 4), 2.0)
+    )
+    print("GPU1 token 1 -> word", gpu1.indices[0], "; GPU2 token 1 -> word",
+          gpu2.indices[0])
+    # Summing the raw K x D matrices would fuse gradients of different
+    # words; the correct accumulation is by *word index*:
+    wrong = gpu1.values + gpu2.values
+    right = (gpu1.to_dense(10_000) + gpu2.to_dense(10_000))[1234]
+    print(f"naive positional sum of token-1 rows: {wrong[0][0]} "
+          "(fuses words 1234 and 9854 — wrong)")
+    print(f"index-aware accumulation of word 1234: {right[0]} "
+          "(GPU1's token 1 + GPU2's token 2 — right)\n")
+
+
+def figure4_unique_exchange() -> None:
+    print("=" * 70)
+    print("Figure 4 — the uniqueness exchange, on the figure's indices")
+    print("=" * 70)
+    d = 2
+    gpu1 = SparseGrad(
+        indices=np.array([5, 3, 9, 4, 3, 8]),
+        values=np.arange(12, dtype=float).reshape(6, d),
+    )
+    gpu2 = SparseGrad(
+        indices=np.array([3, 9, 5, 3, 3, 8, 8, 4]),
+        values=np.arange(16, dtype=float).reshape(8, d),
+    )
+    print("GPU1 word indices:", gpu1.indices.tolist())
+    print("GPU2 word indices:", gpu2.indices.tolist())
+    print("GPU1 locally-unique (J-hat):",
+          local_unique_reduce(gpu1).indices.tolist())
+    print("GPU2 locally-unique (J-hat):",
+          local_unique_reduce(gpu2).indices.tolist())
+
+    comm = Communicator(2, track_memory=False)
+    result = unique_exchange(comm, [gpu1, gpu2])
+    print("global unique set (I-hat):", result.global_indices.tolist())
+    print(f"Ug = {result.num_global_unique} "
+          f"(vs G*K = {gpu1.n_tokens + gpu2.n_tokens} token rows)")
+    dense = result.as_sparse_grad().to_dense(10)
+    reference = gpu1.to_dense(10) + gpu2.to_dense(10)
+    print("allreduced M-hat equals the dense reference:",
+          np.allclose(dense, reference))
+    print("wire bytes per GPU:", comm.ledger.bytes_by_op(), "\n")
+
+
+def section3a_worked_example() -> None:
+    print("=" * 70)
+    print("Section III-A — the 256-GPU worked example")
+    print("=" * 70)
+    ex = worked_example_256_gpus()
+    print(f"G = {ex.gpus}, K = {ex.local_batch_tokens}, D = {ex.embedding_dim}")
+    print(f"baseline ALLGATHER : {ex.baseline_memory_bytes / 1e9:7.1f} GB/GPU "
+          "(paper: 35.2)")
+    print(f"unique exchange    : {ex.unique_memory_bytes / 1e9:7.3f} GB/GPU "
+          "(paper: 0.137)")
+    print(f"memory reduction   : {ex.reduction_factor:7.0f}x (paper: 256x)")
+
+
+if __name__ == "__main__":
+    figure2_embedding_lookup()
+    figure3_why_allreduce_breaks()
+    figure4_unique_exchange()
+    section3a_worked_example()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Strong-scaling study of the word LM (the Table III / Figure 6 story).
+
+Part 1 — *measured*, at miniature scale: wire bytes and peak scratch
+memory per simulated GPU for the baseline ALLGATHER vs the unique
+exchange, as the GPU count grows.  Shows the baseline's Θ(G·K·D) growth
+against the unique path's Θ(G·K + Ug·D).
+
+Part 2 — *modeled*, at paper scale: per-epoch hours, parallel
+efficiency, and OOM cells for 8-64 Titan X GPUs, via the calibrated
+performance model.
+
+Run:  python examples/scaling_word_lm.py
+"""
+
+import numpy as np
+
+from repro.cluster import Communicator
+from repro.core import AllGatherExchange, UniqueExchange
+from repro.data import ZipfMandelbrot
+from repro.nn import SparseGrad
+from repro.perf import ALL_TECHNIQUES, BASELINE, WORD_LM_1B, PerfModel
+from repro.report import format_table
+
+K, DIM, VOCAB = 512, 64, 20_000
+
+
+def measured_scaling() -> None:
+    dist = ZipfMandelbrot(vocab_size=VOCAB, exponent=1.56, shift=2.7)
+    rng = np.random.default_rng(0)
+    rows = []
+    for world in (2, 4, 8, 16):
+        grads = [
+            SparseGrad(
+                indices=dist.sample(K, rng),
+                values=rng.standard_normal((K, DIM)).astype(np.float32),
+            )
+            for _ in range(world)
+        ]
+        c_base, c_uniq = Communicator(world), Communicator(world)
+        AllGatherExchange().exchange(c_base, grads)
+        result = UniqueExchange().exchange(c_uniq, grads)
+        rows.append(
+            [
+                world,
+                world * K,
+                int(result[0].indices.size),
+                f"{c_base.ledger.total_wire_bytes_per_rank / 1e6:.2f}",
+                f"{c_uniq.ledger.total_wire_bytes_per_rank / 1e6:.2f}",
+                f"{c_base.peak_bytes_per_rank / 1e6:.2f}",
+                f"{c_uniq.peak_bytes_per_rank / 1e6:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "GPUs",
+                "tokens G*K",
+                "types Ug",
+                "base MB/GPU (wire)",
+                "uniq MB/GPU (wire)",
+                "base MB/GPU (peak)",
+                "uniq MB/GPU (peak)",
+            ],
+            rows,
+            title="Measured: embedding-gradient exchange cost per step "
+            f"(K={K}, D={DIM}, Zipf vocab {VOCAB})",
+        )
+    )
+
+
+def modeled_scaling() -> None:
+    model = PerfModel(WORD_LM_1B)
+    rows = []
+    for g in (8, 16, 24, 32, 64):
+        oom = model.is_oom(g, BASELINE)
+        rows.append(
+            [
+                g,
+                "OOM" if oom else f"{model.epoch_hours(g, BASELINE):.1f}",
+                f"{model.epoch_hours(g, ALL_TECHNIQUES):.1f}",
+                f"{model.parallel_efficiency(g, ALL_TECHNIQUES):.0%}",
+                "-" if oom else
+                f"{model.epoch_hours(g, BASELINE) / model.epoch_hours(g, ALL_TECHNIQUES):.1f}x",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["GPUs", "baseline (h)", "techniques (h)", "efficiency", "speedup"],
+            rows,
+            title="Modeled at paper scale: word LM on 1-Billion-Word, "
+            "Titan X cluster (Table III)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    measured_scaling()
+    modeled_scaling()

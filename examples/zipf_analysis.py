@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Zipf's-law analysis of the synthetic corpora (the Figure 1 story).
+
+For each dataset stand-in: generate a stream, plot (textually) the
+types-vs-tokens curve, fit Heaps' law, and show the vocabulary-coverage
+fact that justifies the paper's 100K-word truncation (Section IV-A).
+
+Run:  python examples/zipf_analysis.py
+"""
+
+import numpy as np
+
+from repro.data import (
+    FIGURE1_PRESETS,
+    coverage_of_top_k,
+    fit_heaps_law,
+    fit_zipf_exponent,
+    make_corpus,
+    token_type_gap,
+    type_token_curve,
+)
+from repro.report import format_table
+
+N_TOKENS = 1_000_000
+
+
+def ascii_loglog(ns, us, width=60, height=12) -> str:
+    """A minimal log-log scatter of the (N, U) curve."""
+    grid = [[" "] * width for _ in range(height)]
+    ln, lu = np.log(ns), np.log(us)
+    lu_min, lu_max = np.log(ns[0] / 100), np.log(ns[-1])
+    for x, y in zip(ln, lu):
+        col = int((x - ln[0]) / (ln[-1] - ln[0]) * (width - 1))
+        row = int((y - lu_min) / (lu_max - lu_min) * (height - 1))
+        grid[height - 1 - min(row, height - 1)][col] = "*"
+    # The x = y reference line ("batch" in Figure 1).
+    for x in ln:
+        col = int((x - ln[0]) / (ln[-1] - ln[0]) * (width - 1))
+        row = int((x - lu_min) / (lu_max - lu_min) * (height - 1))
+        if 0 <= row < height and grid[height - 1 - row][col] == " ":
+            grid[height - 1 - row][col] = "."
+    return "\n".join("".join(r) for r in grid)
+
+
+def main() -> None:
+    rows = []
+    for preset in FIGURE1_PRESETS:
+        scaled = preset.scaled(min(preset.vocab_size, 200_000))
+        corpus = make_corpus(scaled, N_TOKENS, seed=1)
+        ns, us = type_token_curve(corpus.tokens, num_points=12)
+        heaps = fit_heaps_law(ns, us)
+        counts = np.bincount(corpus.tokens)
+        zipf = fit_zipf_exponent(counts, min_count=3)
+        top1pct = coverage_of_top_k(counts, max(1, counts.size // 100))
+        rows.append(
+            [
+                preset.name,
+                round(zipf, 2),
+                f"U = {heaps.coefficient:.2f} N^{heaps.exponent:.3f}",
+                round(heaps.r_squared, 4),
+                f"{token_type_gap(corpus.tokens):.0f}x",
+                f"{top1pct:.1%}",
+            ]
+        )
+        if preset.name == "1b":
+            print(f"Types vs tokens for '{preset.name}' "
+                  "(*: data, .: the x = y 'batch' line):\n")
+            print(ascii_loglog(ns, us))
+            print()
+
+    print(
+        format_table(
+            [
+                "dataset",
+                "zipf s",
+                "heaps fit",
+                "R^2",
+                "N/U gap @ 1M",
+                "top-1% types cover",
+            ],
+            rows,
+            title="Figure 1 statistics on the synthetic corpora "
+            "(paper: U = 7.02 N^0.64, R^2 = 1.00, ~100x gap)",
+        )
+    )
+    print(
+        "\nThe last column is the Section IV-A observation: a small "
+        "frequency-ranked head of the type inventory covers nearly all "
+        "running text, so a 100K vocabulary suffices for corpora with "
+        "millions of types."
+    )
+
+
+if __name__ == "__main__":
+    main()

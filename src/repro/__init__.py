@@ -1,0 +1,35 @@
+"""repro — reproduction of "Language Modeling at Scale" (Patwary et al.,
+IPPS 2019).
+
+Zipf-aware scalable data-parallel language-model training, built on a
+simulated multi-GPU cluster:
+
+* :mod:`repro.cluster` — devices with byte-exact memory accounting, a
+  two-tier interconnect, MPI-style collectives with cost models;
+* :mod:`repro.nn` — pure-numpy NN stack (embeddings with sparse
+  gradients, LSTM, RHN, full & sampled softmax);
+* :mod:`repro.optim` — sparse-aware SGD/Adam, LR scaling, loss scalers;
+* :mod:`repro.data` — Zipf–Mandelbrot synthetic corpora and the
+  type/token statistics of Figure 1;
+* :mod:`repro.core` — the paper's contribution: uniqueness, seeding and
+  compression;
+* :mod:`repro.train` — word/char LM assemblies and the SPMD trainer;
+* :mod:`repro.perf` — the analytic model behind Tables III-V.
+"""
+
+from . import cluster, core, data, nn, optim, perf, report, sim, train
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "cluster",
+    "core",
+    "data",
+    "nn",
+    "optim",
+    "perf",
+    "report",
+    "sim",
+    "train",
+    "__version__",
+]

@@ -1,0 +1,298 @@
+"""Command-line interface: run the reproduction's experiments directly.
+
+Subcommands::
+
+    python -m repro.cli zipf     [--dataset 1b --tokens 1000000]
+    python -m repro.cli train    [--model word|char --gpus 8 --steps 100 ...]
+    python -m repro.cli perf     [--table 3|4|5]
+    python -m repro.cli example  # the Section III-A worked example
+
+Every command prints the same rows the corresponding paper table or
+figure reports; heavy lifting is delegated to the library so the CLI is
+a thin, testable shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Language Modeling at Scale' "
+        "(Patwary et al., IPPS 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_zipf = sub.add_parser("zipf", help="Figure 1 type/token statistics")
+    p_zipf.add_argument("--dataset", default="1b",
+                        choices=["1b", "gb", "cc", "ar", "tieba"])
+    p_zipf.add_argument("--tokens", type=int, default=1_000_000)
+    p_zipf.add_argument("--seed", type=int, default=0)
+
+    p_train = sub.add_parser("train", help="miniature distributed training")
+    p_train.add_argument("--model", default="word", choices=["word", "char"])
+    p_train.add_argument("--gpus", type=int, default=4)
+    p_train.add_argument("--steps", type=int, default=100)
+    p_train.add_argument("--vocab", type=int, default=300)
+    p_train.add_argument("--corpus-tokens", type=int, default=40_000)
+    p_train.add_argument("--baseline", action="store_true",
+                         help="use the ALLGATHER baseline instead of the "
+                         "paper's unique exchange")
+    p_train.add_argument("--fp16", action="store_true",
+                         help="enable FP16 compression-scaling on the wire")
+    p_train.add_argument("--seed-strategy", default="per_rank",
+                         choices=[s.value for s in _seed_strategies()])
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_perf = sub.add_parser("perf", help="paper-scale time/memory tables")
+    p_perf.add_argument("--table", type=int, default=3, choices=[3, 4, 5])
+
+    p_gen = sub.add_parser(
+        "generate", help="train a tiny char LM on sample text and sample from it"
+    )
+    p_gen.add_argument("--steps", type=int, default=150)
+    p_gen.add_argument("--length", type=int, default=80)
+    p_gen.add_argument("--temperature", type=float, default=0.7)
+    p_gen.add_argument("--prompt", default="the ")
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("example", help="Section III-A worked memory example")
+    return parser
+
+
+def _seed_strategies():
+    from repro.core.seeding import SeedStrategy
+
+    return list(SeedStrategy)
+
+
+def _cmd_zipf(args: argparse.Namespace) -> int:
+    from repro.data import (
+        PRESETS,
+        fit_heaps_law,
+        make_corpus,
+        token_type_gap,
+        type_token_curve,
+    )
+    from repro.report import format_series
+
+    preset = PRESETS[args.dataset]
+    scaled = preset.scaled(min(preset.vocab_size, max(2, args.tokens // 5)))
+    corpus = make_corpus(scaled, args.tokens, seed=args.seed)
+    ns, us = type_token_curve(corpus.tokens, num_points=12)
+    fit = fit_heaps_law(ns, us)
+    print(format_series(args.dataset, ns.tolist(), us.tolist()))
+    print(
+        f"Heaps fit: U = {fit.coefficient:.2f} N^{fit.exponent:.3f} "
+        f"(R^2 = {fit.r_squared:.4f}); paper: U = 7.02 N^0.64"
+    )
+    print(f"Token/type gap at N = {args.tokens}: "
+          f"{token_type_gap(corpus.tokens):.1f}x")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import Fp16Codec, SeedStrategy
+    from repro.data import BatchSpec, ONE_BILLION_WORD, TIEBA, make_corpus
+    from repro.optim import SGD, Adam
+    from repro.train import (
+        CharLanguageModel,
+        CharLMConfig,
+        DistributedTrainer,
+        TrainConfig,
+        WordLanguageModel,
+        WordLMConfig,
+        max_replica_divergence,
+        perplexity,
+    )
+
+    is_word = args.model == "word"
+    preset = ONE_BILLION_WORD if is_word else TIEBA
+    corpus = make_corpus(preset.scaled(args.vocab), args.corpus_tokens,
+                         seed=args.seed)
+    cfg = TrainConfig(
+        world_size=args.gpus,
+        batch=BatchSpec(2, 10),
+        base_lr=0.3 if is_word else 3e-3,
+        use_unique=not args.baseline,
+        codec=Fp16Codec(512.0) if args.fp16 else None,
+        seed_strategy=SeedStrategy(args.seed_strategy),
+    )
+    if is_word:
+        model_cfg = WordLMConfig(
+            vocab_size=args.vocab, embedding_dim=16, hidden_dim=24,
+            projection_dim=16, num_samples=min(32, args.vocab - 1),
+        )
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(model_cfg, rng),
+            lambda params, lr: SGD(params, lr),
+            corpus.train, corpus.valid, cfg,
+        )
+    else:
+        model_cfg = CharLMConfig(
+            vocab_size=args.vocab, embedding_dim=12, hidden_dim=16,
+            depth=2, dropout=0.0,
+        )
+        trainer = DistributedTrainer(
+            lambda rng, rank: CharLanguageModel(
+                model_cfg, rng, dropout_rng=np.random.default_rng(rank)
+            ),
+            lambda params, lr: Adam(params, lr),
+            corpus.train, corpus.valid, cfg,
+        )
+
+    print(f"{args.model} LM | {args.gpus} simulated GPUs | vocab {args.vocab} "
+          f"| exchange: {'allgather' if args.baseline else 'unique'}"
+          f"{' + fp16' if args.fp16 else ''}")
+    print(f"initial val ppl: {perplexity(trainer.evaluate()):.2f}")
+    for step in range(args.steps):
+        loss = trainer.train_step()
+        if (step + 1) % max(1, args.steps // 5) == 0:
+            print(f"  step {step + 1:5d}  loss {loss:.3f}  "
+                  f"val ppl {perplexity(trainer.evaluate()):.2f}")
+    print(f"final val ppl: {perplexity(trainer.evaluate()):.2f}")
+    print(f"wire MB/GPU: "
+          f"{trainer.comm.ledger.total_wire_bytes_per_rank / 1e6:.2f}")
+    print(f"replica divergence: {max_replica_divergence(trainer.replicas):.1e}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        ALL_TECHNIQUES,
+        BASELINE,
+        CHAR_LM_1B,
+        CHAR_LM_TIEBA,
+        WORD_LM_1B,
+        PerfModel,
+    )
+    from repro.report import format_table
+
+    if args.table in (3, 4):
+        workload = WORD_LM_1B if args.table == 3 else CHAR_LM_1B
+        model = PerfModel(workload)
+        rows = []
+        for g in (8, 16, 24, 32, 64):
+            oom = model.is_oom(g, BASELINE)
+            rows.append(
+                [
+                    g,
+                    "OOM *" if oom else f"{model.epoch_hours(g, BASELINE):.1f}",
+                    f"{model.epoch_hours(g, ALL_TECHNIQUES):.1f}",
+                    f"{model.parallel_efficiency(g, ALL_TECHNIQUES):.0%}",
+                ]
+            )
+        print(
+            format_table(
+                ["GPUs", "without (h)", "with (h)", "efficiency"],
+                rows,
+                title=f"Table {'III' if args.table == 3 else 'IV'} — "
+                f"{workload.name}",
+            )
+        )
+    else:
+        rows = []
+        base = None
+        for g, factor in ((6, 1), (24, 4), (192, 32)):
+            w = CHAR_LM_TIEBA.scaled(tokens_per_epoch=1.07e9 * factor)
+            h = PerfModel(w).epoch_hours(g, ALL_TECHNIQUES)
+            base = base or h
+            rows.append([g, f"{factor}x", f"{h:.1f}", f"{h / base:.2f}x"])
+        print(
+            format_table(
+                ["GPUs", "data", "hours", "increase"],
+                rows,
+                title="Table V — Tieba weak scaling",
+            )
+        )
+    return 0
+
+
+def _cmd_example(_args: argparse.Namespace) -> int:
+    from repro.core import worked_example_256_gpus
+
+    ex = worked_example_256_gpus()
+    print("Section III-A worked example (256 GPUs, K = 19,200, D = 1792):")
+    print(f"  baseline ALLGATHER : {ex.baseline_memory_bytes / 1e9:6.1f} GB/GPU")
+    print(f"  unique exchange    : {ex.unique_memory_bytes / 1e9:6.3f} GB/GPU")
+    print(f"  reduction          : {ex.reduction_factor:6.0f}x  (paper: 256x)")
+    return 0
+
+
+_SAMPLE_TEXT = (
+    "the quick brown fox jumps over the lazy dog while the quiet river "
+    "runs past the old stone bridge and the wind moves through the tall "
+    "grass where the small birds sing in the early light of the morning "
+    "and the slow clouds drift over the green hills toward the distant "
+    "sea where the white ships sail on the long waves under the open sky "
+)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data import BatchSpec, CharTokenizer, encode_corpus
+    from repro.optim import Adam
+    from repro.train import (
+        CharLanguageModel,
+        CharLMConfig,
+        DistributedTrainer,
+        TrainConfig,
+        bits_per_char,
+        generate,
+    )
+
+    corpus = encode_corpus(_SAMPLE_TEXT * 12, tokenizer=CharTokenizer())
+    split = int(corpus.tokens.size * 0.95)
+    cfg = TrainConfig(world_size=2, batch=BatchSpec(4, 16), base_lr=4e-3)
+    model_cfg = CharLMConfig(
+        vocab_size=corpus.vocab_size, embedding_dim=12, hidden_dim=32,
+        depth=2, dropout=0.0,
+    )
+    trainer = DistributedTrainer(
+        lambda rng, rank: CharLanguageModel(
+            model_cfg, rng, dropout_rng=np.random.default_rng(rank),
+            stateful=True,
+        ),
+        lambda params, lr: Adam(params, lr),
+        corpus.tokens[:split], corpus.tokens[split:], cfg,
+    )
+    print(f"training a char LM on {corpus.tokens.size} characters "
+          f"({corpus.vocab_size} symbols), {args.steps} steps...")
+    for _ in range(args.steps):
+        trainer.train_step()
+    print(f"validation: {bits_per_char(trainer.evaluate()):.2f} bits/char")
+    prompt_ids = np.array(
+        [corpus.stoi(c) for c in args.prompt], dtype=np.int64
+    )
+    sample = generate(
+        trainer.replicas[0], prompt_ids, args.length,
+        np.random.default_rng(args.seed), temperature=args.temperature,
+    )
+    print(f"sample: {args.prompt}{corpus.decode(sample, sep='')}")
+    return 0
+
+
+_COMMANDS = {
+    "zipf": _cmd_zipf,
+    "train": _cmd_train,
+    "perf": _cmd_perf,
+    "generate": _cmd_generate,
+    "example": _cmd_example,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: parse ``argv`` and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+"""Simulated multi-GPU cluster substrate.
+
+Provides byte-exact device memory accounting, a two-tier interconnect
+model, MPI-style collectives with alpha-beta cost models, and a cost
+ledger — the substrate on which the paper's distributed training runs.
+"""
+
+from .collectives import (
+    allgather_arrays,
+    allgather_wire_bytes,
+    allreduce_arrays,
+    allreduce_wire_bytes,
+    broadcast_arrays,
+    broadcast_wire_bytes,
+    recursive_doubling_allreduce_time,
+    reduce_scatter_arrays,
+    reduce_scatter_wire_bytes,
+    ring_allgather_time,
+    ring_allreduce_time,
+    ring_broadcast_time,
+    ring_reduce_scatter_time,
+)
+from .communicator import Communicator
+from .failures import FailingCommunicator, RankFailureError, degrade_fabric
+from .hierarchical import hierarchical_allreduce, hierarchical_allreduce_time
+from .device import (
+    TITAN_X,
+    V100,
+    DeviceOOMError,
+    DeviceSpec,
+    ScopedAllocation,
+    SimulatedDevice,
+)
+from .interconnect import (
+    INFINIBAND_FDR,
+    NVLINK_V100,
+    PAPER_CLUSTER_FABRIC,
+    PCIE_GEN3,
+    V100_FABRIC,
+    Interconnect,
+    LinkSpec,
+)
+from .process_group import (
+    ProcessGroup,
+    group_of_rank,
+    partition_ranks,
+    sub_communicator,
+)
+from .tracing import CommEvent, CostLedger, LedgerSnapshot
+
+__all__ = [
+    "Communicator",
+    "FailingCommunicator",
+    "RankFailureError",
+    "degrade_fabric",
+    "hierarchical_allreduce",
+    "hierarchical_allreduce_time",
+    "CommEvent",
+    "CostLedger",
+    "LedgerSnapshot",
+    "DeviceOOMError",
+    "DeviceSpec",
+    "SimulatedDevice",
+    "ScopedAllocation",
+    "TITAN_X",
+    "V100",
+    "Interconnect",
+    "LinkSpec",
+    "PCIE_GEN3",
+    "INFINIBAND_FDR",
+    "NVLINK_V100",
+    "PAPER_CLUSTER_FABRIC",
+    "V100_FABRIC",
+    "ProcessGroup",
+    "partition_ranks",
+    "group_of_rank",
+    "sub_communicator",
+    "allreduce_arrays",
+    "allgather_arrays",
+    "broadcast_arrays",
+    "reduce_scatter_arrays",
+    "allreduce_wire_bytes",
+    "allgather_wire_bytes",
+    "reduce_scatter_wire_bytes",
+    "broadcast_wire_bytes",
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "ring_broadcast_time",
+    "recursive_doubling_allreduce_time",
+]

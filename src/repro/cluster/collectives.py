@@ -1,0 +1,245 @@
+"""Collective communication algorithms and their cost models.
+
+Two halves live here:
+
+1. **Functional semantics** — pure functions computing what each rank
+   holds after a collective, given the per-rank input arrays.  These are
+   *numerically real*: the training stack's gradients flow through them,
+   so accuracy results are genuine, not simulated.
+
+2. **Cost models** — the standard alpha-beta (latency-bandwidth) costs
+   of the bandwidth-optimal algorithms used by efficient MPI/NCCL
+   implementations.  The paper cites Baidu's ring allreduce [31]; we
+   model ring variants for every collective and recursive doubling as a
+   comparison point (used by an ablation bench).
+
+Cost-model conventions: ``G`` ranks, message of ``n`` bytes *per rank*
+(for allgather/reduce-scatter, ``n`` is each rank's contribution), link
+``beta`` = unidirectional bandwidth (bytes/s), ``alpha`` = per-hop
+latency (s).
+
+=================  =====================================================
+Collective         Ring cost (time)
+=================  =====================================================
+allreduce          ``2 (G-1)/G * n / beta  +  2 (G-1) alpha``
+reduce-scatter     ``(G-1)/G * n / beta  +  (G-1) alpha``
+allgather          ``(G-1) * n / beta  +  (G-1) alpha``
+broadcast          ``n / beta * (G-1)/G  +  (G-1) alpha``  (scatter+allgather)
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from .interconnect import LinkSpec
+
+__all__ = [
+    "allreduce_arrays",
+    "allgather_arrays",
+    "broadcast_arrays",
+    "reduce_scatter_arrays",
+    "ring_allreduce_time",
+    "ring_allgather_time",
+    "ring_reduce_scatter_time",
+    "ring_broadcast_time",
+    "recursive_doubling_allreduce_time",
+    "allreduce_wire_bytes",
+    "allgather_wire_bytes",
+    "reduce_scatter_wire_bytes",
+    "broadcast_wire_bytes",
+]
+
+
+# ---------------------------------------------------------------------------
+# Functional semantics
+# ---------------------------------------------------------------------------
+
+def _check_uniform(arrays: Sequence[np.ndarray], op: str) -> None:
+    if len(arrays) == 0:
+        raise ValueError(f"{op}: need at least one rank")
+    shape, dtype = arrays[0].shape, arrays[0].dtype
+    for rank, arr in enumerate(arrays):
+        if arr.shape != shape:
+            raise ValueError(
+                f"{op}: rank {rank} has shape {arr.shape}, rank 0 has {shape}"
+            )
+        if arr.dtype != dtype:
+            raise ValueError(
+                f"{op}: rank {rank} has dtype {arr.dtype}, rank 0 has {dtype}"
+            )
+
+
+def allreduce_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Sum-allreduce: every rank receives the elementwise sum of all inputs.
+
+    The reduction is performed in rank order, which is deterministic —
+    matching NCCL's behaviour of a fixed reduction order along the ring.
+    Each returned array is an independent copy (ranks own their buffers).
+    """
+    _check_uniform(arrays, "allreduce")
+    # Accumulate in the input dtype to mirror on-wire reduction precision.
+    total = arrays[0].copy()
+    for arr in arrays[1:]:
+        total += arr
+    return [total.copy() for _ in arrays]
+
+
+def allgather_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Allgather: every rank receives the rank-order concatenation.
+
+    Per-rank contributions must agree in dtype and trailing dimensions but
+    may differ in leading length (an allgatherv), which the uniqueness
+    algorithm relies on when ranks hold different numbers of local types.
+    """
+    if len(arrays) == 0:
+        raise ValueError("allgather: need at least one rank")
+    dtype = arrays[0].dtype
+    trailing = arrays[0].shape[1:]
+    for rank, arr in enumerate(arrays):
+        if arr.dtype != dtype:
+            raise ValueError(
+                f"allgather: rank {rank} dtype {arr.dtype} != rank 0 {dtype}"
+            )
+        if arr.shape[1:] != trailing:
+            raise ValueError(
+                f"allgather: rank {rank} trailing dims {arr.shape[1:]} != "
+                f"rank 0 {trailing}"
+            )
+    gathered = np.concatenate([np.atleast_1d(a) for a in arrays], axis=0)
+    return [gathered.copy() for _ in arrays]
+
+
+def broadcast_arrays(
+    arrays: Sequence[np.ndarray], root: int = 0
+) -> list[np.ndarray]:
+    """Broadcast the root rank's array to all ranks."""
+    if not 0 <= root < len(arrays):
+        raise ValueError(f"broadcast: root {root} out of range 0..{len(arrays) - 1}")
+    src = arrays[root]
+    return [src.copy() for _ in arrays]
+
+
+def reduce_scatter_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Sum-reduce then scatter equal shards back, one per rank.
+
+    The leading dimension must divide evenly by the number of ranks.
+    """
+    _check_uniform(arrays, "reduce_scatter")
+    world = len(arrays)
+    n = arrays[0].shape[0]
+    if n % world != 0:
+        raise ValueError(
+            f"reduce_scatter: leading dim {n} not divisible by world size {world}"
+        )
+    total = arrays[0].copy()
+    for arr in arrays[1:]:
+        total += arr
+    shard = n // world
+    return [total[r * shard : (r + 1) * shard].copy() for r in range(world)]
+
+
+# ---------------------------------------------------------------------------
+# Wire-byte accounting (per rank, one direction)
+# ---------------------------------------------------------------------------
+
+def allreduce_wire_bytes(world: int, nbytes: int) -> int:
+    """Bytes each rank sends during a ring allreduce of an n-byte buffer."""
+    _check_world(world)
+    if world == 1:
+        return 0
+    return math.ceil(2 * (world - 1) / world * nbytes)
+
+
+def allgather_wire_bytes(world: int, nbytes_per_rank: int) -> int:
+    """Bytes each rank sends during a ring allgather (its shard, G-1 times)."""
+    _check_world(world)
+    return (world - 1) * nbytes_per_rank
+
+
+def reduce_scatter_wire_bytes(world: int, nbytes: int) -> int:
+    """Bytes each rank sends during a ring reduce-scatter of an n-byte buffer."""
+    _check_world(world)
+    if world == 1:
+        return 0
+    return math.ceil((world - 1) / world * nbytes)
+
+
+def broadcast_wire_bytes(world: int, nbytes: int) -> int:
+    """Bytes the root effectively injects for a scatter+allgather broadcast."""
+    _check_world(world)
+    if world == 1:
+        return 0
+    return nbytes
+
+
+def _check_world(world: int) -> None:
+    if world <= 0:
+        raise ValueError(f"world size must be positive, got {world}")
+
+
+# ---------------------------------------------------------------------------
+# Time models
+# ---------------------------------------------------------------------------
+
+def ring_allreduce_time(world: int, nbytes: int, link: LinkSpec) -> float:
+    """Ring allreduce: reduce-scatter pass + allgather pass.
+
+    Bandwidth term ``2 (G-1)/G * n / beta`` is the classic
+    bandwidth-optimal bound; latency term is ``2 (G-1) alpha`` hops.
+    """
+    _check_world(world)
+    if world == 1:
+        return 0.0
+    bw_term = 2 * (world - 1) / world * nbytes / link.bandwidth
+    lat_term = 2 * (world - 1) * link.latency
+    return bw_term + lat_term
+
+
+def ring_allgather_time(world: int, nbytes_per_rank: int, link: LinkSpec) -> float:
+    """Ring allgather of ``nbytes_per_rank`` from each rank: G-1 shard hops."""
+    _check_world(world)
+    if world == 1:
+        return 0.0
+    bw_term = (world - 1) * nbytes_per_rank / link.bandwidth
+    lat_term = (world - 1) * link.latency
+    return bw_term + lat_term
+
+
+def ring_reduce_scatter_time(world: int, nbytes: int, link: LinkSpec) -> float:
+    """Ring reduce-scatter of an n-byte buffer: half of a ring allreduce."""
+    _check_world(world)
+    if world == 1:
+        return 0.0
+    bw_term = (world - 1) / world * nbytes / link.bandwidth
+    lat_term = (world - 1) * link.latency
+    return bw_term + lat_term
+
+
+def ring_broadcast_time(world: int, nbytes: int, link: LinkSpec) -> float:
+    """Scatter + ring-allgather broadcast (van de Geijn), pipelined."""
+    _check_world(world)
+    if world == 1:
+        return 0.0
+    bw_term = 2 * (world - 1) / world * nbytes / link.bandwidth
+    lat_term = (world - 1) * link.latency
+    return bw_term + lat_term
+
+
+def recursive_doubling_allreduce_time(
+    world: int, nbytes: int, link: LinkSpec
+) -> float:
+    """Recursive-doubling allreduce: ``log2 G`` rounds, full buffer each round.
+
+    Latency-optimal but not bandwidth-optimal; provided as the comparison
+    point for the collectives ablation bench (small messages favour it,
+    the paper's large embedding gradients favour the ring).
+    """
+    _check_world(world)
+    if world == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(world))
+    return rounds * (link.latency + nbytes / link.bandwidth)

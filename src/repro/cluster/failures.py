@@ -1,0 +1,110 @@
+"""Fault injection: degraded links and mid-run rank failures.
+
+Long training runs on hundreds of GPUs meet hardware trouble; the paper's
+Hero run (192 GPUs for 34 hours) is exactly the regime where a failure
+story matters.  This module provides:
+
+* :func:`degrade_fabric` — an interconnect with reduced bandwidth on one
+  or both tiers (a flapping switch, a congested PCIe root complex),
+  letting cost-model studies quantify sensitivity to network health;
+* :class:`FailingCommunicator` — a communicator that raises
+  :class:`RankFailureError` after a configured number of collectives,
+  simulating a node crash mid-step.  Combined with
+  :mod:`repro.train.checkpoint` this supports the standard
+  checkpoint/restart recovery pattern, tested end-to-end in
+  ``tests/cluster/test_failures.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .communicator import Communicator
+from .interconnect import Interconnect, LinkSpec
+
+__all__ = ["degrade_fabric", "RankFailureError", "FailingCommunicator"]
+
+
+def degrade_fabric(
+    fabric: Interconnect,
+    intra_factor: float = 1.0,
+    inter_factor: float = 1.0,
+) -> Interconnect:
+    """A copy of ``fabric`` with bandwidths divided by the given factors.
+
+    Factors must be >= 1 (this injects degradation, not upgrades).
+    """
+    if intra_factor < 1.0 or inter_factor < 1.0:
+        raise ValueError("degradation factors must be >= 1")
+
+    def slow(link: LinkSpec, factor: float) -> LinkSpec:
+        return LinkSpec(bandwidth=link.bandwidth / factor, latency=link.latency)
+
+    return replace(
+        fabric,
+        intra_node=slow(fabric.intra_node, intra_factor),
+        inter_node=slow(fabric.inter_node, inter_factor),
+    )
+
+
+class RankFailureError(RuntimeError):
+    """A simulated rank crashed during a collective.
+
+    Synchronous collectives are all-or-nothing: when one rank dies, every
+    participant observes the failure (as NCCL communicators do).
+    """
+
+    def __init__(self, rank: int, op: str, collective_index: int):
+        self.rank = rank
+        self.op = op
+        self.collective_index = collective_index
+        super().__init__(
+            f"rank {rank} failed during {op} (collective #{collective_index})"
+        )
+
+
+class FailingCommunicator(Communicator):
+    """A communicator that kills one rank after ``fail_after`` collectives.
+
+    ``fail_after=None`` never fails (useful for parameterized tests).
+    The failure is raised *before* the doomed collective touches any
+    state, so ledger and device accounting stay consistent — exactly the
+    view a surviving scheduler would have.
+    """
+
+    def __init__(
+        self,
+        *args,
+        fail_after: int | None = None,
+        failing_rank: int = 0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if fail_after is not None and fail_after < 0:
+            raise ValueError("fail_after must be non-negative")
+        if not 0 <= failing_rank < self.world_size:
+            raise ValueError("failing_rank out of range")
+        self.fail_after = fail_after
+        self.failing_rank = failing_rank
+        self._collectives = 0
+
+    def _maybe_fail(self, op: str) -> None:
+        if self.fail_after is not None and self._collectives >= self.fail_after:
+            raise RankFailureError(self.failing_rank, op, self._collectives)
+        self._collectives += 1
+
+    def allreduce(self, arrays, tag=""):
+        self._maybe_fail("allreduce")
+        return super().allreduce(arrays, tag=tag)
+
+    def allgather(self, arrays, tag=""):
+        self._maybe_fail("allgather")
+        return super().allgather(arrays, tag=tag)
+
+    def broadcast(self, arrays, root=0, tag=""):
+        self._maybe_fail("broadcast")
+        return super().broadcast(arrays, root=root, tag=tag)
+
+    def reduce_scatter(self, arrays, tag=""):
+        self._maybe_fail("reduce_scatter")
+        return super().reduce_scatter(arrays, tag=tag)

@@ -1,0 +1,137 @@
+"""Hierarchical (two-level) allreduce over the PCIe/Infiniband fabric.
+
+A flat ring over a multi-node job pushes *all* traffic through the slow
+inter-node links.  The hierarchical scheme exploits the fast intra-node
+tier (Table II: PCIe at 32 GB/s vs FDR at 15 GB/s bidirectional):
+
+1. intra-node ring **reduce-scatter** — each of the ``L`` GPUs in a node
+   ends up with a 1/L shard of the node's sum (PCIe);
+2. inter-node ring **allreduce** of each shard across nodes — GPU ``i``
+   of every node forms a ring with its peers (Infiniband, message n/L);
+3. intra-node ring **allgather** — shards recombine inside each node
+   (PCIe).
+
+Total inter-node bytes per GPU drop from ``2 n (G-1)/G`` to
+``2 (n/L) (M-1)/M`` for ``M`` nodes — an ``~L x`` reduction on the slow
+tier.  This is the structure NCCL/Horovod hierarchical allreduce uses;
+the paper's flat CUDA-aware-MPI rings are the baseline it is compared
+against in ``benchmarks/bench_hierarchical.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .collectives import (
+    allgather_arrays,
+    allreduce_arrays,
+    reduce_scatter_arrays,
+    ring_allgather_time,
+    ring_allreduce_time,
+    ring_reduce_scatter_time,
+)
+from .communicator import Communicator
+from .interconnect import Interconnect
+
+__all__ = ["hierarchical_allreduce_time", "hierarchical_allreduce"]
+
+
+def hierarchical_allreduce_time(
+    world: int, nbytes: int, fabric: Interconnect
+) -> float:
+    """Alpha-beta time of the three-phase hierarchical allreduce.
+
+    Falls back to a flat intra-node ring when the job fits on one node.
+    For simplicity the model assumes full nodes (world divisible by the
+    node width); partially-filled nodes are rounded to the slower case.
+    """
+    if world <= 0:
+        raise ValueError("world must be positive")
+    local = min(world, fabric.gpus_per_node)
+    nodes = fabric.num_nodes(world)
+    if nodes == 1:
+        return ring_allreduce_time(world, nbytes, fabric.intra_node)
+    shard = nbytes / local
+    return (
+        ring_reduce_scatter_time(local, nbytes, fabric.intra_node)
+        + ring_allreduce_time(nodes, int(shard), fabric.inter_node)
+        + ring_allgather_time(local, int(shard), fabric.intra_node)
+    )
+
+
+def hierarchical_allreduce(
+    comm: Communicator, arrays: Sequence[np.ndarray], tag: str = ""
+) -> list[np.ndarray]:
+    """Sum-allreduce with hierarchical semantics and cost accounting.
+
+    Functionally identical to :meth:`Communicator.allreduce` (every rank
+    receives the global sum); the ledger records the cheaper two-level
+    time and the reduced per-rank wire volume.  Requires the leading
+    dimension to be divisible by the node-local group size when the job
+    spans nodes (the shard constraint of phase 1).
+    """
+    if len(arrays) != comm.world_size:
+        raise ValueError(
+            f"got {len(arrays)} per-rank arrays for a "
+            f"{comm.world_size}-rank communicator"
+        )
+    fabric = comm.fabric
+    world = comm.world_size
+    local = min(world, fabric.gpus_per_node)
+    nodes = fabric.num_nodes(world)
+    nbytes = int(arrays[0].nbytes)
+
+    if nodes == 1:
+        return comm.allreduce(arrays, tag=tag)
+
+    if world % local != 0:
+        raise ValueError(
+            f"hierarchical allreduce needs full nodes: {world} ranks with "
+            f"{local} per node"
+        )
+    flat = [np.atleast_1d(a) for a in arrays]
+    if flat[0].shape[0] % local != 0:
+        raise ValueError(
+            f"leading dimension {flat[0].shape[0]} not divisible by the "
+            f"node-local group size {local}"
+        )
+
+    # Phase 1: reduce-scatter inside each node.
+    shards_by_rank: list[np.ndarray | None] = [None] * world
+    for node in range(nodes):
+        members = list(range(node * local, (node + 1) * local))
+        shards = reduce_scatter_arrays([flat[r] for r in members])
+        for i, r in enumerate(members):
+            shards_by_rank[r] = shards[i]
+
+    # Phase 2: allreduce each shard index across nodes.
+    for i in range(local):
+        peers = [node * local + i for node in range(nodes)]
+        reduced = allreduce_arrays([shards_by_rank[r] for r in peers])
+        for r, arr in zip(peers, reduced):
+            shards_by_rank[r] = arr
+
+    # Phase 3: allgather inside each node.
+    results: list[np.ndarray] = [None] * world  # type: ignore[list-item]
+    for node in range(nodes):
+        members = list(range(node * local, (node + 1) * local))
+        gathered = allgather_arrays([shards_by_rank[r] for r in members])
+        for i, r in enumerate(members):
+            results[r] = gathered[i].reshape(arrays[r].shape)
+
+    shard_bytes = nbytes // local
+    wire = (
+        int(np.ceil((local - 1) / local * nbytes))       # phase 1
+        + int(np.ceil(2 * (nodes - 1) / nodes * shard_bytes))  # phase 2
+        + (local - 1) * shard_bytes                       # phase 3
+    )
+    comm.ledger.record(
+        op="hierarchical_allreduce",
+        world=world,
+        wire_bytes_per_rank=wire,
+        time_s=hierarchical_allreduce_time(world, nbytes, fabric),
+        tag=tag,
+    )
+    return results

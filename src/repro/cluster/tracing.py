@@ -1,0 +1,191 @@
+"""Cost ledger and event tracing for simulated communication.
+
+Every collective issued through :class:`repro.cluster.communicator.Communicator`
+records a :class:`CommEvent` here.  The ledger aggregates the two
+quantities the paper's analysis is built on:
+
+* **wire bytes per rank** — the communication volume each GPU injects,
+  the quantity the uniqueness/seeding/compression techniques shrink;
+* **simulated time** — alpha-beta model time of each collective, summed
+  into the per-step and per-epoch times reported by Tables III-V.
+
+The ledger also supports *scopes* (named intervals) so a trainer can
+attribute cost to phases: ``embedding-sync``, ``dense-allreduce``, …
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective operation as observed by the ledger."""
+
+    op: str
+    world: int
+    wire_bytes_per_rank: int
+    time_s: float
+    tag: str = ""
+    scope: str = ""
+
+
+@dataclass
+class CostLedger:
+    """Accumulates communication events and exposes aggregate views."""
+
+    events: list[CommEvent] = field(default_factory=list)
+    _scope_stack: list[str] = field(default_factory=list)
+
+    def record(
+        self,
+        op: str,
+        world: int,
+        wire_bytes_per_rank: int,
+        time_s: float,
+        tag: str = "",
+    ) -> CommEvent:
+        if wire_bytes_per_rank < 0:
+            raise ValueError("wire_bytes_per_rank must be non-negative")
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        event = CommEvent(
+            op=op,
+            world=world,
+            wire_bytes_per_rank=wire_bytes_per_rank,
+            time_s=time_s,
+            tag=tag,
+            scope=self.current_scope,
+        )
+        self.events.append(event)
+        return event
+
+    # -- scopes -------------------------------------------------------------
+
+    @property
+    def current_scope(self) -> str:
+        return "/".join(self._scope_stack)
+
+    def scope(self, name: str) -> "_LedgerScope":
+        """Context manager attributing enclosed events to ``name``."""
+        return _LedgerScope(self, name)
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_wire_bytes_per_rank(self) -> int:
+        return sum(e.wire_bytes_per_rank for e in self.events)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(e.time_s for e in self.events)
+
+    def bytes_by_op(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for e in self.events:
+            out[e.op] += e.wire_bytes_per_rank
+        return dict(out)
+
+    def time_by_op(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.op] += e.time_s
+        return dict(out)
+
+    def bytes_by_scope(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for e in self.events:
+            out[e.scope] += e.wire_bytes_per_rank
+        return dict(out)
+
+    def time_by_scope(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for e in self.events:
+            out[e.scope] += e.time_s
+        return dict(out)
+
+    def reset(self) -> None:
+        """Drop all events (scope stack is preserved)."""
+        self.events.clear()
+
+    def snapshot(self) -> "LedgerSnapshot":
+        """Immutable point-in-time totals, for before/after deltas."""
+        return LedgerSnapshot(
+            n_events=len(self.events),
+            wire_bytes_per_rank=self.total_wire_bytes_per_rank,
+            time_s=self.total_time_s,
+        )
+
+    def delta_since(self, snap: "LedgerSnapshot") -> "LedgerSnapshot":
+        """Totals accumulated since ``snap`` was taken."""
+        return LedgerSnapshot(
+            n_events=len(self.events) - snap.n_events,
+            wire_bytes_per_rank=self.total_wire_bytes_per_rank
+            - snap.wire_bytes_per_rank,
+            time_s=self.total_time_s - snap.time_s,
+        )
+
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Export events in Chrome trace-event format (``chrome://tracing``).
+
+        Events are laid end-to-end on a single simulated-time track (the
+        communicator serializes collectives), tagged with op, scope, and
+        per-rank wire bytes, so a run's communication profile can be
+        inspected visually.
+        """
+        trace = []
+        clock_us = 0.0
+        for i, e in enumerate(self.events):
+            duration_us = e.time_s * 1e6
+            trace.append(
+                {
+                    "name": f"{e.op}" + (f" [{e.tag}]" if e.tag else ""),
+                    "cat": e.scope or "comm",
+                    "ph": "X",
+                    "ts": clock_us,
+                    "dur": duration_us,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {
+                        "world": e.world,
+                        "wire_bytes_per_rank": e.wire_bytes_per_rank,
+                        "seq": i,
+                    },
+                }
+            )
+            clock_us += duration_us
+        return trace
+
+    def write_chrome_trace(self, path) -> None:
+        """Write the chrome trace JSON to ``path``."""
+        import json
+
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f)
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Frozen totals of a :class:`CostLedger` at one instant."""
+
+    n_events: int
+    wire_bytes_per_rank: int
+    time_s: float
+
+
+class _LedgerScope:
+    def __init__(self, ledger: CostLedger, name: str):
+        if "/" in name:
+            raise ValueError("scope names must not contain '/'")
+        self._ledger = ledger
+        self._name = name
+
+    def __enter__(self) -> CostLedger:
+        self._ledger._scope_stack.append(self._name)
+        return self._ledger
+
+    def __exit__(self, *exc_info: object) -> None:
+        popped = self._ledger._scope_stack.pop()
+        assert popped == self._name, "mismatched ledger scope nesting"

@@ -1,0 +1,124 @@
+"""Gradient bucketing: fuse small dense tensors for allreduce.
+
+Section V-B notes the char LM has >20 tensors, each paying per-tensor
+overhead (there for FP16 casts; on real fabrics also per-collective
+latency).  The standard remedy — used by Horovod/DDP — is to flatten
+many gradients into fixed-size *buckets* and allreduce each bucket once:
+latency is paid per bucket instead of per tensor, and casts batch.
+
+:func:`plan_buckets` groups tensors greedily in order (preserving
+backward-completion order so overlap remains possible);
+:func:`bucketed_allreduce` executes the fused exchange over the
+simulated communicator.  An ablation bench compares per-tensor vs
+bucketed latency on the paper's fabric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.communicator import Communicator
+from .compression import WireCodec
+
+__all__ = ["Bucket", "plan_buckets", "bucketed_allreduce"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A contiguous group of tensor indices fused into one collective."""
+
+    tensor_indices: tuple[int, ...]
+    nbytes: int
+
+
+def plan_buckets(tensor_nbytes: Sequence[int], bucket_bytes: int) -> list[Bucket]:
+    """Greedy in-order grouping of tensors into <= ``bucket_bytes`` buckets.
+
+    A tensor larger than the bucket size gets a bucket of its own (it is
+    never split — splitting buys nothing for a single collective).
+    """
+    if bucket_bytes <= 0:
+        raise ValueError("bucket_bytes must be positive")
+    if any(n < 0 for n in tensor_nbytes):
+        raise ValueError("tensor sizes must be non-negative")
+    buckets: list[Bucket] = []
+    current: list[int] = []
+    current_bytes = 0
+    for i, n in enumerate(tensor_nbytes):
+        if current and current_bytes + n > bucket_bytes:
+            buckets.append(Bucket(tuple(current), current_bytes))
+            current, current_bytes = [], 0
+        current.append(i)
+        current_bytes += n
+    if current:
+        buckets.append(Bucket(tuple(current), current_bytes))
+    return buckets
+
+
+def bucketed_allreduce(
+    comm: Communicator,
+    per_rank_tensors: Sequence[Sequence[np.ndarray]],
+    bucket_bytes: int = 4 * 1024 * 1024,
+    codec: WireCodec | None = None,
+    tag: str = "bucketed",
+) -> list[list[np.ndarray]]:
+    """Sum-allreduce a list of tensors per rank, fused into buckets.
+
+    Parameters
+    ----------
+    per_rank_tensors:
+        ``per_rank_tensors[rank][i]`` — tensor ``i`` on ``rank``; shapes
+        and dtypes must agree across ranks per index.
+    bucket_bytes:
+        Fusion threshold (Horovod's default neighbourhood: a few MB).
+    codec:
+        Optional wire codec applied per bucket (one cast per bucket —
+        the batching that removes the paper's per-tensor cast overhead).
+
+    Returns
+    -------
+    Per-rank lists of reduced tensors, same structure as the input.
+    """
+    world = comm.world_size
+    if len(per_rank_tensors) != world:
+        raise ValueError(
+            f"got {len(per_rank_tensors)} ranks for world size {world}"
+        )
+    n_tensors = len(per_rank_tensors[0])
+    for r, tensors in enumerate(per_rank_tensors):
+        if len(tensors) != n_tensors:
+            raise ValueError(f"rank {r} has {len(tensors)} tensors, rank 0 has {n_tensors}")
+        for i in range(n_tensors):
+            ref = per_rank_tensors[0][i]
+            if tensors[i].shape != ref.shape or tensors[i].dtype != ref.dtype:
+                raise ValueError(f"tensor {i} mismatched on rank {r}")
+    if n_tensors == 0:
+        return [[] for _ in range(world)]
+
+    sizes = [int(t.nbytes) for t in per_rank_tensors[0]]
+    buckets = plan_buckets(sizes, bucket_bytes)
+    results: list[list[np.ndarray | None]] = [
+        [None] * n_tensors for _ in range(world)
+    ]
+    for b, bucket in enumerate(buckets):
+        flats = []
+        for rank in range(world):
+            flat = np.concatenate(
+                [per_rank_tensors[rank][i].reshape(-1) for i in bucket.tensor_indices]
+            )
+            flats.append(codec.encode(flat) if codec is not None else flat)
+        reduced = comm.allreduce(flats, tag=f"{tag}:bucket{b}")
+        for rank in range(world):
+            flat = reduced[rank]
+            if codec is not None:
+                flat = codec.decode(flat, per_rank_tensors[rank][0].dtype)
+            offset = 0
+            for i in bucket.tensor_indices:
+                shape = per_rank_tensors[rank][i].shape
+                size = per_rank_tensors[rank][i].size
+                results[rank][i] = flat[offset : offset + size].reshape(shape)
+                offset += size
+    return [list(r) for r in results]  # type: ignore[arg-type]

@@ -1,0 +1,90 @@
+"""The *compression* technique (Section III-C): FP16 wire format with
+compression-scaling.
+
+Gradients are communicated as IEEE half-precision: each FP32/FP64 tensor
+is multiplied by a scale factor ``F``, down-cast to FP16 for the wire,
+and divided by ``F`` after up-casting on receipt.  Scaling shifts small
+gradient magnitudes away from the FP16 subnormal/underflow region, which
+is what lets the paper report indistinguishable perplexity with half the
+communication volume (e.g. word LM epoch-1 perplexity 84.12 vs 84.68).
+
+The codecs below are *actual* casts — accuracy effects in training
+experiments are real IEEE-754 rounding, not a model of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WireCodec", "IdentityCodec", "Fp16Codec", "wire_bytes_ratio"]
+
+#: Largest finite FP16 value; encodes saturate rather than produce inf.
+_FP16_MAX = float(np.finfo(np.float16).max)
+
+
+class WireCodec:
+    """Interface: encode an array for the wire, decode on receipt."""
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class IdentityCodec(WireCodec):
+    """FP32/FP64 pass-through — the no-compression baseline."""
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        return arr
+
+    def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        return arr.astype(dtype, copy=False)
+
+
+@dataclass(frozen=True)
+class Fp16Codec(WireCodec):
+    """FP16 wire format with compression-scaling.
+
+    Parameters
+    ----------
+    scale:
+        Compression-scaling factor ``F`` (paper evaluates 256/512/1024).
+        ``scale=1.0`` gives the naive cast whose accuracy loss the
+        scaling exists to repair (used as the ablation control).
+    """
+
+    scale: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        """Scale, saturate to the FP16 range, down-cast."""
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise ValueError("codec applies to floating-point tensors")
+        scaled = np.clip(arr * self.scale, -_FP16_MAX, _FP16_MAX)
+        return scaled.astype(np.float16)
+
+    def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Up-cast and undo the scaling."""
+        if arr.dtype != np.float16:
+            raise ValueError("expected an FP16 wire tensor")
+        return (arr.astype(dtype) / self.scale).astype(dtype, copy=False)
+
+
+def wire_bytes_ratio(codec: WireCodec, dtype: np.dtype = np.dtype(np.float32)) -> float:
+    """Wire-bytes fraction relative to sending raw ``dtype`` tensors.
+
+    0.5 for FP16 over FP32 — the paper's "reduces communication by 50%".
+    """
+    probe = np.zeros(1, dtype=dtype)
+    return codec.encode(probe).itemsize / probe.itemsize

@@ -1,0 +1,66 @@
+"""Corpus substrate: Zipfian synthetic datasets, vocabularies, batching,
+and the type/token statistics behind Figure 1."""
+
+from .batching import Batch, BatchSpec, ShardedBatcher, make_eval_batches
+from .corpus import (
+    AMAZON_REVIEWS,
+    COMMON_CRAWL,
+    FIGURE1_PRESETS,
+    GUTENBERG,
+    ONE_BILLION_WORD,
+    PRESETS,
+    TIEBA,
+    DatasetPreset,
+    SyntheticCorpus,
+    make_corpus,
+)
+from .burstiness import batch_duplication, make_bursty_tokens
+from .text import CharTokenizer, TextCorpus, WordTokenizer, encode_corpus
+from .stats import (
+    HeapsFit,
+    fit_heaps_law,
+    token_type_gap,
+    type_token_curve,
+    types_at,
+)
+from .vocab import Vocabulary, coverage_of_top_k
+from .zipf import (
+    ZipfMandelbrot,
+    fit_zipf_exponent,
+    heaps_exponent_for_zipf,
+    zipf_exponent_for_heaps,
+)
+
+__all__ = [
+    "make_bursty_tokens",
+    "batch_duplication",
+    "WordTokenizer",
+    "CharTokenizer",
+    "TextCorpus",
+    "encode_corpus",
+    "Batch",
+    "BatchSpec",
+    "ShardedBatcher",
+    "make_eval_batches",
+    "DatasetPreset",
+    "SyntheticCorpus",
+    "make_corpus",
+    "PRESETS",
+    "FIGURE1_PRESETS",
+    "ONE_BILLION_WORD",
+    "GUTENBERG",
+    "COMMON_CRAWL",
+    "AMAZON_REVIEWS",
+    "TIEBA",
+    "HeapsFit",
+    "fit_heaps_law",
+    "types_at",
+    "type_token_curve",
+    "token_type_gap",
+    "Vocabulary",
+    "coverage_of_top_k",
+    "ZipfMandelbrot",
+    "fit_zipf_exponent",
+    "heaps_exponent_for_zipf",
+    "zipf_exponent_for_heaps",
+]

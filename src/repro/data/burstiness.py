@@ -1,0 +1,89 @@
+"""Bursty token streams: the cache/repetition model.
+
+Real text repeats locally — a word used once in a document is far more
+likely to recur soon ("burstiness", Church & Gale).  The i.i.d.
+Zipf–Mandelbrot generators capture global frequency structure but not
+this local clustering, which matters for the paper's techniques: the
+uniqueness exchange saves in proportion to *within-batch* duplication,
+so i.i.d. streams **understate** its wins on real corpora.
+
+:func:`make_bursty_tokens` implements the classic cache model: with
+probability ``p_repeat`` the next token re-draws uniformly from the last
+``window`` tokens, otherwise from the base distribution.  Global
+frequencies stay (approximately) Zipfian while local duplication rises —
+quantified by :func:`batch_duplication`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .zipf import ZipfMandelbrot
+
+__all__ = ["make_bursty_tokens", "batch_duplication"]
+
+
+def make_bursty_tokens(
+    distribution: ZipfMandelbrot,
+    n_tokens: int,
+    rng: np.random.Generator,
+    p_repeat: float = 0.3,
+    window: int = 100,
+) -> np.ndarray:
+    """Sample a bursty stream from a base distribution + recency cache.
+
+    Parameters
+    ----------
+    distribution:
+        The base (global-frequency) distribution.
+    p_repeat:
+        Probability each position copies a recent token instead of
+        drawing fresh; 0 reduces to the i.i.d. stream.
+    window:
+        Recency cache length.
+
+    Implementation: fresh draws, repeat-coin flips, and cache offsets are
+    all vectorized; only the dependency chain (which position each repeat
+    copies) runs in a Python loop, at ~1e6 tokens/s.
+    """
+    if n_tokens <= 0:
+        raise ValueError("n_tokens must be positive")
+    if not 0.0 <= p_repeat < 1.0:
+        raise ValueError("p_repeat must be in [0, 1)")
+    if window <= 0:
+        raise ValueError("window must be positive")
+
+    fresh = distribution.sample(n_tokens, rng)
+    if p_repeat == 0.0:
+        return fresh
+    repeat = rng.random(n_tokens) < p_repeat
+    repeat[0] = False
+    # For each repeat position i, copy position i - offset_i (clipped).
+    offsets = rng.integers(1, window + 1, size=n_tokens)
+
+    out = fresh.copy()
+    repeat_positions = np.flatnonzero(repeat)
+    for i in repeat_positions:
+        out[i] = out[max(0, i - int(offsets[i]))]
+    return out
+
+
+def batch_duplication(
+    tokens: np.ndarray, batch_tokens: int
+) -> float:
+    """Mean tokens-per-type ratio over consecutive batches of a stream.
+
+    This is the quantity the uniqueness technique converts into savings:
+    a batch with duplication d moves ~d x fewer gradient rows.
+    """
+    tokens = np.asarray(tokens)
+    if batch_tokens <= 0:
+        raise ValueError("batch_tokens must be positive")
+    n_batches = tokens.size // batch_tokens
+    if n_batches == 0:
+        raise ValueError("stream shorter than one batch")
+    ratios = []
+    for b in range(n_batches):
+        chunk = tokens[b * batch_tokens : (b + 1) * batch_tokens]
+        ratios.append(chunk.size / np.unique(chunk).size)
+    return float(np.mean(ratios))

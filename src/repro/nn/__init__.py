@@ -1,0 +1,31 @@
+"""Pure-numpy neural-network stack: embeddings with sparse gradients,
+LSTM and Recurrent Highway layers, full and sampled softmax losses."""
+
+from . import functional, init
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .lstm import LSTM
+from .module import Module
+from .parameter import Parameter, SparseGrad
+from .rhn import RHN
+from .stacked import StackedLSTM
+from .sampled_softmax import LogUniformSampler, SampledSoftmaxLoss
+from .softmax import FullSoftmaxLoss
+
+__all__ = [
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "SparseGrad",
+    "Embedding",
+    "Linear",
+    "LSTM",
+    "RHN",
+    "StackedLSTM",
+    "Dropout",
+    "FullSoftmaxLoss",
+    "SampledSoftmaxLoss",
+    "LogUniformSampler",
+]

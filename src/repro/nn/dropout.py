@@ -1,0 +1,41 @@
+"""Inverted dropout.
+
+The char LM (Section IV-B) trains with dropout; inverted scaling keeps
+eval-mode forward passes identity, so no rescaling is needed at test
+time.  The mask generator is explicit so SPMD rank replicas can use
+de-correlated streams while remaining reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Drop activations with probability ``p`` during training."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, dict]:
+        if not self.training or self.p == 0.0:
+            return x, {"mask": None}
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * mask, {"mask": mask}
+
+    def backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        mask = cache["mask"]
+        if mask is None:
+            return grad_out
+        if grad_out.shape != mask.shape:
+            raise ValueError("gradient shape does not match forward shape")
+        return grad_out * mask

@@ -1,0 +1,98 @@
+"""Numerically-stable elementwise and softmax primitives (pure numpy).
+
+All functions are vectorized and allocation-conscious per the project's
+HPC guidelines: no Python-level loops over batch elements, stable
+log-sum-exp forms throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sigmoid",
+    "dsigmoid",
+    "tanh",
+    "dtanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_from_logits",
+]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid, stable for large |x| (no overflow warnings)."""
+    out = np.empty_like(x, dtype=np.result_type(x.dtype, np.float64)
+                        if x.dtype == np.float16 else x.dtype)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def dsigmoid(y: np.ndarray) -> np.ndarray:
+    """Derivative of sigmoid *in terms of its output* ``y = sigmoid(x)``."""
+    return y * (1.0 - y)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (alias kept for API symmetry with sigmoid)."""
+    return np.tanh(x)
+
+
+def dtanh(y: np.ndarray) -> np.ndarray:
+    """Derivative of tanh in terms of its output ``y = tanh(x)``."""
+    return 1.0 - y * y
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def cross_entropy_from_logits(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over rows of ``logits`` and its gradient.
+
+    Parameters
+    ----------
+    logits:
+        ``(n, classes)`` unnormalized scores.
+    targets:
+        ``(n,)`` integer class indices.
+
+    Returns
+    -------
+    (loss, dlogits):
+        ``loss`` is the mean negative log-likelihood in nats;
+        ``dlogits`` is ``(softmax - onehot) / n`` — the gradient of the
+        *mean* loss, so per-token scaling is consistent regardless of
+        batch shape.
+    """
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (n, classes)")
+    targets = np.asarray(targets)
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits "
+            f"{logits.shape}"
+        )
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=1)
+    rows = np.arange(n)
+    loss = float(-logp[rows, targets].mean())
+    dlogits = np.exp(logp)
+    dlogits[rows, targets] -= 1.0
+    dlogits /= n
+    return loss, dlogits

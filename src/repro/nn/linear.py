@@ -1,0 +1,61 @@
+"""Fully-connected (projection) layer.
+
+Used for the word LM's 2048 -> 512 LSTM projection and as a generic
+building block.  Operates on inputs of any leading shape ``(..., in_dim)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with Xavier-uniform initialization."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        dtype: np.dtype = np.float64,
+    ):
+        super().__init__()
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.weight = Parameter(
+            init.xavier_uniform((in_dim, out_dim), rng, dtype), name="linear.weight"
+        )
+        self.bias: Parameter | None
+        if bias:
+            self.bias = Parameter(init.zeros((out_dim,), dtype), name="linear.bias")
+        else:
+            object.__setattr__(self, "bias", None)
+
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, dict]:
+        if x.shape[-1] != self.in_dim:
+            raise ValueError(f"input dim {x.shape[-1]} != {self.in_dim}")
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y += self.bias.data
+        return y, {"x": x}
+
+    def backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        """Accumulate weight/bias grads; return gradient w.r.t. input."""
+        x = cache["x"]
+        if grad_out.shape != x.shape[:-1] + (self.out_dim,):
+            raise ValueError(f"bad grad shape {grad_out.shape}")
+        x2d = x.reshape(-1, self.in_dim)
+        g2d = grad_out.reshape(-1, self.out_dim)
+        self.weight.accumulate_grad(x2d.T @ g2d)
+        if self.bias is not None:
+            self.bias.accumulate_grad(g2d.sum(axis=0))
+        return (g2d @ self.weight.data.T).reshape(x.shape)

@@ -1,0 +1,174 @@
+"""LSTM layer with truncated-BPTT backward.
+
+The paper's word LM is one LSTM layer with 2048 cells plus a 512-dim
+projection (following Jozefowicz et al.).  The implementation is
+batch-vectorized: the only Python loop is over the ``T`` time steps,
+with all gate math fused into one ``(B, 4H)`` matmul per step.
+
+Gate ordering within the fused weight matrices is ``[i, f, g, o]``
+(input, forget, candidate, output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .functional import dsigmoid, dtanh, sigmoid, tanh
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["LSTM"]
+
+
+class LSTM(Module):
+    """Single-layer LSTM over ``(B, T, input_dim)`` sequences.
+
+    Parameters
+    ----------
+    input_dim, hidden_dim:
+        Input feature size and cell count.
+    rng:
+        Initialization generator — Xavier for input weights, orthogonal
+        for recurrent weights, forget-gate bias = 1 (the standard
+        trainability trick).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
+    ):
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        h = hidden_dim
+        self.w_x = Parameter(
+            init.xavier_uniform((input_dim, 4 * h), rng, dtype), name="lstm.w_x"
+        )
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal((h, h), rng, dtype=dtype) for _ in range(4)], axis=1
+            ),
+            name="lstm.w_h",
+        )
+        bias = init.zeros((4 * h,), dtype)
+        bias[h : 2 * h] = 1.0  # forget gate bias
+        self.bias = Parameter(bias, name="lstm.bias")
+
+    def forward(
+        self,
+        x: np.ndarray,
+        state: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, dict]:
+        """Run the sequence; returns ``(hidden_states, cache)``.
+
+        ``hidden_states`` has shape ``(B, T, H)``.  ``state`` is an
+        optional ``(h0, c0)`` carry-in of shape ``(B, H)`` each (for
+        stateful truncated BPTT across windows); the carried state is
+        treated as constant (gradients are truncated at the window edge,
+        matching standard LM training).  The final state is available in
+        ``cache["final_state"]``.
+        """
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ValueError(f"expected (B, T, {self.input_dim}), got {x.shape}")
+        B, T, _ = x.shape
+        H = self.hidden_dim
+        dtype = self.w_x.data.dtype
+        if state is None:
+            h_prev = np.zeros((B, H), dtype)
+            c_prev = np.zeros((B, H), dtype)
+        else:
+            h_prev, c_prev = state
+            if h_prev.shape != (B, H) or c_prev.shape != (B, H):
+                raise ValueError("carried state has wrong shape")
+            h_prev = h_prev.astype(dtype, copy=True)
+            c_prev = c_prev.astype(dtype, copy=True)
+
+        # Hoist the input projection out of the time loop: one big matmul.
+        x_proj = x.reshape(B * T, -1) @ self.w_x.data + self.bias.data
+        x_proj = x_proj.reshape(B, T, 4 * H)
+
+        hs = np.empty((B, T, H), dtype)
+        gates = np.empty((B, T, 4 * H), dtype)  # post-activation i,f,g,o
+        cells = np.empty((B, T, H), dtype)
+        c_prevs = np.empty((B, T, H), dtype)
+
+        for t in range(T):
+            z = x_proj[:, t] + h_prev @ self.w_h.data
+            i = sigmoid(z[:, :H])
+            f = sigmoid(z[:, H : 2 * H])
+            g = tanh(z[:, 2 * H : 3 * H])
+            o = sigmoid(z[:, 3 * H :])
+            c_prevs[:, t] = c_prev
+            c = f * c_prev + i * g
+            h = o * tanh(c)
+            gates[:, t, :H] = i
+            gates[:, t, H : 2 * H] = f
+            gates[:, t, 2 * H : 3 * H] = g
+            gates[:, t, 3 * H :] = o
+            cells[:, t] = c
+            hs[:, t] = h
+            h_prev, c_prev = h, c
+
+        cache = {
+            "x": x,
+            "hs": hs,
+            "gates": gates,
+            "cells": cells,
+            "c_prevs": c_prevs,
+            "h0": state[0] if state is not None else np.zeros((B, H), dtype),
+            "final_state": (h_prev.copy(), c_prev.copy()),
+        }
+        return hs, cache
+
+    def backward(self, grad_hs: np.ndarray, cache: dict) -> np.ndarray:
+        """BPTT; accumulates weight grads, returns grad w.r.t. input x."""
+        x, hs = cache["x"], cache["hs"]
+        gates, cells, c_prevs = cache["gates"], cache["cells"], cache["c_prevs"]
+        B, T, H = hs.shape
+        if grad_hs.shape != (B, T, H):
+            raise ValueError(f"grad shape {grad_hs.shape} != {(B, T, H)}")
+
+        dz_all = np.empty((B, T, 4 * H), hs.dtype)
+        dh_next = np.zeros((B, H), hs.dtype)
+        dc_next = np.zeros((B, H), hs.dtype)
+        w_h = self.w_h.data
+
+        for t in range(T - 1, -1, -1):
+            i = gates[:, t, :H]
+            f = gates[:, t, H : 2 * H]
+            g = gates[:, t, 2 * H : 3 * H]
+            o = gates[:, t, 3 * H :]
+            c = cells[:, t]
+            tanh_c = np.tanh(c)
+
+            dh = grad_hs[:, t] + dh_next
+            do = dh * tanh_c
+            dc = dh * o * dtanh(tanh_c) + dc_next
+            di = dc * g
+            df = dc * c_prevs[:, t]
+            dg = dc * i
+
+            dz = dz_all[:, t]
+            dz[:, :H] = di * dsigmoid(i)
+            dz[:, H : 2 * H] = df * dsigmoid(f)
+            dz[:, 2 * H : 3 * H] = dg * dtanh(g)
+            dz[:, 3 * H :] = do * dsigmoid(o)
+
+            dh_next = dz @ w_h.T
+            dc_next = dc * f
+
+        # Weight gradients as two big matmuls over the whole window.
+        dz2d = dz_all.reshape(B * T, 4 * H)
+        self.w_x.accumulate_grad(x.reshape(B * T, -1).T @ dz2d)
+        h_prev_seq = np.concatenate(
+            [cache["h0"][:, None, :], hs[:, :-1]], axis=1
+        ).reshape(B * T, H)
+        self.w_h.accumulate_grad(h_prev_seq.T @ dz2d)
+        self.bias.accumulate_grad(dz2d.sum(axis=0))
+        return (dz2d @ self.w_x.data.T).reshape(x.shape)

@@ -1,0 +1,131 @@
+"""Module base class: parameter registration and traversal.
+
+A deliberately small contract (this is a training *system*, not a full
+autograd framework): modules own :class:`~repro.nn.parameter.Parameter`
+objects and submodules, expose ``forward(...)`` returning
+``(output, cache)`` and ``backward(grad, cache)`` accumulating into
+parameter gradients and returning the gradient w.r.t. the input.  The
+explicit cache keeps the SPMD trainer free to interleave many rank
+replicas without hidden state leaking between them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .parameter import Parameter
+
+__all__ = ["Module"]
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration --------------------------------------------------
+
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        if name in self._parameters or name in self._modules:
+            raise ValueError(f"duplicate registration: {name!r}")
+        if not param.name:
+            param.name = name
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        if name in self._parameters or name in self._modules:
+            raise ValueError(f"duplicate registration: {name!r}")
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # Auto-register parameters/modules assigned as attributes,
+        # mirroring the convenience of torch.nn.Module.
+        if isinstance(value, Parameter) and not name.startswith("_"):
+            self.register_parameter(name, value)
+        elif isinstance(value, Module) and not name.startswith("_"):
+            self.register_module(name, value)
+        object.__setattr__(self, name, value)
+
+    # -- traversal -------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """All parameters of this module and submodules, depth-first.
+
+        Shared (tied) parameters are yielded **once** — at their first
+        position — so optimizers never double-update a tied embedding.
+        """
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(
+        self, prefix: str = "", _seen: set[int] | None = None
+    ) -> Iterator[tuple[str, Parameter]]:
+        """Qualified (name, parameter) pairs, tied parameters deduplicated."""
+        seen = _seen if _seen is not None else set()
+        for name, p in self._parameters.items():
+            if id(p) in seen:
+                continue
+            seen.add(id(p))
+            yield (f"{prefix}{name}", p)
+        for mod_name, sub in self._modules.items():
+            yield from sub.named_parameters(
+                prefix=f"{prefix}{mod_name}.", _seen=seen
+            )
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for sub in self._modules.values():
+            yield from sub.modules()
+
+    # -- state ------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def state_dict(self) -> dict:
+        """Copy of every parameter's data, keyed by qualified name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore parameters from :meth:`state_dict` output.
+
+        Names and shapes must match exactly — a checkpoint from a
+        different architecture is an error, not a silent partial load.
+        """
+        params = dict(self.named_parameters())
+        if set(state) != set(params):
+            missing = set(params) - set(state)
+            extra = set(state) - set(params)
+            raise ValueError(
+                f"state dict mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        for name, data in state.items():
+            p = params[name]
+            if data.shape != p.data.shape:
+                raise ValueError(
+                    f"{name}: checkpoint shape {data.shape} != "
+                    f"parameter shape {p.data.shape}"
+                )
+            p.data = data.astype(p.data.dtype, copy=True)
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the paper's char model: 213M)."""
+        return sum(p.data.size for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        return sum(p.nbytes for p in self.parameters())

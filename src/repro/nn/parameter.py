@@ -1,0 +1,166 @@
+"""Parameters and sparse gradients.
+
+The distinction at the heart of the paper is between parameters with
+**dense** gradients (RNN weights — synchronized with a plain ALLREDUCE)
+and embedding matrices with **sparse, row-indexed** gradients (each
+training step touches only the rows of the types present in the batch).
+:class:`SparseGrad` is the (indices, values) pair a backward pass emits
+for an embedding; how it is exchanged across GPUs — dense ALLGATHER
+baseline vs the paper's unique-ALLREDUCE — is the core contribution,
+implemented in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Parameter", "SparseGrad"]
+
+
+@dataclass
+class SparseGrad:
+    """Row-sparse gradient for an embedding matrix.
+
+    ``values[i]`` is the gradient of row ``indices[i]``; indices may
+    repeat (one entry per *token*, not per *type*) — duplicates must be
+    **summed** on application, matching the accumulation semantics of
+    embedding back-propagation described in Section II-A.
+    """
+
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices)
+        self.values = np.asarray(self.values)
+        if self.indices.ndim != 1:
+            raise ValueError("indices must be 1-D")
+        if self.values.ndim != 2:
+            raise ValueError("values must be 2-D (tokens x dim)")
+        if self.indices.shape[0] != self.values.shape[0]:
+            raise ValueError(
+                f"{self.indices.shape[0]} indices vs {self.values.shape[0]} rows"
+            )
+        if not np.issubdtype(self.indices.dtype, np.integer):
+            raise ValueError("indices must be integers")
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def dim(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.indices.nbytes + self.values.nbytes)
+
+    def coalesce(self) -> "SparseGrad":
+        """Sum duplicate indices — the paper's step-2 'local reduction'.
+
+        Returns a new :class:`SparseGrad` whose indices are unique and
+        sorted ascending.  This is the per-GPU Ui x D matrix of the
+        uniqueness algorithm.
+        """
+        unique, inverse = np.unique(self.indices, return_inverse=True)
+        reduced = np.zeros((unique.size, self.values.shape[1]), self.values.dtype)
+        np.add.at(reduced, inverse, self.values)
+        return SparseGrad(indices=unique, values=reduced)
+
+    def to_dense(self, num_rows: int) -> np.ndarray:
+        """Materialize as a full ``num_rows x dim`` gradient (tests only)."""
+        if num_rows <= 0:
+            raise ValueError("num_rows must be positive")
+        if self.indices.size and self.indices.max() >= num_rows:
+            raise ValueError("index out of range for num_rows")
+        if self.indices.size and self.indices.min() < 0:
+            raise ValueError("negative index")
+        dense = np.zeros((num_rows, self.values.shape[1]), self.values.dtype)
+        np.add.at(dense, self.indices, self.values)
+        return dense
+
+
+class Parameter:
+    """A learnable tensor with a dense and/or sparse gradient slot.
+
+    ``grad`` accumulates dense gradients (``+=`` semantics across
+    backward calls); ``sparse_grads`` collects :class:`SparseGrad`
+    contributions for embedding-style parameters.  A parameter may
+    receive both within one step only if it participates in both kinds
+    of computation (the tied-embedding case); the optimizer applies them
+    additively.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        data = np.asarray(data)
+        if not np.issubdtype(data.dtype, np.floating):
+            raise ValueError("parameters must be floating point")
+        self.data = data
+        self.name = name
+        self.grad: np.ndarray | None = None
+        self.sparse_grads: list[SparseGrad] = []
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add a dense gradient contribution."""
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} != parameter shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def accumulate_sparse_grad(self, sparse: SparseGrad) -> None:
+        """Record a sparse (row-indexed) gradient contribution."""
+        if self.data.ndim != 2:
+            raise ValueError("sparse gradients apply to 2-D parameters only")
+        if sparse.dim != self.data.shape[1]:
+            raise ValueError(
+                f"sparse grad dim {sparse.dim} != embedding dim {self.data.shape[1]}"
+            )
+        if sparse.indices.size and sparse.indices.max() >= self.data.shape[0]:
+            raise ValueError("sparse grad row index out of range")
+        self.sparse_grads.append(sparse)
+
+    def merged_sparse_grad(self) -> SparseGrad | None:
+        """All sparse contributions of this step, coalesced; None if none."""
+        if not self.sparse_grads:
+            return None
+        if len(self.sparse_grads) == 1:
+            return self.sparse_grads[0].coalesce()
+        indices = np.concatenate([s.indices for s in self.sparse_grads])
+        values = np.concatenate([s.values for s in self.sparse_grads])
+        return SparseGrad(indices, values).coalesce()
+
+    def full_grad(self) -> np.ndarray:
+        """Dense + densified-sparse gradient (reference/tests; O(V*D))."""
+        total = (
+            np.zeros_like(self.data) if self.grad is None else self.grad.copy()
+        )
+        merged = self.merged_sparse_grad()
+        if merged is not None:
+            np.add.at(total, merged.indices, merged.values)
+        return total
+
+    def zero_grad(self) -> None:
+        self.grad = None
+        self.sparse_grads = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

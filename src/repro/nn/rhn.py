@@ -1,0 +1,170 @@
+"""Recurrent Highway Network (RHN) layer.
+
+The paper's character LM (Section IV-B) is an RHN of recurrence depth 10
+with 1792 cells, after Zilly et al. / Hestness et al. [38].  An RHN step
+stacks ``depth`` highway micro-layers inside each time step:
+
+.. math::
+
+    h_l = \\tanh(W_H x_t \\cdot [l{=}1] + R_{H,l} s_{l-1} + b_{H,l}) \\\\
+    t_l = \\sigma(W_T x_t \\cdot [l{=}1] + R_{T,l} s_{l-1} + b_{T,l}) \\\\
+    s_l = h_l \\odot t_l + s_{l-1} \\odot (1 - t_l)
+
+with the carry gate coupled to the transform gate (``c = 1 - t``), and
+the input injected only at the first micro-layer.  The time-step output
+is the final micro-layer state ``s_L``.
+
+Transform-gate biases start negative (-2) so early training passes state
+through, the standard highway trick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .functional import dsigmoid, dtanh, sigmoid, tanh
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["RHN"]
+
+
+class RHN(Module):
+    """Recurrent highway layer over ``(B, T, input_dim)`` sequences.
+
+    Parameters
+    ----------
+    input_dim, hidden_dim:
+        Input feature size and state width.
+    depth:
+        Recurrence depth (micro-layers per time step); the paper uses 10.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        depth: int,
+        rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
+    ):
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.depth = depth
+        H = hidden_dim
+        # Fused [h | t] input projection, first micro-layer only.
+        self.w_x = Parameter(
+            init.xavier_uniform((input_dim, 2 * H), rng, dtype), name="rhn.w_x"
+        )
+        # Per-micro-layer recurrent weights, fused [h | t]: (L, H, 2H).
+        rec = np.stack(
+            [
+                np.concatenate(
+                    [
+                        init.orthogonal((H, H), rng, dtype=dtype),
+                        init.orthogonal((H, H), rng, dtype=dtype),
+                    ],
+                    axis=1,
+                )
+                for _ in range(depth)
+            ]
+        )
+        self.r = Parameter(rec, name="rhn.r")
+        bias = np.zeros((depth, 2 * H), dtype)
+        bias[:, H:] = -2.0  # open carry gates initially
+        self.bias = Parameter(bias, name="rhn.bias")
+
+    def forward(
+        self, x: np.ndarray, state: np.ndarray | None = None
+    ) -> tuple[np.ndarray, dict]:
+        """Returns ``(outputs, cache)`` with outputs of shape ``(B, T, H)``.
+
+        ``state`` is an optional ``(B, H)`` carry-in (gradient-truncated
+        at the window edge).  Final state in ``cache["final_state"]``.
+        """
+        if x.ndim != 3 or x.shape[2] != self.input_dim:
+            raise ValueError(f"expected (B, T, {self.input_dim}), got {x.shape}")
+        B, T, _ = x.shape
+        H, L = self.hidden_dim, self.depth
+        dtype = self.w_x.data.dtype
+        s = (
+            np.zeros((B, H), dtype)
+            if state is None
+            else state.astype(dtype, copy=True)
+        )
+        if s.shape != (B, H):
+            raise ValueError("carried state has wrong shape")
+
+        x_proj = (x.reshape(B * T, -1) @ self.w_x.data).reshape(B, T, 2 * H)
+
+        outputs = np.empty((B, T, H), dtype)
+        # caches indexed [t][l]
+        h_cache = np.empty((B, T, L, H), dtype)
+        t_cache = np.empty((B, T, L, H), dtype)
+        s_in_cache = np.empty((B, T, L, H), dtype)
+
+        for t in range(T):
+            for l in range(L):
+                z = s @ self.r.data[l] + self.bias.data[l]
+                if l == 0:
+                    z = z + x_proj[:, t]
+                h = tanh(z[:, :H])
+                tg = sigmoid(z[:, H:])
+                s_in_cache[:, t, l] = s
+                h_cache[:, t, l] = h
+                t_cache[:, t, l] = tg
+                s = h * tg + s * (1.0 - tg)
+            outputs[:, t] = s
+
+        cache = {
+            "x": x,
+            "h": h_cache,
+            "t": t_cache,
+            "s_in": s_in_cache,
+            "final_state": s.copy(),
+        }
+        return outputs, cache
+
+    def backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        """BPTT through time and depth; returns grad w.r.t. input x."""
+        x = cache["x"]
+        h_cache, t_cache, s_in = cache["h"], cache["t"], cache["s_in"]
+        B, T, L, H = h_cache.shape
+        if grad_out.shape != (B, T, H):
+            raise ValueError(f"grad shape {grad_out.shape} != {(B, T, H)}")
+
+        dw_x = np.zeros_like(self.w_x.data)
+        dr = np.zeros_like(self.r.data)
+        dbias = np.zeros_like(self.bias.data)
+        dx = np.empty_like(x)
+        ds = np.zeros((B, H), x.dtype)
+
+        for t in range(T - 1, -1, -1):
+            ds = ds + grad_out[:, t]
+            for l in range(L - 1, -1, -1):
+                h = h_cache[:, t, l]
+                tg = t_cache[:, t, l]
+                s_prev = s_in[:, t, l]
+                dh = ds * tg
+                dtg = ds * (h - s_prev)
+                dz_h = dh * dtanh(h)
+                dz_t = dtg * dsigmoid(tg)
+                dz = np.concatenate([dz_h, dz_t], axis=1)
+                dr[l] += s_prev.T @ dz
+                dbias[l] += dz.sum(axis=0)
+                ds = ds * (1.0 - tg) + dz @ self.r.data[l].T
+                if l == 0:
+                    dx_proj = dz  # gradient into x_proj[:, t]
+                    dx[:, t] = dx_proj @ self.w_x.data.T
+                    dw_x += x[:, t].T @ dx_proj
+
+        self.w_x.accumulate_grad(dw_x)
+        self.r.accumulate_grad(dr)
+        self.bias.accumulate_grad(dbias)
+        return dx

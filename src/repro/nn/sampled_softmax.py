@@ -1,0 +1,226 @@
+"""Sampled softmax with a log-uniform (Zipfian) candidate sampler.
+
+The word LM's vocabulary (100K) makes the full softmax the dominant
+cost, so the paper uses sampled softmax [27, 29]: each GPU scores only
+``S`` sampled negative words (1024 per GPU in the experiments) plus the
+true targets.  The **candidate sampler's seed** is exactly the lever the
+paper's *seeding* technique (Section III-B) controls: GPUs in the same
+seed group draw identical candidate sets, restoring inter-GPU word
+overlap so the uniqueness technique can compress the output-embedding
+gradient exchange.
+
+The sampler is log-uniform over frequency-ranked ids — the standard
+choice matching a Zipf corpus (``P(k) ∝ log(1 + 1/(k+1))``), identical
+to ``tf.random.log_uniform_candidate_sampler``.
+
+Backward emits **row-sparse** gradients over the candidate rows of the
+output embedding — the structure the exchange strategies in
+:mod:`repro.core` synchronize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .functional import cross_entropy_from_logits
+from .module import Module
+from .parameter import Parameter, SparseGrad
+
+__all__ = ["LogUniformSampler", "SampledSoftmaxLoss"]
+
+
+class LogUniformSampler:
+    """Log-uniform candidate sampler over ids ``0 .. vocab_size-1``.
+
+    ``P(k) = log((k+2)/(k+1)) / log(vocab_size + 1)`` — heavier on small
+    ids, matching frequency-ranked vocabularies.  Draws are *unique*
+    (sampling without replacement via rejection), as in TF's
+    ``unique=True`` mode, and the expected-count correction uses the
+    exact inclusion probability ``1 - (1 - p)^S``.
+    """
+
+    def __init__(self, vocab_size: int):
+        if vocab_size <= 1:
+            raise ValueError("vocab_size must exceed 1")
+        self.vocab_size = vocab_size
+        self._log_range = np.log(vocab_size + 1.0)
+
+    def probs(self, ids: np.ndarray) -> np.ndarray:
+        """Per-draw probability of each id."""
+        ids = np.asarray(ids, dtype=np.float64)
+        return np.log((ids + 2.0) / (ids + 1.0)) / self._log_range
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` unique ids (ascending order not guaranteed)."""
+        if not 0 < n <= self.vocab_size:
+            raise ValueError(f"cannot draw {n} unique ids from {self.vocab_size}")
+        chosen: list[int] = []
+        seen: set[int] = set()
+        # Rejection loop: each round draws the remaining count with the
+        # inverse-CDF transform; expected rounds is O(1) for n << V.
+        while len(chosen) < n:
+            need = n - len(chosen)
+            draws = np.exp(rng.random(need * 2 + 8) * self._log_range) - 1.0
+            ids = np.minimum(draws.astype(np.int64), self.vocab_size - 1)
+            for k in ids:
+                ik = int(k)
+                if ik not in seen:
+                    seen.add(ik)
+                    chosen.append(ik)
+                    if len(chosen) == n:
+                        break
+        return np.asarray(chosen, dtype=np.int64)
+
+    def expected_log_count(self, ids: np.ndarray, num_samples: int) -> np.ndarray:
+        """``log(P[id appears in a unique sample of size S])`` per id."""
+        p = self.probs(ids)
+        # 1 - (1-p)^S, computed stably.
+        incl = -np.expm1(num_samples * np.log1p(-p))
+        return np.log(np.maximum(incl, 1e-300))
+
+
+class SampledSoftmaxLoss(Module):
+    """Output embedding scored over a sampled candidate set.
+
+    Parameters
+    ----------
+    vocab_size, hidden_dim:
+        Output vocabulary and input feature width.
+    num_samples:
+        ``S`` — negatives drawn per forward call (per GPU).  The paper
+        uses 1024.
+
+    Notes
+    -----
+    The caller supplies the sampling ``rng`` per forward call: the SPMD
+    trainer hands each rank the generator its **seed group** dictates,
+    which is the entire mechanism of the seeding technique.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_dim: int,
+        num_samples: int,
+        rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
+        weight: Parameter | None = None,
+    ):
+        super().__init__()
+        if vocab_size <= 1 or hidden_dim <= 0:
+            raise ValueError("bad dimensions")
+        if not 0 < num_samples < vocab_size:
+            raise ValueError("need 0 < num_samples < vocab_size")
+        self.vocab_size = vocab_size
+        self.hidden_dim = hidden_dim
+        self.num_samples = num_samples
+        self.sampler = LogUniformSampler(vocab_size)
+        if weight is not None:
+            # Tied output embedding: share the caller's parameter (the
+            # input embedding, typically).  Module traversal deduplicates
+            # shared parameters, so optimizers update it exactly once.
+            if weight.data.shape != (vocab_size, hidden_dim):
+                raise ValueError(
+                    f"tied weight shape {weight.data.shape} != "
+                    f"({vocab_size}, {hidden_dim})"
+                )
+            self.weight = weight
+        else:
+            self.weight = Parameter(
+                init.uniform(
+                    (vocab_size, hidden_dim), 1.0 / np.sqrt(hidden_dim), rng, dtype
+                ),
+                name="sampled_softmax.weight",
+            )
+
+    def forward(
+        self,
+        hidden: np.ndarray,
+        targets: np.ndarray,
+        sample_rng: np.random.Generator,
+        sampled_ids: np.ndarray | None = None,
+    ) -> tuple[float, dict]:
+        """Sampled-softmax mean NLL.
+
+        ``sampled_ids`` overrides the draw (used by tests and by ranks
+        sharing a seed group that pre-draw once); otherwise ``S`` unique
+        negatives are drawn from ``sample_rng``.
+        """
+        if hidden.ndim != 2 or hidden.shape[1] != self.hidden_dim:
+            raise ValueError(f"hidden must be (N, {self.hidden_dim})")
+        targets = np.asarray(targets)
+        if targets.shape != (hidden.shape[0],):
+            raise ValueError("targets must be (N,)")
+        if sampled_ids is None:
+            sampled_ids = self.sampler.sample(self.num_samples, sample_rng)
+        else:
+            sampled_ids = np.asarray(sampled_ids, dtype=np.int64)
+            if sampled_ids.ndim != 1:
+                raise ValueError("sampled_ids must be 1-D")
+
+        E = self.weight.data
+        # Scores with the log-Q correction (subtract expected log count).
+        true_logit = (hidden * E[targets]).sum(axis=1)
+        true_logit = true_logit - self.sampler.expected_log_count(
+            targets, self.num_samples
+        )
+        samp_logits = hidden @ E[sampled_ids].T
+        samp_logits = samp_logits - self.sampler.expected_log_count(
+            sampled_ids, self.num_samples
+        )
+        # Remove accidental hits: a negative equal to the row's target
+        # would duplicate the true class.
+        hit_mask = sampled_ids[None, :] == targets[:, None]
+        samp_logits = np.where(hit_mask, -1e30, samp_logits)
+
+        logits = np.concatenate([true_logit[:, None], samp_logits], axis=1)
+        labels = np.zeros(hidden.shape[0], dtype=np.int64)
+        loss, dlogits = cross_entropy_from_logits(logits, labels)
+        cache = {
+            "hidden": hidden,
+            "targets": targets,
+            "sampled_ids": sampled_ids,
+            "dlogits": dlogits,
+            "hit_mask": hit_mask,
+        }
+        return loss, cache
+
+    def full_nll(self, hidden: np.ndarray, targets: np.ndarray) -> float:
+        """Exact mean NLL over the *full* vocabulary (evaluation only).
+
+        Sampled-softmax training losses are biased estimates; validation
+        perplexity (Figures 5 and 7) must score against the whole
+        vocabulary, which is affordable out of the training loop.
+        """
+        if hidden.ndim != 2 or hidden.shape[1] != self.hidden_dim:
+            raise ValueError(f"hidden must be (N, {self.hidden_dim})")
+        targets = np.asarray(targets)
+        logits = hidden @ self.weight.data.T
+        loss, _ = cross_entropy_from_logits(logits, targets)
+        return loss
+
+    def backward(self, cache: dict, loss_scale: float = 1.0) -> np.ndarray:
+        """Accumulate sparse output-embedding grads; return dhidden."""
+        hidden = cache["hidden"]
+        targets = cache["targets"]
+        sampled_ids = cache["sampled_ids"]
+        dlogits = cache["dlogits"]
+        if loss_scale != 1.0:
+            dlogits = dlogits * loss_scale
+        d_true = dlogits[:, 0]
+        d_samp = np.where(cache["hit_mask"], 0.0, dlogits[:, 1:])
+
+        E = self.weight.data
+        dhidden = d_true[:, None] * E[targets] + d_samp @ E[sampled_ids]
+
+        # Sparse grads: one row per true target token, plus the shared
+        # candidate rows.
+        self.weight.accumulate_sparse_grad(
+            SparseGrad(indices=targets.astype(np.int64),
+                       values=d_true[:, None] * hidden)
+        )
+        self.weight.accumulate_sparse_grad(
+            SparseGrad(indices=sampled_ids, values=d_samp.T @ hidden)
+        )
+        return dhidden

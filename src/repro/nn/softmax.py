@@ -1,0 +1,75 @@
+"""Full-softmax output layer with cross-entropy loss.
+
+Used by the character LM (small vocabulary — the paper notes seeding is
+unnecessary there because full softmax is affordable).  The layer owns
+the ``|V| x H`` output embedding matrix and projects hidden states to
+per-word scores; the loss gradient is **dense** over the vocabulary, so
+it synchronizes with a plain ALLREDUCE like any RNN weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .functional import cross_entropy_from_logits
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["FullSoftmaxLoss"]
+
+
+class FullSoftmaxLoss(Module):
+    """Output embedding + softmax + mean cross-entropy.
+
+    Parameters
+    ----------
+    vocab_size, hidden_dim:
+        ``|V|`` output classes; ``H`` input feature width.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        dtype: np.dtype = np.float64,
+    ):
+        super().__init__()
+        if vocab_size <= 1 or hidden_dim <= 0:
+            raise ValueError("bad dimensions")
+        self.vocab_size = vocab_size
+        self.hidden_dim = hidden_dim
+        self.weight = Parameter(
+            init.uniform(
+                (vocab_size, hidden_dim), 1.0 / np.sqrt(hidden_dim), rng, dtype
+            ),
+            name="softmax.weight",
+        )
+        self.bias = Parameter(init.zeros((vocab_size,), dtype), name="softmax.bias")
+
+    def forward(
+        self, hidden: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, dict]:
+        """Mean NLL (nats/token) of ``targets`` given ``hidden`` rows."""
+        if hidden.ndim != 2 or hidden.shape[1] != self.hidden_dim:
+            raise ValueError(f"hidden must be (N, {self.hidden_dim})")
+        targets = np.asarray(targets)
+        if targets.shape != (hidden.shape[0],):
+            raise ValueError("targets must be (N,)")
+        logits = hidden @ self.weight.data.T + self.bias.data
+        loss, dlogits = cross_entropy_from_logits(logits, targets)
+        return loss, {"hidden": hidden, "dlogits": dlogits}
+
+    def backward(self, cache: dict, loss_scale: float = 1.0) -> np.ndarray:
+        """Accumulate (dense) output-embedding grads; return dhidden.
+
+        ``loss_scale`` multiplies the gradient at the source — the
+        loss-scaling hook used by FP16 training (Section III-C).
+        """
+        hidden, dlogits = cache["hidden"], cache["dlogits"]
+        if loss_scale != 1.0:
+            dlogits = dlogits * loss_scale
+        self.weight.accumulate_grad(dlogits.T @ hidden)
+        self.bias.accumulate_grad(dlogits.sum(axis=0))
+        return dlogits @ self.weight.data

@@ -1,0 +1,98 @@
+"""Stacked recurrent layers.
+
+Section II of the paper describes LMs with "several feed-forward or
+recurrent layers" between the embeddings; the evaluated word model uses
+one LSTM, but the architecture family (Jozefowicz et al.) stacks them.
+:class:`StackedLSTM` composes N LSTM layers with optional inter-layer
+dropout, exposing the same ``forward/backward`` contract as a single
+layer so model assemblies can swap it in transparently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dropout import Dropout
+from .lstm import LSTM
+from .module import Module
+
+__all__ = ["StackedLSTM"]
+
+
+class StackedLSTM(Module):
+    """``num_layers`` LSTMs, each feeding the next.
+
+    Parameters
+    ----------
+    input_dim:
+        Feature size of the first layer's input.
+    hidden_dim:
+        Cell count of every layer (uniform width, as in the reference
+        architectures).
+    num_layers:
+        Stack depth.
+    dropout:
+        Inter-layer dropout probability (applied between layers only,
+        never after the last — the standard convention).
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        dtype: np.dtype = np.float64,
+    ):
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        self.num_layers = num_layers
+        self.hidden_dim = hidden_dim
+        self._layers: list[LSTM] = []
+        self._drops: list[Dropout] = []
+        for i in range(num_layers):
+            layer = LSTM(
+                input_dim if i == 0 else hidden_dim, hidden_dim, rng, dtype
+            )
+            self.register_module(f"layer{i}", layer)
+            self._layers.append(layer)
+            if i < num_layers - 1:
+                drop = Dropout(dropout, np.random.default_rng(rng.integers(2**63)))
+                self.register_module(f"drop{i}", drop)
+                self._drops.append(drop)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        state: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> tuple[np.ndarray, dict]:
+        """Run all layers; ``state`` is an optional per-layer (h0, c0) list."""
+        if state is not None and len(state) != self.num_layers:
+            raise ValueError(
+                f"state must have {self.num_layers} entries, got {len(state)}"
+            )
+        caches = []
+        out = x
+        final_states = []
+        for i, layer in enumerate(self._layers):
+            out, cache = layer.forward(
+                out, state=None if state is None else state[i]
+            )
+            final_states.append(cache["final_state"])
+            drop_cache = None
+            if i < self.num_layers - 1:
+                out, drop_cache = self._drops[i].forward(out)
+            caches.append((cache, drop_cache))
+        return out, {"layers": caches, "final_state": final_states}
+
+    def backward(self, grad_out: np.ndarray, cache: dict) -> np.ndarray:
+        """Backward through the stack; returns grad w.r.t. the input."""
+        grad = grad_out
+        for i in range(self.num_layers - 1, -1, -1):
+            layer_cache, drop_cache = cache["layers"][i]
+            if drop_cache is not None:
+                grad = self._drops[i].backward(grad, drop_cache)
+            grad = self._layers[i].backward(grad, layer_cache)
+        return grad

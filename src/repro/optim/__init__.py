@@ -1,0 +1,24 @@
+"""Optimizers (sparse-aware SGD/Adam), LR scaling rules, loss scalers."""
+
+from .adam import Adam
+from .loss_scaler import (
+    PAPER_SCALE_FACTORS,
+    DynamicLossScaler,
+    StaticLossScaler,
+    grads_are_finite,
+)
+from .lr_schedule import EpochDecaySchedule, scaled_base_lr
+from .mixed_precision import MasterWeightOptimizer
+from .sgd import SGD
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "MasterWeightOptimizer",
+    "EpochDecaySchedule",
+    "scaled_base_lr",
+    "StaticLossScaler",
+    "DynamicLossScaler",
+    "grads_are_finite",
+    "PAPER_SCALE_FACTORS",
+]

@@ -1,0 +1,109 @@
+"""Loss scaling for reduced-precision training (Section III-C).
+
+Mixed-precision training [33, 34] multiplies the loss by a factor ``F``
+(256/512/1024 in the paper) before back-propagation so small gradient
+values survive the FP16 representable range, then divides gradients by
+``F`` before the weight update.  The paper re-uses the same idea for its
+*compression* technique (communicating in FP16); the communication-side
+codec lives in :mod:`repro.core.compression` — this module provides the
+training-side scalers.
+
+Two variants:
+
+* :class:`StaticLossScaler` — fixed ``F`` (what the paper uses);
+* :class:`DynamicLossScaler` — grows ``F`` while gradients stay finite,
+  backs off on overflow (the modern refinement; an ablation bench
+  compares the two).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.parameter import Parameter
+
+__all__ = ["StaticLossScaler", "DynamicLossScaler", "grads_are_finite"]
+
+#: Scale factors evaluated in the paper.
+PAPER_SCALE_FACTORS = (256.0, 512.0, 1024.0)
+
+
+def grads_are_finite(params: list[Parameter]) -> bool:
+    """True iff every accumulated (dense and sparse) gradient is finite."""
+    for p in params:
+        if p.grad is not None and not np.isfinite(p.grad).all():
+            return False
+        for s in p.sparse_grads:
+            if not np.isfinite(s.values).all():
+                return False
+    return True
+
+
+class StaticLossScaler:
+    """Fixed loss scale ``F``: scale at the loss, unscale before update."""
+
+    def __init__(self, scale: float = 512.0):
+        if scale < 1.0:
+            raise ValueError("scale must be >= 1")
+        self._scale = float(scale)
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    def unscale_grads(self, params: list[Parameter]) -> None:
+        """Divide all accumulated gradients by the scale, in place."""
+        inv = 1.0 / self._scale
+        for p in params:
+            if p.grad is not None:
+                p.grad *= inv
+            for s in p.sparse_grads:
+                s.values *= inv
+
+    def update(self, found_overflow: bool) -> None:
+        """Static scaler ignores overflow signals (kept for API parity)."""
+
+
+class DynamicLossScaler(StaticLossScaler):
+    """Loss scale that doubles every ``growth_interval`` clean steps and
+    halves on overflow (skipping the offending update).
+
+    Parameters mirror the common AMP implementation defaults, bounded to
+    keep the scale a positive power of two within sane limits.
+    """
+
+    def __init__(
+        self,
+        initial_scale: float = 1024.0,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 100,
+        min_scale: float = 1.0,
+        max_scale: float = 2.0**24,
+    ):
+        super().__init__(initial_scale)
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1")
+        if not 0 < backoff_factor < 1:
+            raise ValueError("backoff_factor must be in (0, 1)")
+        if growth_interval <= 0:
+            raise ValueError("growth_interval must be positive")
+        if not min_scale <= initial_scale <= max_scale:
+            raise ValueError("initial_scale outside [min_scale, max_scale]")
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self.max_scale = max_scale
+        self._clean_steps = 0
+
+    def update(self, found_overflow: bool) -> None:
+        """Adjust the scale after a step; call every step."""
+        if found_overflow:
+            self._scale = max(self._scale * self.backoff_factor, self.min_scale)
+            self._clean_steps = 0
+        else:
+            self._clean_steps += 1
+            if self._clean_steps >= self.growth_interval:
+                self._scale = min(self._scale * self.growth_factor, self.max_scale)
+                self._clean_steps = 0

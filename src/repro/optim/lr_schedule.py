@@ -1,0 +1,73 @@
+"""Learning-rate scaling and decay rules from Section IV-B.
+
+The paper scales the base learning rate by ``ln(#nodes)`` as GPUs grow
+(0.2 base for the word LM, 1e-3 for the char LM; e.g. 0.41 at 64 GPUs =
+8 nodes x 8 GPUs gives ``0.2 * ln(8) = 0.416``) and decays per epoch by
+a factor in 0.85-0.95.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["scaled_base_lr", "EpochDecaySchedule"]
+
+
+def scaled_base_lr(base_lr: float, num_nodes: int) -> float:
+    """``base_lr * ln(num_nodes)`` with the single-node case left at base.
+
+    ``ln(1) = 0`` would zero the rate, so one node (<= 8 GPUs in the
+    paper's layout) uses the unscaled base — matching the paper's use of
+    the 8-GPU run as the baseline with the base rate.
+    """
+    if base_lr <= 0:
+        raise ValueError("base_lr must be positive")
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if num_nodes == 1:
+        return base_lr
+    return base_lr * math.log(num_nodes)
+
+
+@dataclass(frozen=True)
+class EpochDecaySchedule:
+    """Multiplicative per-epoch decay: ``lr(e) = lr0 * decay^e``.
+
+    ``decay`` must lie in the paper's evaluated range [0.85, 0.95] unless
+    ``strict`` is disabled.
+    """
+
+    initial_lr: float
+    decay: float = 0.9
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.initial_lr <= 0:
+            raise ValueError("initial_lr must be positive")
+        if not 0 < self.decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        if self.strict and not 0.85 <= self.decay <= 0.95:
+            raise ValueError(
+                "paper evaluates decay in [0.85, 0.95]; pass strict=False to "
+                "go outside it"
+            )
+
+    def lr_at_epoch(self, epoch: int) -> float:
+        """Learning rate during (zero-based) ``epoch``."""
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.initial_lr * self.decay**epoch
+
+    @classmethod
+    def for_cluster(
+        cls,
+        base_lr: float,
+        num_nodes: int,
+        decay: float = 0.9,
+        strict: bool = True,
+    ) -> "EpochDecaySchedule":
+        """Schedule with the ln(nodes)-scaled initial rate."""
+        return cls(
+            initial_lr=scaled_base_lr(base_lr, num_nodes), decay=decay, strict=strict
+        )

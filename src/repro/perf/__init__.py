@@ -1,0 +1,79 @@
+"""Analytic performance model: hardware presets, memory footprints,
+iteration/epoch time, speedup and efficiency arithmetic."""
+
+from .calibration import CalibrationResult, calibrate_workload
+from .efficiency import (
+    parallel_efficiency,
+    scaling_speedup,
+    speedup,
+    weak_scaling_time_increase,
+)
+from .hardware import PAPER_PLATFORM, PRIOR_WORK_PLATFORM, Platform
+from .intensity import (
+    IntensityReport,
+    achieved_flops_per_gpu,
+    aggregate_achieved_flops,
+    char_lm_flops_per_iteration,
+    intensity_report,
+    word_lm_flops_per_iteration,
+)
+from .memory import FootprintBreakdown, char_lm_footprint, word_lm_footprint
+from .overlap import overlap_speedup, overlapped_time, perfect_overlap_bound
+from .stragglers import (
+    efficiency_ceiling,
+    expected_max_gaussian,
+    simulate_synchronous_step,
+    straggler_slowdown,
+)
+from .model import (
+    ALL_TECHNIQUES,
+    BASELINE,
+    CHAR_LM_1B,
+    CHAR_LM_TIEBA,
+    UNIQUE_ONLY,
+    UNIQUE_SEEDING,
+    WORD_LM_1B,
+    IterationCost,
+    LMWorkload,
+    PerfModel,
+    TechniqueSet,
+)
+
+__all__ = [
+    "Platform",
+    "CalibrationResult",
+    "calibrate_workload",
+    "IntensityReport",
+    "achieved_flops_per_gpu",
+    "aggregate_achieved_flops",
+    "word_lm_flops_per_iteration",
+    "char_lm_flops_per_iteration",
+    "intensity_report",
+    "overlapped_time",
+    "overlap_speedup",
+    "perfect_overlap_bound",
+    "expected_max_gaussian",
+    "simulate_synchronous_step",
+    "straggler_slowdown",
+    "efficiency_ceiling",
+    "PAPER_PLATFORM",
+    "PRIOR_WORK_PLATFORM",
+    "FootprintBreakdown",
+    "word_lm_footprint",
+    "char_lm_footprint",
+    "TechniqueSet",
+    "BASELINE",
+    "UNIQUE_ONLY",
+    "UNIQUE_SEEDING",
+    "ALL_TECHNIQUES",
+    "LMWorkload",
+    "IterationCost",
+    "PerfModel",
+    "WORD_LM_1B",
+    "CHAR_LM_1B",
+    "CHAR_LM_TIEBA",
+    "speedup",
+    "parallel_efficiency",
+    "scaling_speedup",
+    "weak_scaling_time_increase",
+]

@@ -1,0 +1,53 @@
+"""Speedup and parallel-efficiency arithmetic used by the benchmark tables.
+
+Conventions follow the paper: parallel efficiency at G GPUs is the
+speedup over the 8-GPU run *of the same configuration* divided by the
+ideal factor G/8 (Tables III, IV); Figure 6 speedups are ratios against
+the *baseline without techniques* at the same GPU count; weak-scaling
+"time increase" (Table V) is relative to the smallest configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "weak_scaling_time_increase",
+    "scaling_speedup",
+]
+
+
+def speedup(baseline_time: float, improved_time: float) -> float:
+    """How many times faster ``improved_time`` is (same work)."""
+    if baseline_time <= 0 or improved_time <= 0:
+        raise ValueError("times must be positive")
+    return baseline_time / improved_time
+
+
+def parallel_efficiency(
+    time_at_ref: float, time_at_world: float, world: int, reference_world: int = 8
+) -> float:
+    """Strong-scaling efficiency vs a reference GPU count.
+
+    1.0 means perfect scaling; the paper's Table III shows the baseline
+    collapsing to 29% at 24 GPUs while the techniques hold 76%.
+    """
+    if world <= 0 or reference_world <= 0:
+        raise ValueError("GPU counts must be positive")
+    if world < reference_world:
+        raise ValueError("world must be >= reference_world")
+    return speedup(time_at_ref, time_at_world) / (world / reference_world)
+
+
+def scaling_speedup(
+    time_at_ref: float, time_at_world: float
+) -> float:
+    """Plain strong-scaling speedup (the paper's "6.6x using 8x GPUs")."""
+    return speedup(time_at_ref, time_at_world)
+
+
+def weak_scaling_time_increase(base_time: float, scaled_time: float) -> float:
+    """Table V's "only 1.25x more training time" ratio."""
+    if base_time <= 0 or scaled_time <= 0:
+        raise ValueError("times must be positive")
+    return scaled_time / base_time

@@ -1,0 +1,59 @@
+"""Hardware presets for the performance model (Table II).
+
+Bundles a :class:`~repro.cluster.device.DeviceSpec` with an
+:class:`~repro.cluster.interconnect.Interconnect` into the complete
+platform description the analytic model consumes.  The paper's cluster
+(50 nodes x 8 Titan X, PCIe intra-node, FDR Infiniband inter-node) and
+the prior work's V100/NVLink platform are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.device import TITAN_X, V100, DeviceSpec
+from ..cluster.interconnect import (
+    PAPER_CLUSTER_FABRIC,
+    V100_FABRIC,
+    Interconnect,
+)
+
+__all__ = ["Platform", "PAPER_PLATFORM", "PRIOR_WORK_PLATFORM"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A homogeneous GPU cluster: device type + fabric + node width."""
+
+    device: DeviceSpec
+    fabric: Interconnect
+    max_gpus: int
+
+    def __post_init__(self) -> None:
+        if self.max_gpus <= 0:
+            raise ValueError("max_gpus must be positive")
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.fabric.gpus_per_node
+
+    def num_nodes(self, world_size: int) -> int:
+        return self.fabric.num_nodes(world_size)
+
+    def aggregate_peak_flops(self, world_size: int) -> float:
+        """Cluster-wide peak FLOP/s for ``world_size`` GPUs."""
+        if not 0 < world_size <= self.max_gpus:
+            raise ValueError(
+                f"world_size must be in 1..{self.max_gpus}, got {world_size}"
+            )
+        return world_size * self.device.peak_flops
+
+
+#: Table II: 50 nodes x 8 GeForce GTX Titan X, PCIe + FDR Infiniband.
+PAPER_PLATFORM = Platform(
+    device=TITAN_X, fabric=PAPER_CLUSTER_FABRIC, max_gpus=400
+)
+
+#: The platform of Puri et al. [21] compared against in Section V-D:
+#: 128 Tesla V100 with NVLink.
+PRIOR_WORK_PLATFORM = Platform(device=V100, fabric=V100_FABRIC, max_gpus=128)

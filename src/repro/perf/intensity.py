@@ -1,0 +1,119 @@
+"""Computational intensity and achieved-throughput analysis.
+
+The paper grounds its scaling differences in workload intensity: the
+word LM runs 136 GFLOP/iteration (low intensity — communication and
+framework overhead dominate, capping speedup at 6.3x) while the char LM
+runs 2,721 GFLOP/iteration (compute-rich — 6.7x speedup, 82% efficiency
+at 64 GPUs).  Reported throughputs: 2.44 TFLOP/s per GPU (40% of peak)
+for words, 3.95 TFLOP/s (64%) for chars, and 0.76 PFLOP/s aggregate for
+the 192-GPU Tieba run.
+
+This module reproduces those figures from the platform specs plus a
+FLOP-count model of each architecture, and classifies configurations as
+compute- vs communication-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.batching import BatchSpec
+from ..train.config import CharLMConfig, WordLMConfig
+from .hardware import PAPER_PLATFORM, Platform
+from .model import LMWorkload, PerfModel, TechniqueSet
+
+__all__ = [
+    "word_lm_flops_per_iteration",
+    "char_lm_flops_per_iteration",
+    "achieved_flops_per_gpu",
+    "aggregate_achieved_flops",
+    "IntensityReport",
+    "intensity_report",
+]
+
+
+def word_lm_flops_per_iteration(config: WordLMConfig, batch: BatchSpec) -> float:
+    """Forward+backward FLOPs of one word-LM iteration on one GPU.
+
+    Counts the three matmul families (LSTM gates, projection, sampled
+    softmax) at 2 FLOPs per multiply-accumulate, x3 for the backward
+    pass (grad w.r.t. inputs and weights), as standard.
+    """
+    k = batch.local_batch_tokens
+    lstm = 2 * k * (config.embedding_dim + config.hidden_dim) * 4 * config.hidden_dim
+    proj = 2 * k * config.hidden_dim * config.projection_dim
+    softmax = 2 * k * (1 + config.num_samples) * config.projection_dim
+    return 3.0 * (lstm + proj + softmax)
+
+
+def char_lm_flops_per_iteration(config: CharLMConfig, batch: BatchSpec) -> float:
+    """Forward+backward FLOPs of one char-LM (RHN) iteration on one GPU."""
+    k = batch.local_batch_tokens
+    h = config.hidden_dim
+    rhn_input = 2 * k * config.embedding_dim * 2 * h
+    rhn_rec = 2 * k * config.depth * h * 2 * h
+    softmax = 2 * k * h * config.vocab_size
+    return 3.0 * (rhn_input + rhn_rec + softmax)
+
+
+def achieved_flops_per_gpu(
+    platform: Platform = PAPER_PLATFORM, fraction: float = 0.40
+) -> float:
+    """Per-GPU sustained FLOP/s at an achieved fraction of peak.
+
+    The paper's measured fractions: 0.40 (word LM, 2.44 TFLOP/s on a
+    Titan X) and 0.64 (char LM, 3.95 TFLOP/s).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    return platform.device.peak_flops * fraction
+
+
+def aggregate_achieved_flops(
+    world: int, platform: Platform = PAPER_PLATFORM, fraction: float = 0.64
+) -> float:
+    """Cluster-wide sustained FLOP/s (paper: 0.76 PFLOP/s at 192 GPUs)."""
+    return world * achieved_flops_per_gpu(platform, fraction)
+
+
+@dataclass(frozen=True)
+class IntensityReport:
+    """Compute/communication balance of one configuration."""
+
+    compute_seconds: float
+    communication_seconds: float
+    overhead_seconds: float
+
+    @property
+    def compute_fraction(self) -> float:
+        return self.compute_seconds / self.total_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds
+            + self.communication_seconds
+            + self.overhead_seconds
+        )
+
+    @property
+    def bound(self) -> str:
+        """"compute" when >50% of iteration time is arithmetic."""
+        return "compute" if self.compute_fraction > 0.5 else "communication"
+
+
+def intensity_report(
+    workload: LMWorkload,
+    world: int,
+    tech: TechniqueSet,
+    platform: Platform = PAPER_PLATFORM,
+) -> IntensityReport:
+    """Split an iteration's modeled time into compute / comm / overhead."""
+    cost = PerfModel(workload, platform).iteration_cost(world, tech)
+    comm = cost.dense_allreduce + cost.input_exchange + cost.output_exchange
+    other = cost.local_update + cost.overhead + cost.cast_overhead
+    return IntensityReport(
+        compute_seconds=cost.compute,
+        communication_seconds=comm,
+        overhead_seconds=other,
+    )

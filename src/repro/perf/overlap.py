@@ -1,0 +1,58 @@
+"""Communication/computation overlap analysis.
+
+The paper's TF-1.4 pipeline synchronizes gradients after the backward
+pass completes; modern stacks overlap each layer's allreduce with the
+remaining backward computation.  This module bounds what overlap would
+buy on top of the paper's techniques: with fraction ``f`` of the
+communication hideable behind compute, iteration time becomes
+
+    compute + max(0, comm - f * compute) + non_overlappable
+
+(the local update and framework overhead cannot be hidden).  An ablation
+bench sweeps ``f`` per workload and GPU count.
+"""
+
+from __future__ import annotations
+
+from .hardware import PAPER_PLATFORM, Platform
+from .model import IterationCost, LMWorkload, PerfModel, TechniqueSet
+
+__all__ = ["overlapped_time", "overlap_speedup", "perfect_overlap_bound"]
+
+
+def overlapped_time(cost: IterationCost, overlap_fraction: float) -> float:
+    """Iteration seconds when ``overlap_fraction`` of compute can hide comm."""
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in [0, 1]")
+    comm = cost.dense_allreduce + cost.input_exchange + cost.output_exchange
+    hidden_budget = overlap_fraction * cost.compute
+    exposed_comm = max(0.0, comm - hidden_budget)
+    return (
+        cost.compute
+        + exposed_comm
+        + cost.local_update
+        + cost.overhead
+        + cost.cast_overhead
+    )
+
+
+def overlap_speedup(
+    workload: LMWorkload,
+    world: int,
+    tech: TechniqueSet,
+    overlap_fraction: float,
+    platform: Platform = PAPER_PLATFORM,
+) -> float:
+    """Speedup of an overlapped schedule over the sequential one."""
+    cost = PerfModel(workload, platform).iteration_cost(world, tech)
+    return cost.total / overlapped_time(cost, overlap_fraction)
+
+
+def perfect_overlap_bound(
+    workload: LMWorkload,
+    world: int,
+    tech: TechniqueSet,
+    platform: Platform = PAPER_PLATFORM,
+) -> float:
+    """Best possible speedup if *all* communication hid behind compute."""
+    return overlap_speedup(workload, world, tech, 1.0, platform)

@@ -1,0 +1,83 @@
+"""Straggler analysis: why synchronous efficiency fades with scale.
+
+Synchronous data-parallel training advances at the pace of the *slowest*
+rank each step.  With per-rank step times fluctuating (kernel jitter,
+host interference, PCIe contention), the expected step time is the
+expected **maximum** of G draws, which grows like ``sigma * sqrt(2 ln G)``
+for Gaussian jitter — a first-principles source for part of the
+overhead term the performance model calibrates against Tables III/IV.
+
+Provides the asymptotic formula, an exact Monte-Carlo estimator, and
+the induced parallel-efficiency ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "expected_max_gaussian",
+    "simulate_synchronous_step",
+    "straggler_slowdown",
+    "efficiency_ceiling",
+]
+
+
+def expected_max_gaussian(world: int, mean: float, std: float) -> float:
+    """Asymptotic expected maximum of ``world`` N(mean, std) step times.
+
+    Uses the standard extreme-value approximation
+    ``E[max] ~= mean + std * sqrt(2 ln G)`` (exact enough for G >= 2;
+    G = 1 returns the mean).
+    """
+    if world <= 0:
+        raise ValueError("world must be positive")
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    if world == 1:
+        return mean
+    return mean + std * math.sqrt(2.0 * math.log(world))
+
+
+def simulate_synchronous_step(
+    world: int,
+    mean: float,
+    std: float,
+    rng: np.random.Generator,
+    n_steps: int = 1000,
+) -> float:
+    """Monte-Carlo mean synchronous step time (max over ranks per step).
+
+    Draws are truncated at zero (a step cannot take negative time).
+    """
+    if world <= 0 or n_steps <= 0:
+        raise ValueError("world and n_steps must be positive")
+    if std < 0:
+        raise ValueError("std must be non-negative")
+    times = np.maximum(rng.normal(mean, std, size=(n_steps, world)), 0.0)
+    return float(times.max(axis=1).mean())
+
+
+def straggler_slowdown(world: int, cv: float) -> float:
+    """Expected slowdown factor vs a jitter-free rank.
+
+    ``cv`` is the coefficient of variation (std/mean) of per-rank step
+    time; returns ``E[max] / mean``.
+    """
+    if not 0 <= cv < 1:
+        raise ValueError("cv must be in [0, 1)")
+    return expected_max_gaussian(world, 1.0, cv)
+
+
+def efficiency_ceiling(world: int, cv: float, reference_world: int = 8) -> float:
+    """Upper bound on Table-III-style parallel efficiency from jitter alone.
+
+    The measured efficiency at G GPUs (relative to ``reference_world``)
+    cannot exceed the ratio of straggler slowdowns — even with free
+    communication.
+    """
+    if world < reference_world:
+        raise ValueError("world must be >= reference_world")
+    return straggler_slowdown(reference_world, cv) / straggler_slowdown(world, cv)

@@ -1,0 +1,6 @@
+"""Benchmark reporting: plain-text tables/series plus CSV/JSON export."""
+
+from .export import to_csv, to_json, write_results
+from .tables import format_series, format_table
+
+__all__ = ["format_table", "format_series", "to_csv", "to_json", "write_results"]

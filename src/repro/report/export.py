@@ -1,0 +1,71 @@
+"""Structured result export: CSV and JSON for downstream analysis.
+
+The benchmark harness prints human tables; pipelines want data.  These
+helpers serialize the same (headers, rows) structures the formatters
+consume, so a bench can emit both from one source of truth.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from collections.abc import Sequence
+
+__all__ = ["to_csv", "to_json", "write_results"]
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render headers + rows as CSV text."""
+    _validate(headers, rows)
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def to_json(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    meta: dict | None = None,
+) -> str:
+    """Render as a JSON document of row objects keyed by header.
+
+    ``meta`` attaches provenance (paper table id, units, commit, ...).
+    """
+    _validate(headers, rows)
+    records = [dict(zip(headers, row)) for row in rows]
+    doc = {"meta": meta or {}, "rows": records}
+    return json.dumps(doc, indent=2, default=str)
+
+
+def write_results(
+    directory: str | pathlib.Path,
+    name: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    meta: dict | None = None,
+) -> dict[str, pathlib.Path]:
+    """Write ``<name>.csv`` and ``<name>.json`` under ``directory``.
+
+    Returns the written paths keyed by format.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"{name}.csv"
+    json_path = directory / f"{name}.json"
+    csv_path.write_text(to_csv(headers, rows))
+    json_path.write_text(to_json(headers, rows, meta=meta))
+    return {"csv": csv_path, "json": json_path}
+
+
+def _validate(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    if not headers:
+        raise ValueError("need at least one column")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells for {len(headers)} columns"
+            )

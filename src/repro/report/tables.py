@@ -1,0 +1,57 @@
+"""Plain-text table/series formatting shared by the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows = [[_stringify(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(f"row {i} has {len(row)} cells for {len(headers)} columns")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be parallel")
+    pairs = "  ".join(f"({_stringify(x)}, {_stringify(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

@@ -1,0 +1,6 @@
+"""End-to-end simulated cluster runs combining real training with the
+memory/cost simulation: one call, one report."""
+
+from .run import RunReport, SimulatedRun
+
+__all__ = ["RunReport", "SimulatedRun"]

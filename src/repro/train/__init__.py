@@ -1,0 +1,59 @@
+"""Training layer: model assemblies, configs, SPMD trainer, metrics."""
+
+from .char_lm import CharLanguageModel
+from .checkpoint import load_checkpoint, save_checkpoint
+from .evaluation import BucketReport, bucketed_nll, frequency_buckets
+from .generate import generate, next_token_distribution
+from .config import (
+    PAPER_CHAR_LM,
+    PAPER_WORD_LM,
+    CharLMConfig,
+    TrainConfig,
+    WordLMConfig,
+)
+from .ngram import NGramModel
+from .metrics import (
+    accuracy_improvement,
+    bits_per_char,
+    compression_ratio,
+    nll_from_perplexity,
+    perplexity,
+    perplexity_from_bpc,
+)
+from .trainer import (
+    DistributedTrainer,
+    EpochStats,
+    EvalPoint,
+    assert_replicas_synchronized,
+    max_replica_divergence,
+)
+from .word_lm import WordLanguageModel
+
+__all__ = [
+    "WordLanguageModel",
+    "save_checkpoint",
+    "load_checkpoint",
+    "generate",
+    "next_token_distribution",
+    "NGramModel",
+    "BucketReport",
+    "bucketed_nll",
+    "frequency_buckets",
+    "CharLanguageModel",
+    "WordLMConfig",
+    "CharLMConfig",
+    "TrainConfig",
+    "PAPER_WORD_LM",
+    "PAPER_CHAR_LM",
+    "DistributedTrainer",
+    "EpochStats",
+    "EvalPoint",
+    "assert_replicas_synchronized",
+    "max_replica_divergence",
+    "perplexity",
+    "nll_from_perplexity",
+    "bits_per_char",
+    "perplexity_from_bpc",
+    "compression_ratio",
+    "accuracy_improvement",
+]

@@ -1,0 +1,112 @@
+"""Checkpointing: persist and resume distributed training runs.
+
+Because the SPMD trainer keeps all replicas bit-identical (the core
+sync invariant), a checkpoint stores **one** copy of the model and
+optimizer state plus the trainer's step counter; loading restores every
+rank from it — the same single-writer scheme real data-parallel trainers
+use.
+
+Format: a single ``.npz`` with namespaced arrays (``model/<param>``,
+``optim/<key>``, ``meta/...``), portable and dependency-free.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .trainer import DistributedTrainer
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> None:
+    """Write the trainer's state (rank-0 replica + optimizer) to ``path``.
+
+    Raises if replicas have drifted — checkpointing a diverged run would
+    silently pick one of several inconsistent models.
+    """
+    from .trainer import assert_replicas_synchronized
+
+    assert_replicas_synchronized(trainer.replicas, atol=0.0)
+    arrays: dict[str, np.ndarray] = {
+        "meta/version": np.array(_FORMAT_VERSION),
+        "meta/global_step": np.array(trainer.global_step),
+        "meta/data_step": np.array(trainer.data_step),
+        "meta/epochs_done": np.array(trainer.epochs_done),
+        "meta/world_size": np.array(trainer.config.world_size),
+    }
+    for name, data in trainer.replicas[0].state_dict().items():
+        arrays[f"model/{name}"] = data
+    opt_state = trainer.optimizers[0].state_dict()
+    for key, value in opt_state.items():
+        if value is None:
+            continue  # absent optional hyper-parameters (e.g. clip_norm)
+        arrays[f"optim/{key}"] = np.asarray(value)
+    if trainer.scaler is not None:
+        arrays["scaler/scale"] = np.array(trainer.scaler.scale)
+        clean = getattr(trainer.scaler, "_clean_steps", None)
+        if clean is not None:
+            arrays["scaler/clean_steps"] = np.array(clean)
+        arrays["scaler/skipped_steps"] = np.array(trainer.skipped_steps)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> int:
+    """Restore every replica and optimizer from ``path``.
+
+    The trainer must be built with the same architecture and world size
+    (structural mismatches raise).  Returns the restored global step.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["meta/version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        world = int(data["meta/world_size"])
+        if world != trainer.config.world_size:
+            raise ValueError(
+                f"checkpoint was written at world size {world}, trainer "
+                f"has {trainer.config.world_size}"
+            )
+        model_state = {
+            key[len("model/"):]: data[key]
+            for key in data.files
+            if key.startswith("model/")
+        }
+        opt_state = {
+            key[len("optim/"):]: data[key]
+            for key in data.files
+            if key.startswith("optim/")
+        }
+        # Scalars round-trip as 0-d arrays; optimizers expect numbers.
+        opt_state = {
+            k: (v.item() if v.ndim == 0 else v) for k, v in opt_state.items()
+        }
+        global_step = int(data["meta/global_step"])
+        data_step = int(data["meta/data_step"])
+        epochs_done = int(data["meta/epochs_done"])
+
+    for replica in trainer.replicas:
+        replica.load_state_dict(model_state)
+    for opt in trainer.optimizers:
+        opt.load_state_dict(opt_state)
+    trainer.global_step = global_step
+    trainer.data_step = data_step
+    trainer.epochs_done = epochs_done
+    with np.load(path, allow_pickle=False) as data:
+        if "scaler/scale" in data.files:
+            if trainer.scaler is None:
+                raise ValueError(
+                    "checkpoint carries loss-scaler state but the trainer "
+                    "was built without a scaler"
+                )
+            trainer.scaler._scale = float(data["scaler/scale"])
+            if "scaler/clean_steps" in data.files and hasattr(
+                trainer.scaler, "_clean_steps"
+            ):
+                trainer.scaler._clean_steps = int(data["scaler/clean_steps"])
+            trainer.skipped_steps = int(data["scaler/skipped_steps"])
+    return global_step

@@ -1,0 +1,159 @@
+"""Model and training configuration dataclasses.
+
+The paper-scale architectures (Section IV-B) are provided as presets;
+experiments at simulator scale use shrunk copies via ``scaled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.compression import WireCodec
+from ..core.seeding import SeedStrategy
+from ..data.batching import BatchSpec
+
+__all__ = [
+    "WordLMConfig",
+    "CharLMConfig",
+    "TrainConfig",
+    "PAPER_WORD_LM",
+    "PAPER_CHAR_LM",
+]
+
+
+@dataclass(frozen=True)
+class WordLMConfig:
+    """Word LM architecture (the paper's: one 2048-cell LSTM, 512 proj,
+    100K vocabulary, 1024 sampled-softmax candidates).
+
+    ``tie_embeddings`` shares the input embedding matrix as the output
+    embedding (requires ``embedding_dim == projection_dim``) — the
+    weight-tying variant the paper notes implementations may use; it
+    halves embedding memory and routes both layers' sparse gradients
+    through one exchange.
+    """
+
+    vocab_size: int = 100_000
+    embedding_dim: int = 512
+    hidden_dim: int = 2048
+    projection_dim: int = 512
+    num_samples: int = 1024
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if min(
+            self.vocab_size, self.embedding_dim, self.hidden_dim,
+            self.projection_dim, self.num_samples,
+        ) <= 0:
+            raise ValueError("all dimensions must be positive")
+        if self.num_samples >= self.vocab_size:
+            raise ValueError("num_samples must be below vocab_size")
+        if self.tie_embeddings and self.embedding_dim != self.projection_dim:
+            raise ValueError(
+                "tied embeddings require embedding_dim == projection_dim"
+            )
+
+    def scaled(self, **overrides: int) -> "WordLMConfig":
+        """A shrunk copy for simulator-scale experiments."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class CharLMConfig:
+    """Char LM architecture (the paper's: depth-10 RHN, 1792 cells,
+    full softmax; 98-symbol English / 15,437-symbol Chinese vocab)."""
+
+    vocab_size: int = 98
+    embedding_dim: int = 128
+    hidden_dim: int = 1792
+    depth: int = 10
+    dropout: float = 0.1
+
+    def __post_init__(self) -> None:
+        if min(self.vocab_size, self.embedding_dim, self.hidden_dim, self.depth) <= 0:
+            raise ValueError("all dimensions must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    def scaled(self, **overrides: int | float) -> "CharLMConfig":
+        return replace(self, **overrides)
+
+
+#: Paper-scale presets (Section IV-B).
+PAPER_WORD_LM = WordLMConfig()
+PAPER_CHAR_LM = CharLMConfig()
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Distributed-training run description.
+
+    Attributes
+    ----------
+    world_size:
+        Simulated GPU count G.
+    batch:
+        Per-rank batch shape (the paper: 32 seqs x 20 for word LM,
+        128 x 150 for char LM).
+    base_lr, lr_decay:
+        Base learning rate and per-epoch decay; the effective initial
+        rate is ``base_lr * ln(nodes)`` per the paper's scaling rule.
+    gpus_per_node:
+        Node width for the LR rule (8 in the paper's cluster).
+    use_unique, codec, seed_strategy:
+        The three techniques: unique exchange on/off; optional FP16 wire
+        codec; sampled-softmax seed strategy (word LM only).
+    accumulation_steps:
+        Gradient-accumulation micro-steps per synchronization: the
+        effective global batch becomes ``world * K * accumulation_steps``
+        at one exchange per optimizer step — the cheap way to grow batch
+        without more (simulated) GPUs.
+    loss_scale:
+        Loss scaling (Section III-C): a float for a static scale (the
+        paper uses 256/512/1024), the string ``"dynamic"`` for the
+        adaptive scaler (overflowing steps are skipped and the scale
+        backs off), or ``None`` to disable.
+    shuffle_seed:
+        When set, the batcher reshuffles its segment->stream assignment
+        every epoch with this seed (identical on all ranks); ``None``
+        keeps fully deterministic streams.
+    init_seed, data_seed:
+        Model-init and sampling seeds (replicas share ``init_seed``).
+    clip_norm:
+        Optional global-norm gradient clip.
+    """
+
+    world_size: int
+    batch: BatchSpec
+    base_lr: float
+    lr_decay: float = 0.9
+    gpus_per_node: int = 8
+    use_unique: bool = True
+    codec: WireCodec | None = None
+    seed_strategy: SeedStrategy = SeedStrategy.PER_RANK
+    init_seed: int = 1234
+    data_seed: int = 99
+    clip_norm: float | None = None
+    accumulation_steps: int = 1
+    loss_scale: float | str | None = None
+    shuffle_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ValueError("world_size must be positive")
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.accumulation_steps <= 0:
+            raise ValueError("accumulation_steps must be positive")
+        if isinstance(self.loss_scale, str) and self.loss_scale != "dynamic":
+            raise ValueError(
+                "loss_scale must be a float, 'dynamic', or None"
+            )
+        if isinstance(self.loss_scale, (int, float)) and self.loss_scale < 1:
+            raise ValueError("static loss_scale must be >= 1")
+
+    @property
+    def num_nodes(self) -> int:
+        return -(-self.world_size // self.gpus_per_node)

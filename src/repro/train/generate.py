@@ -1,0 +1,97 @@
+"""Text generation from trained language models.
+
+Autoregressive ancestral sampling with temperature and top-k filtering —
+the classic demonstration that a trained LM models its corpus, and the
+noisy-channel prior role the paper's introduction motivates.
+
+Works with both model families: the word LM scores continuations against
+its sampled-softmax output embedding (full softmax at generation time),
+the char LM against its full-softmax layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.functional import softmax
+from .char_lm import CharLanguageModel
+from .word_lm import WordLanguageModel
+
+__all__ = ["generate", "next_token_distribution"]
+
+
+def next_token_distribution(
+    model: WordLanguageModel | CharLanguageModel, context: np.ndarray
+) -> np.ndarray:
+    """P(next token | context) over the full vocabulary.
+
+    ``context`` is a 1-D array of token ids; the model runs in eval mode
+    (dropout off, no carried training state disturbed).
+    """
+    context = np.asarray(context)
+    if context.ndim != 1 or context.size == 0:
+        raise ValueError("context must be a non-empty 1-D id array")
+    was_training = model.training
+    model.eval()
+    try:
+        inputs = context[None, :]
+        if isinstance(model, WordLanguageModel):
+            hidden, _ = model._forward_hidden(inputs)
+            logits = hidden[-1] @ model.loss_layer.weight.data.T
+        else:
+            emb, _ = model.embedding.forward(inputs)
+            hs, _ = model.rhn.forward(emb)
+            logits = (
+                hs[0, -1] @ model.loss_layer.weight.data.T
+                + model.loss_layer.bias.data
+            )
+    finally:
+        model.train(was_training)
+    return softmax(logits[None, :], axis=1)[0]
+
+
+def generate(
+    model: WordLanguageModel | CharLanguageModel,
+    prompt: np.ndarray,
+    length: int,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+    top_k: int | None = None,
+    max_context: int = 64,
+) -> np.ndarray:
+    """Sample ``length`` tokens continuing ``prompt``.
+
+    Parameters
+    ----------
+    temperature:
+        Softmax temperature; below 1.0 sharpens toward the mode.
+    top_k:
+        Keep only the k most probable tokens before sampling.
+    max_context:
+        Sliding-window context length fed back into the model.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if top_k is not None and top_k <= 0:
+        raise ValueError("top_k must be positive")
+    context = list(np.asarray(prompt, dtype=np.int64))
+    if not context:
+        raise ValueError("prompt must be non-empty")
+    out: list[int] = []
+    for _ in range(length):
+        probs = next_token_distribution(
+            model, np.asarray(context[-max_context:], dtype=np.int64)
+        )
+        if temperature != 1.0:
+            logp = np.log(np.maximum(probs, 1e-300)) / temperature
+            probs = softmax(logp[None, :], axis=1)[0]
+        if top_k is not None and top_k < probs.size:
+            cutoff = np.partition(probs, -top_k)[-top_k]
+            probs = np.where(probs >= cutoff, probs, 0.0)
+            probs = probs / probs.sum()
+        token = int(rng.choice(probs.size, p=probs))
+        context.append(token)
+        out.append(token)
+    return np.asarray(out, dtype=np.int64)

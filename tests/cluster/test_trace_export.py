@@ -1,0 +1,71 @@
+"""Tests for chrome-trace export of the cost ledger."""
+
+import json
+
+import numpy as np
+
+from repro.cluster import Communicator
+from repro.cluster.tracing import CostLedger
+
+
+class TestChromeTrace:
+    def test_event_fields(self):
+        ledger = CostLedger()
+        with ledger.scope("sync"):
+            ledger.record("allreduce", 4, 100, 0.5, tag="lstm")
+        (event,) = ledger.to_chrome_trace()
+        assert event["name"] == "allreduce [lstm]"
+        assert event["cat"] == "sync"
+        assert event["ph"] == "X"
+        assert event["dur"] == 0.5e6
+        assert event["args"]["wire_bytes_per_rank"] == 100
+        assert event["args"]["world"] == 4
+
+    def test_events_laid_end_to_end(self):
+        ledger = CostLedger()
+        ledger.record("a", 1, 0, 1.0)
+        ledger.record("b", 1, 0, 2.0)
+        trace = ledger.to_chrome_trace()
+        assert trace[0]["ts"] == 0.0
+        assert trace[1]["ts"] == 1.0e6
+
+    def test_empty_ledger(self):
+        assert CostLedger().to_chrome_trace() == []
+
+    def test_write_valid_json(self, tmp_path):
+        comm = Communicator(4, track_memory=False)
+        comm.allreduce([np.ones(8) for _ in range(4)], tag="grads")
+        comm.allgather([np.ones(4) for _ in range(4)])
+        path = tmp_path / "trace.json"
+        comm.ledger.write_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 2
+        assert loaded[0]["name"].startswith("allreduce")
+
+    def test_training_run_produces_trace(self):
+        """A real training step's ledger exports cleanly."""
+        from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+        from repro.optim import SGD
+        from repro.train import (
+            DistributedTrainer,
+            TrainConfig,
+            WordLanguageModel,
+            WordLMConfig,
+        )
+
+        corpus = make_corpus(ONE_BILLION_WORD.scaled(50), 5000, seed=0)
+        cfg = TrainConfig(world_size=2, batch=BatchSpec(2, 6), base_lr=0.2)
+        model_cfg = WordLMConfig(
+            vocab_size=50, embedding_dim=6, hidden_dim=8, projection_dim=6,
+            num_samples=8,
+        )
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(model_cfg, rng),
+            lambda params, lr: SGD(params, lr),
+            corpus.train, corpus.valid, cfg,
+        )
+        trainer.train_step()
+        trace = trainer.comm.ledger.to_chrome_trace()
+        assert len(trace) > 3  # dense allreduces + embedding exchanges
+        cats = {e["cat"] for e in trace}
+        assert any("embedding" in c for c in cats)

@@ -1,0 +1,101 @@
+"""Tests for the unique-exchange crossover analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Communicator
+from repro.core import (
+    AllGatherExchange,
+    UniqueExchange,
+    breakeven_unique_rows,
+    crossover_duplication_factor,
+    unique_wins_comm,
+)
+from repro.nn import SparseGrad
+
+
+class TestBreakeven:
+    def test_single_gpu_never_crosses(self):
+        assert breakeven_unique_rows(1, 100, 64) == float("inf")
+
+    def test_large_d_limit(self):
+        """For D -> inf the crossover duplication factor -> 2."""
+        factor = crossover_duplication_factor(8, 1000, 100_000)
+        assert factor == pytest.approx(2.0, rel=0.01)
+
+    def test_unique_wins_under_zipf_duplication(self):
+        g, k, d = 64, 19_200, 1792
+        # Zipf gives Ug ~ (GK)^0.64 << GK: uniqueness wins easily.
+        assert unique_wins_comm(g, k, d, u_global=(g * k) ** 0.64)
+
+    def test_unique_loses_without_duplication(self):
+        g, k, d = 8, 1000, 512
+        assert not unique_wins_comm(g, k, d, u_global=g * k)
+
+    def test_breakeven_is_the_boundary(self):
+        g, k, d = 8, 1000, 512
+        u_star = breakeven_unique_rows(g, k, d)
+        assert unique_wins_comm(g, k, d, u_star * 0.99)
+        assert not unique_wins_comm(g, k, d, u_star * 1.01)
+
+    @given(
+        g=st.integers(2, 64),
+        k=st.integers(16, 4096),
+        d=st.integers(8, 2048),
+    )
+    @settings(max_examples=60)
+    def test_property_boundary_consistent(self, g, k, d):
+        u_star = breakeven_unique_rows(g, k, d)
+        if u_star <= 0:
+            return  # index traffic alone exceeds the baseline (tiny D)
+        assert unique_wins_comm(g, k, d, max(0.0, u_star - 1))
+
+
+class TestMeasuredCrossover:
+    """The analytic boundary matches actual ledger byte counts."""
+
+    @staticmethod
+    def measured_bytes(world, vocab, tokens, dim, seed=0):
+        rng = np.random.default_rng(seed)
+        grads = [
+            SparseGrad(
+                indices=rng.permutation(vocab)[:tokens]
+                if vocab >= tokens
+                else rng.integers(0, vocab, tokens),
+                values=rng.standard_normal((tokens, dim)).astype(np.float32),
+            )
+            for _ in range(world)
+        ]
+        c_base = Communicator(world, track_memory=False)
+        c_uniq = Communicator(world, track_memory=False)
+        AllGatherExchange().exchange(c_base, grads)
+        UniqueExchange().exchange(c_uniq, grads)
+        return (
+            c_base.ledger.total_wire_bytes_per_rank,
+            c_uniq.ledger.total_wire_bytes_per_rank,
+        )
+
+    def test_high_duplication_unique_wins_measured(self):
+        base, uniq = self.measured_bytes(8, vocab=30, tokens=200, dim=64)
+        assert uniq < base
+
+    def test_all_distinct_unique_loses_measured(self):
+        """Each rank holds disjoint, never-repeating types: the unique
+        path's 2x allreduce factor makes it worse, as predicted."""
+        world, tokens, dim = 4, 128, 64
+        grads = [
+            SparseGrad(
+                indices=np.arange(r * tokens, (r + 1) * tokens),
+                values=np.ones((tokens, dim), np.float32),
+            )
+            for r in range(world)
+        ]
+        c_base = Communicator(world, track_memory=False)
+        c_uniq = Communicator(world, track_memory=False)
+        AllGatherExchange().exchange(c_base, grads)
+        UniqueExchange().exchange(c_uniq, grads)
+        assert (
+            c_uniq.ledger.total_wire_bytes_per_rank
+            > c_base.ledger.total_wire_bytes_per_rank
+        )

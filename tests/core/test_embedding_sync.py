@@ -1,0 +1,154 @@
+"""Tests for the replica gradient synchronizer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Communicator
+from repro.core.compression import Fp16Codec
+from repro.core.embedding_sync import GradientSynchronizer, concat_token_grads
+from repro.core.sparse_exchange import UniqueExchange
+from repro.nn import Embedding, Linear, Module
+from repro.nn.parameter import Parameter, SparseGrad
+
+
+class TinyModel(Module):
+    """Embedding + linear: one sparse-grad and one dense-grad parameter."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.emb = Embedding(12, 4, rng)
+        self.lin = Linear(4, 2, rng)
+
+
+def make_replicas(world, seed=0):
+    return [TinyModel(np.random.default_rng(seed)) for _ in range(world)]
+
+
+def run_backward(model, ids, seed):
+    rng = np.random.default_rng(seed)
+    out, ecache = model.emb.forward(ids)
+    y, lcache = model.lin.forward(out)
+    g = rng.standard_normal(y.shape)
+    dx = model.lin.backward(g, lcache)
+    model.emb.backward(dx, ecache)
+
+
+class TestConcatTokenGrads:
+    def test_none_when_empty(self):
+        p = Parameter(np.zeros((4, 2)))
+        assert concat_token_grads(p) is None
+
+    def test_concatenates_contributions(self):
+        p = Parameter(np.zeros((4, 2)))
+        p.accumulate_sparse_grad(SparseGrad(np.array([1]), np.ones((1, 2))))
+        p.accumulate_sparse_grad(SparseGrad(np.array([1, 3]), np.ones((2, 2))))
+        g = concat_token_grads(p)
+        np.testing.assert_array_equal(g.indices, [1, 1, 3])
+
+    def test_does_not_coalesce(self):
+        """Token-level duplicates must survive (the baseline gathers them)."""
+        p = Parameter(np.zeros((4, 2)))
+        p.accumulate_sparse_grad(SparseGrad(np.array([2, 2]), np.ones((2, 2))))
+        g = concat_token_grads(p)
+        assert g.n_tokens == 2
+
+
+class TestSyncReplicas:
+    def test_replicas_agree_after_sync_and_step(self):
+        world = 4
+        replicas = make_replicas(world)
+        for r, m in enumerate(replicas):
+            run_backward(m, np.array([[r, r + 1, 0]]), seed=r)
+        comm = Communicator(world, track_memory=False)
+        GradientSynchronizer(comm, strategy=UniqueExchange()).sync_replicas(replicas)
+        # After sync, every rank holds identical gradients.
+        base_dense = replicas[0].lin.weight.grad
+        base_sparse = replicas[0].emb.weight.merged_sparse_grad()
+        for m in replicas[1:]:
+            np.testing.assert_allclose(m.lin.weight.grad, base_dense)
+            merged = m.emb.weight.merged_sparse_grad()
+            np.testing.assert_array_equal(merged.indices, base_sparse.indices)
+            np.testing.assert_allclose(merged.values, base_sparse.values)
+
+    def test_average_semantics(self):
+        """Synced dense grad == mean of per-rank grads."""
+        world = 3
+        replicas = make_replicas(world)
+        locals_ = []
+        for r, m in enumerate(replicas):
+            run_backward(m, np.array([[0, 1]]), seed=r)
+            locals_.append(m.lin.weight.grad.copy())
+        comm = Communicator(world, track_memory=False)
+        GradientSynchronizer(comm).sync_replicas(replicas)
+        np.testing.assert_allclose(
+            replicas[0].lin.weight.grad, np.mean(locals_, axis=0), rtol=1e-12
+        )
+
+    def test_sum_semantics(self):
+        world = 2
+        replicas = make_replicas(world)
+        locals_ = []
+        for r, m in enumerate(replicas):
+            run_backward(m, np.array([[0, 1]]), seed=r)
+            locals_.append(m.lin.weight.grad.copy())
+        comm = Communicator(world, track_memory=False)
+        GradientSynchronizer(comm, average=False).sync_replicas(replicas)
+        np.testing.assert_allclose(
+            replicas[0].lin.weight.grad, np.sum(locals_, axis=0), rtol=1e-12
+        )
+
+    def test_sparse_average_matches_dense_reference(self):
+        world = 3
+        replicas = make_replicas(world)
+        reference = np.zeros((12, 4))
+        for r, m in enumerate(replicas):
+            run_backward(m, np.array([[r, 2 * r, 1]]), seed=10 + r)
+            reference += m.emb.weight.merged_sparse_grad().to_dense(12)
+        reference /= world
+        comm = Communicator(world, track_memory=False)
+        GradientSynchronizer(comm, strategy=UniqueExchange()).sync_replicas(replicas)
+        np.testing.assert_allclose(
+            replicas[0].emb.weight.merged_sparse_grad().to_dense(12),
+            reference,
+            rtol=1e-12,
+        )
+
+    def test_ledger_scopes_attribute_by_parameter(self):
+        world = 2
+        replicas = make_replicas(world)
+        for r, m in enumerate(replicas):
+            run_backward(m, np.array([[0]]), seed=r)
+        comm = Communicator(world, track_memory=False)
+        GradientSynchronizer(comm).sync_replicas(replicas)
+        scopes = set(comm.ledger.bytes_by_scope())
+        assert any("emb.weight" in s for s in scopes)
+        assert any("lin.weight" in s for s in scopes)
+
+    def test_codec_applies_to_dense_traffic(self):
+        world = 2
+        r_plain = make_replicas(world)
+        r_fp16 = make_replicas(world)
+        for r in range(world):
+            run_backward(r_plain[r], np.array([[0, 1]]), seed=r)
+            run_backward(r_fp16[r], np.array([[0, 1]]), seed=r)
+        c_plain = Communicator(world, track_memory=False)
+        c_fp16 = Communicator(world, track_memory=False)
+        GradientSynchronizer(c_plain).sync_replicas(r_plain)
+        GradientSynchronizer(c_fp16, codec=Fp16Codec(512.0)).sync_replicas(r_fp16)
+        assert (
+            c_fp16.ledger.total_wire_bytes_per_rank
+            < c_plain.ledger.total_wire_bytes_per_rank
+        )
+
+    def test_replica_count_mismatch_rejected(self):
+        comm = Communicator(3, track_memory=False)
+        with pytest.raises(ValueError):
+            GradientSynchronizer(comm).sync_replicas(make_replicas(2))
+
+    def test_missing_grad_on_one_rank_rejected(self):
+        world = 2
+        replicas = make_replicas(world)
+        run_backward(replicas[0], np.array([[0]]), seed=0)  # rank 1 skipped
+        comm = Communicator(world, track_memory=False)
+        with pytest.raises(ValueError):
+            GradientSynchronizer(comm).sync_replicas(replicas)

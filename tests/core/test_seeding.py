@@ -1,0 +1,155 @@
+"""Tests for the seeding technique (Section III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.seeding import (
+    SeedStrategy,
+    assign_seeds,
+    expected_unique_sampled,
+    num_seed_groups,
+    seed_group_sizes,
+)
+from repro.nn.sampled_softmax import LogUniformSampler
+
+
+class TestNumSeedGroups:
+    def test_extremes(self):
+        assert num_seed_groups(SeedStrategy.ALL_SAME, 64) == 1
+        assert num_seed_groups(SeedStrategy.PER_RANK, 64) == 64
+
+    def test_log_strategies_at_64_gpus(self):
+        assert num_seed_groups(SeedStrategy.LOG2, 64) == 6
+        assert num_seed_groups(SeedStrategy.LOGE, 64) == 4
+        assert num_seed_groups(SeedStrategy.LOG10, 64) == 2
+
+    def test_power_law_is_g_to_alpha(self):
+        assert num_seed_groups(SeedStrategy.POWER_LAW, 64) == round(64**0.64)
+        assert num_seed_groups(SeedStrategy.ZIPF_FREQ, 64) == round(64**0.64)
+
+    def test_single_gpu_always_one_group(self):
+        for strategy in SeedStrategy:
+            assert num_seed_groups(strategy, 1) == 1
+
+    @given(
+        strategy=st.sampled_from(list(SeedStrategy)),
+        world=st.integers(1, 256),
+    )
+    def test_bounds(self, strategy, world):
+        m = num_seed_groups(strategy, world)
+        assert 1 <= m <= world
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            num_seed_groups(SeedStrategy.PER_RANK, 0)
+
+
+class TestGroupSizes:
+    @given(
+        strategy=st.sampled_from(list(SeedStrategy)),
+        world=st.integers(1, 128),
+    )
+    @settings(max_examples=80)
+    def test_sizes_partition_world(self, strategy, world):
+        sizes = seed_group_sizes(strategy, world)
+        assert sum(sizes) == world
+        assert all(s >= 1 for s in sizes)
+        assert len(sizes) == num_seed_groups(strategy, world)
+
+    def test_zipf_freq_sizes_are_skewed(self):
+        """Zipf-freq's head group must hold more GPUs than its tail group."""
+        sizes = seed_group_sizes(SeedStrategy.ZIPF_FREQ, 64)
+        assert sizes[0] > sizes[-1]
+
+    def test_equal_strategies_are_balanced(self):
+        sizes = seed_group_sizes(SeedStrategy.POWER_LAW, 64)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSeedAssignment:
+    def test_same_group_same_seed(self):
+        a = assign_seeds(SeedStrategy.LOG2, 16, base_seed=3)
+        for rank in range(16):
+            g = a.group_of_rank[rank]
+            assert a.seed_of_rank(rank) == int(a.seed_of_group[g])
+
+    def test_distinct_group_seeds(self):
+        a = assign_seeds(SeedStrategy.PER_RANK, 32, base_seed=5)
+        assert len(set(a.seed_of_group.tolist())) == 32
+
+    def test_generators_agree_within_group(self):
+        """Ranks sharing a seed draw identical candidate sets — the
+        mechanism restoring output-embedding overlap."""
+        a = assign_seeds(SeedStrategy.ALL_SAME, 4, base_seed=1)
+        gens = a.rank_generators(step=7)
+        sampler = LogUniformSampler(1000)
+        draws = [sampler.sample(16, g) for g in gens]
+        for d in draws[1:]:
+            np.testing.assert_array_equal(draws[0], d)
+
+    def test_generators_differ_across_groups(self):
+        a = assign_seeds(SeedStrategy.PER_RANK, 4, base_seed=1)
+        gens = a.rank_generators(step=7)
+        sampler = LogUniformSampler(1000)
+        draws = [set(sampler.sample(16, g).tolist()) for g in gens]
+        assert draws[0] != draws[1]
+
+    def test_step_keying_changes_draws(self):
+        a = assign_seeds(SeedStrategy.ALL_SAME, 2, base_seed=1)
+        sampler = LogUniformSampler(1000)
+        d0 = sampler.sample(16, a.rank_generators(step=0)[0])
+        d1 = sampler.sample(16, a.rank_generators(step=1)[0])
+        assert set(d0.tolist()) != set(d1.tolist())
+
+    def test_deterministic_by_base_seed(self):
+        a = assign_seeds(SeedStrategy.LOGE, 16, base_seed=9)
+        b = assign_seeds(SeedStrategy.LOGE, 16, base_seed=9)
+        np.testing.assert_array_equal(a.seed_of_group, b.seed_of_group)
+
+
+class TestExpectedUnion:
+    def test_grows_with_groups(self):
+        vals = [expected_unique_sampled(m, 64, 10_000) for m in (1, 4, 16, 64)]
+        assert vals == sorted(vals)
+
+    def test_one_group_is_sample_size(self):
+        assert expected_unique_sampled(1, 64, 10_000) == pytest.approx(64, rel=0.02)
+
+    def test_sublinear_growth(self):
+        """The Zipf skew makes the union grow much slower than m*S."""
+        u64 = expected_unique_sampled(64, 64, 10_000)
+        assert u64 < 64 * 64 * 0.75
+
+    def test_capped_by_vocab(self):
+        assert expected_unique_sampled(100, 50, 60) <= 60
+
+    def test_seeding_shrinks_exchange(self):
+        """At 64 GPUs, Zipf-freq seeding (m=14) must touch far fewer rows
+        than per-rank seeds (m=64)."""
+        per_rank = expected_unique_sampled(64, 1024, 100_000)
+        seeded = expected_unique_sampled(
+            num_seed_groups(SeedStrategy.ZIPF_FREQ, 64), 1024, 100_000
+        )
+        assert seeded < per_rank * 0.5
+
+    def test_matches_empirical_union(self):
+        sampler = LogUniformSampler(2000)
+        rng = np.random.default_rng(0)
+        m, s = 8, 50
+        unions = []
+        for _ in range(30):
+            union = set()
+            for _ in range(m):
+                union.update(sampler.sample(s, rng).tolist())
+            unions.append(len(union))
+        expected = expected_unique_sampled(m, s, 2000)
+        assert expected == pytest.approx(np.mean(unions), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_unique_sampled(0, 10, 100)
+        with pytest.raises(ValueError):
+            expected_unique_sampled(1, 0, 100)
+        with pytest.raises(ValueError):
+            expected_unique_sampled(1, 10, 1)

@@ -1,0 +1,110 @@
+"""Tests for data-parallel batching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.batching import (
+    Batch,
+    BatchSpec,
+    ShardedBatcher,
+    make_eval_batches,
+)
+
+
+class TestBatchSpec:
+    def test_token_arithmetic(self):
+        spec = BatchSpec(sequences_per_rank=32, seq_len=20)
+        assert spec.local_batch_tokens == 640
+        assert spec.global_batch_tokens(16) == 10_240  # paper's 16-GPU word LM
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchSpec(0, 5)
+        with pytest.raises(ValueError):
+            BatchSpec(5, 0)
+        with pytest.raises(ValueError):
+            BatchSpec(1, 1).global_batch_tokens(0)
+
+
+class TestBatch:
+    def test_targets_are_next_token(self):
+        tokens = np.arange(100)
+        batcher = ShardedBatcher(tokens, BatchSpec(2, 5), world_size=1)
+        b = batcher.batch(0, 0)
+        np.testing.assert_array_equal(b.targets, b.inputs + 1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Batch(inputs=np.zeros((2, 3)), targets=np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            Batch(inputs=np.zeros(6), targets=np.zeros(6))
+
+
+class TestSharding:
+    def test_ranks_see_disjoint_data(self):
+        tokens = np.arange(1000)
+        batcher = ShardedBatcher(tokens, BatchSpec(2, 10), world_size=4)
+        step0 = batcher.step_batches(0)
+        seen = [set(b.inputs.ravel().tolist()) for b in step0]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (seen[i] & seen[j])
+
+    def test_consecutive_steps_advance_streams(self):
+        tokens = np.arange(1000)
+        batcher = ShardedBatcher(tokens, BatchSpec(1, 10), world_size=1)
+        b0 = batcher.batch(0, 0)
+        b1 = batcher.batch(0, 1)
+        # Stream continuity: next window starts where previous targets ended.
+        assert b1.inputs[0, 0] == b0.targets[0, -1]
+
+    def test_steps_per_epoch(self):
+        tokens = np.arange(101)
+        batcher = ShardedBatcher(tokens, BatchSpec(1, 10), world_size=1)
+        assert batcher.steps_per_epoch == 10
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedBatcher(np.arange(10), BatchSpec(4, 10), world_size=4)
+
+    def test_rank_and_step_bounds(self):
+        batcher = ShardedBatcher(np.arange(100), BatchSpec(1, 5), world_size=2)
+        with pytest.raises(ValueError):
+            batcher.batch(2, 0)
+        with pytest.raises(ValueError):
+            batcher.batch(0, batcher.steps_per_epoch)
+
+    def test_2d_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedBatcher(np.zeros((5, 5)), BatchSpec(1, 2), world_size=1)
+
+    @given(
+        world=st.integers(1, 6),
+        seqs=st.integers(1, 4),
+        seq_len=st.integers(1, 8),
+    )
+    @settings(max_examples=40)
+    def test_batches_always_full_shape(self, world, seqs, seq_len):
+        tokens = np.arange(world * seqs * (seq_len * 3 + 1) + 50)
+        spec = BatchSpec(seqs, seq_len)
+        batcher = ShardedBatcher(tokens, spec, world)
+        for step in range(batcher.steps_per_epoch):
+            for rank in range(world):
+                b = batcher.batch(rank, step)
+                assert b.inputs.shape == (seqs, seq_len)
+                np.testing.assert_array_equal(b.targets, b.inputs + 1)
+
+
+class TestEvalBatches:
+    def test_basic(self):
+        batches = make_eval_batches(np.arange(200), BatchSpec(2, 8))
+        assert all(b.inputs.shape == (2, 8) for b in batches)
+
+    def test_max_batches(self):
+        batches = make_eval_batches(np.arange(500), BatchSpec(1, 5), max_batches=3)
+        assert len(batches) == 3
+
+    def test_max_batches_validation(self):
+        with pytest.raises(ValueError):
+            make_eval_batches(np.arange(100), BatchSpec(1, 5), max_batches=0)

@@ -1,0 +1,112 @@
+"""Tests for per-epoch batcher shuffling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.batching import BatchSpec, ShardedBatcher
+
+
+def make_batcher(shuffle_seed=None, world=2, n=400):
+    return ShardedBatcher(
+        np.arange(n), BatchSpec(2, 5), world, shuffle_seed=shuffle_seed
+    )
+
+
+class TestNoShuffle:
+    def test_identity_across_epochs(self):
+        b = make_batcher(shuffle_seed=None)
+        before = b.batch(0, 0).inputs.copy()
+        b.set_epoch(5)
+        np.testing.assert_array_equal(b.batch(0, 0).inputs, before)
+
+
+class TestShuffle:
+    def test_epochs_differ(self):
+        b = make_batcher(shuffle_seed=7)
+        b.set_epoch(0)
+        e0 = b.batch(0, 0).inputs.copy()
+        b.set_epoch(1)
+        e1 = b.batch(0, 0).inputs.copy()
+        assert not np.array_equal(e0, e1)
+
+    def test_same_epoch_deterministic(self):
+        a = make_batcher(shuffle_seed=7)
+        b = make_batcher(shuffle_seed=7)
+        a.set_epoch(3)
+        b.set_epoch(3)
+        np.testing.assert_array_equal(a.batch(1, 2).inputs, b.batch(1, 2).inputs)
+
+    def test_different_seeds_differ(self):
+        a = make_batcher(shuffle_seed=1)
+        b = make_batcher(shuffle_seed=2)
+        a.set_epoch(1)
+        b.set_epoch(1)
+        assert not np.array_equal(a.batch(0, 0).inputs, b.batch(0, 0).inputs)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            make_batcher(shuffle_seed=1).set_epoch(-1)
+
+    @given(epoch=st.integers(0, 10), seed=st.integers(0, 50))
+    @settings(max_examples=30)
+    def test_ranks_stay_disjoint_under_shuffle(self, epoch, seed):
+        b = make_batcher(shuffle_seed=seed, world=4, n=800)
+        b.set_epoch(epoch)
+        seen: set[int] = set()
+        for rank in range(4):
+            vals = set(b.batch(rank, 0).inputs.ravel().tolist())
+            assert not (vals & seen)
+            seen |= vals
+
+    def test_shuffle_covers_same_tokens(self):
+        """A shuffled epoch reads the same token population, reordered."""
+        b = make_batcher(shuffle_seed=9, world=2, n=200)
+
+        def epoch_tokens():
+            out = []
+            for step in range(b.steps_per_epoch):
+                for rank in range(2):
+                    out.extend(b.batch(rank, step).inputs.ravel().tolist())
+            return sorted(out)
+
+        b.set_epoch(0)
+        first = epoch_tokens()
+        b.set_epoch(1)
+        second = epoch_tokens()
+        assert first == second
+
+
+class TestTrainerIntegration:
+    def test_trainer_shuffles_per_epoch(self):
+        from repro.data import ONE_BILLION_WORD, make_corpus
+        from repro.optim import SGD
+        from repro.train import (
+            DistributedTrainer,
+            TrainConfig,
+            WordLanguageModel,
+            WordLMConfig,
+            assert_replicas_synchronized,
+        )
+
+        corpus = make_corpus(ONE_BILLION_WORD.scaled(60), 6000, seed=0)
+        cfg = TrainConfig(
+            world_size=2, batch=BatchSpec(2, 6), base_lr=0.2, shuffle_seed=3
+        )
+        model_cfg = WordLMConfig(
+            vocab_size=60, embedding_dim=6, hidden_dim=8, projection_dim=6,
+            num_samples=8,
+        )
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(model_cfg, rng),
+            lambda params, lr: SGD(params, lr),
+            corpus.train, corpus.valid, cfg,
+        )
+        trainer.train_epoch(max_steps=3)
+        first_epoch_batch = trainer.batcher.batch(0, 0).inputs.copy()
+        trainer.train_epoch(max_steps=3)
+        assert trainer.epochs_done == 2
+        assert not np.array_equal(
+            trainer.batcher.batch(0, 0).inputs, first_epoch_batch
+        )
+        assert_replicas_synchronized(trainer.replicas, atol=0.0)

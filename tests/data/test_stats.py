@@ -1,0 +1,104 @@
+"""Tests for type/token statistics (Figure 1 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.stats import (
+    fit_heaps_law,
+    token_type_gap,
+    type_token_curve,
+    types_at,
+)
+
+
+class TestTypesAt:
+    def test_simple_stream(self):
+        # "to be or not to be": 4 types, 6 tokens (the paper's example).
+        tokens = np.array([0, 1, 2, 3, 0, 1])
+        assert types_at(tokens, np.array([6]))[0] == 4
+        assert types_at(tokens, np.array([4]))[0] == 4
+        assert types_at(tokens, np.array([1]))[0] == 1
+        assert types_at(tokens, np.array([0]))[0] == 0
+
+    def test_matches_naive_counting(self):
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 30, 500)
+        checkpoints = np.array([1, 7, 100, 499, 500])
+        fast = types_at(tokens, checkpoints)
+        naive = [np.unique(tokens[:n]).size for n in checkpoints]
+        np.testing.assert_array_equal(fast, naive)
+
+    def test_unsorted_checkpoints(self):
+        tokens = np.array([5, 5, 1, 2])
+        out = types_at(tokens, np.array([4, 1, 2]))
+        np.testing.assert_array_equal(out, [3, 1, 1])
+
+    def test_out_of_range_checkpoint_rejected(self):
+        with pytest.raises(ValueError):
+            types_at(np.array([1, 2]), np.array([3]))
+        with pytest.raises(ValueError):
+            types_at(np.array([1, 2]), np.array([-1]))
+
+    @given(
+        tokens=st.lists(st.integers(0, 15), min_size=1, max_size=200),
+    )
+    @settings(max_examples=50)
+    def test_monotone_nondecreasing(self, tokens):
+        arr = np.array(tokens)
+        cps = np.arange(len(tokens) + 1)
+        counts = types_at(arr, cps)
+        assert (np.diff(counts) >= 0).all()
+        assert counts[-1] == np.unique(arr).size
+
+
+class TestCurveAndFit:
+    def test_curve_shapes(self):
+        rng = np.random.default_rng(1)
+        tokens = rng.integers(0, 1000, 50_000)
+        ns, us = type_token_curve(tokens, num_points=10)
+        assert ns.size == us.size
+        assert ns[-1] == tokens.size
+        assert (us <= ns).all()
+
+    def test_fit_exact_power_law(self):
+        ns = np.geomspace(100, 10**6, 20)
+        us = 7.02 * ns**0.64
+        fit = fit_heaps_law(ns, us)
+        assert fit.exponent == pytest.approx(0.64, rel=1e-9)
+        assert fit.coefficient == pytest.approx(7.02, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_heaps_law(np.array([10.0, 1000.0]), np.array([10.0, 1000.0]))
+        assert fit.predict(500.0) == pytest.approx(500.0)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_heaps_law(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_heaps_law(np.array([1.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            fit_heaps_law(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_curve_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            type_token_curve(np.arange(10), start=512)
+
+
+class TestGap:
+    def test_gap_of_constant_stream(self):
+        assert token_type_gap(np.zeros(100, np.int64)) == 100.0
+
+    def test_gap_of_all_distinct(self):
+        assert token_type_gap(np.arange(50)) == 1.0
+
+    def test_prefix_gap(self):
+        tokens = np.array([0, 0, 0, 1, 2, 3])
+        assert token_type_gap(tokens, 3) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            token_type_gap(np.array([1, 2]), 0)
+        with pytest.raises(ValueError):
+            token_type_gap(np.array([1, 2]), 5)

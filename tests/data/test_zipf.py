@@ -1,0 +1,111 @@
+"""Tests for the Zipf–Mandelbrot distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.zipf import (
+    ZipfMandelbrot,
+    fit_zipf_exponent,
+    heaps_exponent_for_zipf,
+    zipf_exponent_for_heaps,
+)
+
+
+class TestDistribution:
+    def test_pmf_sums_to_one(self):
+        z = ZipfMandelbrot(vocab_size=1000, exponent=1.3, shift=2.0)
+        assert z.pmf.sum() == pytest.approx(1.0, rel=1e-12)
+
+    def test_pmf_monotone_decreasing(self):
+        z = ZipfMandelbrot(vocab_size=500, exponent=1.2)
+        assert (np.diff(z.pmf) < 0).all()
+
+    def test_zipf_headline_ratios(self):
+        """Most frequent word ~2x the second, ~3x the third (s=1, q=0)."""
+        z = ZipfMandelbrot(vocab_size=100, exponent=1.0, shift=0.0)
+        p = z.pmf
+        assert p[0] / p[1] == pytest.approx(2.0, rel=1e-9)
+        assert p[0] / p[2] == pytest.approx(3.0, rel=1e-9)
+
+    def test_shift_flattens_head(self):
+        plain = ZipfMandelbrot(vocab_size=100, exponent=1.5, shift=0.0)
+        shifted = ZipfMandelbrot(vocab_size=100, exponent=1.5, shift=5.0)
+        assert shifted.pmf[0] < plain.pmf[0]
+
+    def test_sample_range_and_dtype(self):
+        z = ZipfMandelbrot(vocab_size=50, exponent=1.4)
+        ids = z.sample(10_000, np.random.default_rng(0))
+        assert ids.dtype == np.int64
+        assert ids.min() >= 0 and ids.max() < 50
+
+    def test_sample_empirical_frequencies(self):
+        z = ZipfMandelbrot(vocab_size=20, exponent=1.2)
+        ids = z.sample(200_000, np.random.default_rng(1))
+        counts = np.bincount(ids, minlength=20)
+        np.testing.assert_allclose(counts / ids.size, z.pmf, atol=0.005)
+
+    def test_sample_zero(self):
+        z = ZipfMandelbrot(vocab_size=10)
+        assert z.sample(0, np.random.default_rng(0)).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(vocab_size=0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(vocab_size=10, exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(vocab_size=10, shift=-1.0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrot(vocab_size=10).sample(-1, np.random.default_rng(0))
+
+
+class TestExpectedTypes:
+    def test_zero_tokens(self):
+        assert ZipfMandelbrot(vocab_size=10).expected_types(0) == 0.0
+
+    def test_saturates_at_vocab(self):
+        z = ZipfMandelbrot(vocab_size=20, exponent=1.0)
+        assert z.expected_types(10**7) == pytest.approx(20.0, rel=1e-6)
+
+    def test_matches_empirical(self):
+        z = ZipfMandelbrot(vocab_size=5000, exponent=1.5)
+        n = 20_000
+        rng = np.random.default_rng(2)
+        empirical = np.mean(
+            [np.unique(z.sample(n, rng)).size for _ in range(5)]
+        )
+        assert z.expected_types(n) == pytest.approx(empirical, rel=0.05)
+
+    @given(n1=st.integers(0, 10**6), n2=st.integers(0, 10**6))
+    @settings(max_examples=30)
+    def test_monotone_in_tokens(self, n1, n2):
+        z = ZipfMandelbrot(vocab_size=100, exponent=1.3)
+        lo, hi = min(n1, n2), max(n1, n2)
+        assert z.expected_types(lo) <= z.expected_types(hi) + 1e-9
+
+
+class TestFitting:
+    def test_recovers_exponent_from_samples(self):
+        z = ZipfMandelbrot(vocab_size=5000, exponent=1.4)
+        ids = z.sample(500_000, np.random.default_rng(3))
+        counts = np.bincount(ids)
+        est = fit_zipf_exponent(counts, min_count=5)
+        assert est == pytest.approx(1.4, abs=0.25)
+
+    def test_too_few_types_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(np.array([10, 5]))
+
+    def test_heaps_zipf_duality(self):
+        assert heaps_exponent_for_zipf(2.0) == pytest.approx(0.5)
+        assert heaps_exponent_for_zipf(0.8) == 1.0
+        assert zipf_exponent_for_heaps(0.64) == pytest.approx(1.5625)
+        # Round trip above the s > 1 regime.
+        assert heaps_exponent_for_zipf(zipf_exponent_for_heaps(0.7)) == pytest.approx(0.7)
+
+    def test_duality_validation(self):
+        with pytest.raises(ValueError):
+            heaps_exponent_for_zipf(0.0)
+        with pytest.raises(ValueError):
+            zipf_exponent_for_heaps(1.5)

@@ -1,0 +1,43 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+def numerical_grad(
+    f: Callable[[], float], array: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``array``.
+
+    Mutates ``array`` in place during probing and restores it.
+    """
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f()
+        flat[i] = orig - eps
+        f_minus = f()
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_param_grad(
+    f: Callable[[], float],
+    param: Parameter,
+    analytic: np.ndarray,
+    eps: float = 1e-6,
+    rtol: float = 1e-5,
+    atol: float = 1e-7,
+) -> None:
+    """Assert the analytic gradient of ``param`` matches finite differences."""
+    numeric = numerical_grad(f, param.data, eps=eps)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

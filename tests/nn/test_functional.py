@@ -1,0 +1,118 @@
+"""Tests for numerically-stable functional primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.functional import (
+    cross_entropy_from_logits,
+    dsigmoid,
+    dtanh,
+    log_softmax,
+    sigmoid,
+    softmax,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_no_overflow(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.isfinite(out).all()
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, rtol=1e-12)
+
+    def test_dsigmoid_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 7)
+        eps = 1e-6
+        fd = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(dsigmoid(sigmoid(x)), fd, rtol=1e-6)
+
+    def test_dtanh_matches_finite_difference(self):
+        x = np.linspace(-3, 3, 7)
+        eps = 1e-6
+        fd = (np.tanh(x + eps) - np.tanh(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(dtanh(np.tanh(x)), fd, rtol=1e-5)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).standard_normal((5, 7))
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_logits_stable(self):
+        out = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.random.default_rng(1).standard_normal((3, 4))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(logits)), softmax(logits), rtol=1e-12
+        )
+
+    @given(
+        hnp.arrays(
+            np.float64, (3, 5), elements=st.floats(-50, 50, allow_nan=False)
+        )
+    )
+    def test_probabilities_valid(self, logits):
+        p = softmax(logits)
+        assert (p >= 0).all()
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-9)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_classes(self):
+        logits = np.zeros((4, 8))
+        targets = np.array([0, 1, 2, 3])
+        loss, _ = cross_entropy_from_logits(logits, targets)
+        assert loss == pytest.approx(np.log(8))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss, _ = cross_entropy_from_logits(logits, np.array([1, 2]))
+        assert loss == pytest.approx(0.0, abs=1e-10)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((3, 5))
+        targets = np.array([1, 0, 4])
+        _, grad = cross_entropy_from_logits(logits, targets)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(5):
+                lp = logits.copy()
+                lp[i, j] += eps
+                lm = logits.copy()
+                lm[i, j] -= eps
+                fd = (
+                    cross_entropy_from_logits(lp, targets)[0]
+                    - cross_entropy_from_logits(lm, targets)[0]
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(fd, rel=1e-5, abs=1e-8)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(3)
+        logits = rng.standard_normal((4, 6))
+        _, grad = cross_entropy_from_logits(logits, np.array([0, 1, 2, 3]))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy_from_logits(np.zeros((2, 3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy_from_logits(np.zeros(6), np.array([0]))

@@ -1,0 +1,119 @@
+"""Gradient-checked tests for the LSTM layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM
+
+from ..helpers import numerical_grad
+
+
+def make_lstm(i=3, h=4, seed=0):
+    return LSTM(i, h, np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_output_shape(self):
+        lstm = make_lstm()
+        x = np.zeros((2, 5, 3))
+        hs, cache = lstm.forward(x)
+        assert hs.shape == (2, 5, 4)
+        h_f, c_f = cache["final_state"]
+        assert h_f.shape == (2, 4)
+        assert c_f.shape == (2, 4)
+
+    def test_forget_bias_initialized_to_one(self):
+        lstm = make_lstm(h=6)
+        np.testing.assert_allclose(lstm.bias.data[6:12], 1.0)
+
+    def test_zero_state_default(self):
+        lstm = make_lstm()
+        x = np.random.default_rng(1).standard_normal((1, 3, 3))
+        hs1, _ = lstm.forward(x)
+        hs2, _ = lstm.forward(x, state=(np.zeros((1, 4)), np.zeros((1, 4))))
+        np.testing.assert_allclose(hs1, hs2)
+
+    def test_state_carry_changes_output(self):
+        lstm = make_lstm()
+        x = np.random.default_rng(1).standard_normal((1, 3, 3))
+        hs1, _ = lstm.forward(x)
+        hs2, _ = lstm.forward(x, state=(np.ones((1, 4)), np.ones((1, 4))))
+        assert np.abs(hs1 - hs2).max() > 1e-6
+
+    def test_statefulness_equals_concatenation(self):
+        """Carrying state across two windows == one long window."""
+        lstm = make_lstm()
+        x = np.random.default_rng(2).standard_normal((2, 6, 3))
+        full, _ = lstm.forward(x)
+        first, cache1 = lstm.forward(x[:, :3])
+        second, _ = lstm.forward(x[:, 3:], state=cache1["final_state"])
+        np.testing.assert_allclose(
+            np.concatenate([first, second], axis=1), full, rtol=1e-12
+        )
+
+    def test_bad_input_shapes_rejected(self):
+        lstm = make_lstm()
+        with pytest.raises(ValueError):
+            lstm.forward(np.zeros((2, 5, 7)))
+        with pytest.raises(ValueError):
+            lstm.forward(np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            lstm.forward(np.zeros((2, 5, 3)), state=(np.zeros((3, 4)), np.zeros((3, 4))))
+
+
+class TestBackward:
+    def test_gradients_match_finite_difference(self):
+        lstm = make_lstm(i=2, h=3, seed=3)
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((2, 4, 2))
+        g_out = rng.standard_normal((2, 4, 3))
+
+        def loss():
+            hs, _ = lstm.forward(x)
+            return float((hs * g_out).sum())
+
+        hs, cache = lstm.forward(x)
+        dx = lstm.backward(g_out, cache)
+
+        for param in (lstm.w_x, lstm.w_h, lstm.bias):
+            numeric = numerical_grad(loss, param.data)
+            np.testing.assert_allclose(
+                param.grad, numeric, rtol=1e-5, atol=1e-8,
+                err_msg=f"gradient mismatch for {param.name}",
+            )
+        numeric_x = numerical_grad(loss, x)
+        np.testing.assert_allclose(dx, numeric_x, rtol=1e-5, atol=1e-8)
+
+    def test_gradient_with_carried_state(self):
+        lstm = make_lstm(i=2, h=3, seed=5)
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((1, 3, 2))
+        state = (rng.standard_normal((1, 3)), rng.standard_normal((1, 3)))
+        g_out = rng.standard_normal((1, 3, 3))
+
+        def loss():
+            hs, _ = lstm.forward(x, state=state)
+            return float((hs * g_out).sum())
+
+        hs, cache = lstm.forward(x, state=state)
+        lstm.backward(g_out, cache)
+        numeric = numerical_grad(loss, lstm.w_h.data)
+        np.testing.assert_allclose(lstm.w_h.grad, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_grad_shape_validation(self):
+        lstm = make_lstm()
+        x = np.zeros((2, 5, 3))
+        _, cache = lstm.forward(x)
+        with pytest.raises(ValueError):
+            lstm.backward(np.zeros((2, 5, 7)), cache)
+
+    def test_gradients_accumulate_across_calls(self):
+        lstm = make_lstm(i=2, h=2)
+        x = np.random.default_rng(7).standard_normal((1, 2, 2))
+        g = np.ones((1, 2, 2))
+        _, cache = lstm.forward(x)
+        lstm.backward(g, cache)
+        first = lstm.w_x.grad.copy()
+        _, cache = lstm.forward(x)
+        lstm.backward(g, cache)
+        np.testing.assert_allclose(lstm.w_x.grad, 2 * first, rtol=1e-12)

@@ -1,0 +1,101 @@
+"""Gradient-checked tests for the Recurrent Highway Network."""
+
+import numpy as np
+import pytest
+
+from repro.nn import RHN
+
+from ..helpers import numerical_grad
+
+
+def make_rhn(i=2, h=3, depth=3, seed=0):
+    return RHN(i, h, depth, np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_output_shape(self):
+        rhn = make_rhn()
+        x = np.zeros((2, 5, 2))
+        out, cache = rhn.forward(x)
+        assert out.shape == (2, 5, 3)
+        assert cache["final_state"].shape == (2, 3)
+
+    def test_carry_bias_opens_gates(self):
+        """Transform-gate biases start at -2 so state passes through."""
+        rhn = make_rhn(h=4)
+        np.testing.assert_allclose(rhn.bias.data[:, 4:], -2.0)
+
+    def test_statefulness_equals_concatenation(self):
+        rhn = make_rhn(seed=1)
+        x = np.random.default_rng(2).standard_normal((2, 6, 2))
+        full, _ = rhn.forward(x)
+        first, cache1 = rhn.forward(x[:, :2])
+        second, _ = rhn.forward(x[:, 2:], state=cache1["final_state"])
+        np.testing.assert_allclose(
+            np.concatenate([first, second], axis=1), full, rtol=1e-12
+        )
+
+    def test_depth_one_is_single_highway_step(self):
+        rhn = make_rhn(depth=1)
+        x = np.random.default_rng(3).standard_normal((1, 2, 2))
+        out, _ = rhn.forward(x)
+        assert out.shape == (1, 2, 3)
+
+    def test_bad_shapes_rejected(self):
+        rhn = make_rhn()
+        with pytest.raises(ValueError):
+            rhn.forward(np.zeros((1, 2, 5)))
+        with pytest.raises(ValueError):
+            rhn.forward(np.zeros((1, 2, 2)), state=np.zeros((2, 3)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RHN(2, 3, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            RHN(0, 3, 1, np.random.default_rng(0))
+
+
+class TestBackward:
+    def test_gradients_match_finite_difference(self):
+        rhn = make_rhn(i=2, h=3, depth=2, seed=4)
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((2, 3, 2))
+        g_out = rng.standard_normal((2, 3, 3))
+
+        def loss():
+            out, _ = rhn.forward(x)
+            return float((out * g_out).sum())
+
+        out, cache = rhn.forward(x)
+        dx = rhn.backward(g_out, cache)
+
+        for param in (rhn.w_x, rhn.r, rhn.bias):
+            numeric = numerical_grad(loss, param.data)
+            np.testing.assert_allclose(
+                param.grad, numeric, rtol=1e-5, atol=1e-8,
+                err_msg=f"gradient mismatch for {param.name}",
+            )
+        numeric_x = numerical_grad(loss, x)
+        np.testing.assert_allclose(dx, numeric_x, rtol=1e-5, atol=1e-8)
+
+    def test_deep_recurrence_gradients(self):
+        """Depth 5 exercises the through-depth backward chain."""
+        rhn = make_rhn(i=2, h=2, depth=5, seed=6)
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((1, 2, 2))
+        g_out = rng.standard_normal((1, 2, 2))
+
+        def loss():
+            out, _ = rhn.forward(x)
+            return float((out * g_out).sum())
+
+        out, cache = rhn.forward(x)
+        rhn.backward(g_out, cache)
+        numeric = numerical_grad(loss, rhn.r.data)
+        np.testing.assert_allclose(rhn.r.grad, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_grad_shape_validation(self):
+        rhn = make_rhn()
+        _, cache = rhn.forward(np.zeros((1, 2, 2)))
+        with pytest.raises(ValueError):
+            rhn.backward(np.zeros((1, 2, 5)), cache)

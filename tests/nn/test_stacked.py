@@ -1,0 +1,91 @@
+"""Gradient-checked tests for the stacked LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, StackedLSTM
+
+from ..helpers import numerical_grad
+
+
+def make(i=2, h=3, layers=2, dropout=0.0, seed=0):
+    return StackedLSTM(i, h, layers, np.random.default_rng(seed), dropout=dropout)
+
+
+class TestForward:
+    def test_output_shape(self):
+        stack = make(layers=3)
+        x = np.zeros((2, 4, 2))
+        out, cache = stack.forward(x)
+        assert out.shape == (2, 4, 3)
+        assert len(cache["final_state"]) == 3
+
+    def test_single_layer_equals_plain_lstm(self):
+        rng_state = 7
+        stack = make(layers=1, seed=rng_state)
+        plain = LSTM(2, 3, np.random.default_rng(rng_state))
+        x = np.random.default_rng(1).standard_normal((2, 4, 2))
+        out_stack, _ = stack.forward(x)
+        out_plain, _ = plain.forward(x)
+        np.testing.assert_allclose(out_stack, out_plain, rtol=1e-12)
+
+    def test_parameter_count(self):
+        stack = make(i=4, h=6, layers=3)
+        one_first = (4 + 6) * 24 + 24
+        one_rest = (6 + 6) * 24 + 24
+        assert stack.num_parameters() == one_first + 2 * one_rest
+
+    def test_state_carry_per_layer(self):
+        stack = make(layers=2, seed=3)
+        x = np.random.default_rng(4).standard_normal((1, 6, 2))
+        full, _ = stack.forward(x)
+        first, c1 = stack.forward(x[:, :3])
+        second, _ = stack.forward(x[:, 3:], state=c1["final_state"])
+        np.testing.assert_allclose(
+            np.concatenate([first, second], axis=1), full, rtol=1e-12
+        )
+
+    def test_state_length_validated(self):
+        stack = make(layers=2)
+        x = np.zeros((1, 2, 2))
+        with pytest.raises(ValueError):
+            stack.forward(x, state=[(np.zeros((1, 3)), np.zeros((1, 3)))])
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            make(layers=0)
+
+
+class TestBackward:
+    def test_gradients_match_finite_difference(self):
+        stack = make(i=2, h=2, layers=2, seed=5)
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((1, 3, 2))
+        g_out = rng.standard_normal((1, 3, 2))
+
+        def loss():
+            out, _ = stack.forward(x)
+            return float((out * g_out).sum())
+
+        out, cache = stack.forward(x)
+        dx = stack.backward(g_out, cache)
+        for name, p in stack.named_parameters():
+            numeric = numerical_grad(loss, p.data)
+            np.testing.assert_allclose(
+                p.grad, numeric, rtol=1e-5, atol=1e-8, err_msg=name
+            )
+        np.testing.assert_allclose(
+            dx, numerical_grad(loss, x), rtol=1e-5, atol=1e-8
+        )
+
+    def test_dropout_between_layers_only_in_training(self):
+        stack = make(layers=2, dropout=0.5, seed=8)
+        x = np.random.default_rng(9).standard_normal((2, 3, 2))
+        stack.eval()
+        a, _ = stack.forward(x)
+        b, _ = stack.forward(x)
+        np.testing.assert_array_equal(a, b)
+        stack.train()
+        c, _ = stack.forward(x)
+        d, _ = stack.forward(x)
+        assert np.abs(c - d).max() > 0

@@ -1,0 +1,142 @@
+"""Tests for LR schedules and loss scalers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.parameter import Parameter, SparseGrad
+from repro.optim import (
+    DynamicLossScaler,
+    EpochDecaySchedule,
+    StaticLossScaler,
+    grads_are_finite,
+    scaled_base_lr,
+)
+
+
+class TestLRScaling:
+    def test_single_node_keeps_base(self):
+        assert scaled_base_lr(0.2, 1) == 0.2
+
+    def test_paper_64_gpu_word_lm_rate(self):
+        """0.2 * ln(8 nodes) = 0.416, the paper's '0.41 for 64 GPUs'."""
+        assert scaled_base_lr(0.2, 8) == pytest.approx(0.416, abs=0.01)
+
+    def test_paper_char_lm_rate(self):
+        """1e-3 * ln(8) = 2.07e-3, as quoted for the char LM at 64 GPUs."""
+        assert scaled_base_lr(1e-3, 8) == pytest.approx(2.07e-3, abs=0.02e-3)
+
+    def test_monotone_in_nodes(self):
+        rates = [scaled_base_lr(0.2, n) for n in (2, 4, 8, 24)]
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_base_lr(0.0, 4)
+        with pytest.raises(ValueError):
+            scaled_base_lr(0.1, 0)
+
+
+class TestEpochDecay:
+    def test_decay_progression(self):
+        s = EpochDecaySchedule(initial_lr=1.0, decay=0.9)
+        assert s.lr_at_epoch(0) == 1.0
+        assert s.lr_at_epoch(2) == pytest.approx(0.81)
+
+    def test_paper_range_enforced(self):
+        with pytest.raises(ValueError):
+            EpochDecaySchedule(initial_lr=1.0, decay=0.5)
+        EpochDecaySchedule(initial_lr=1.0, decay=0.5, strict=False)
+
+    def test_for_cluster_combines_scaling(self):
+        s = EpochDecaySchedule.for_cluster(0.2, num_nodes=8, decay=0.9)
+        assert s.initial_lr == pytest.approx(0.2 * math.log(8))
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            EpochDecaySchedule(1.0).lr_at_epoch(-1)
+
+
+class TestStaticLossScaler:
+    def test_unscale_dense_and_sparse(self):
+        p = Parameter(np.zeros((2, 2)))
+        p.accumulate_grad(np.full((2, 2), 512.0))
+        p.accumulate_sparse_grad(
+            SparseGrad(np.array([0], np.int64), np.array([[512.0, 512.0]]))
+        )
+        StaticLossScaler(512.0).unscale_grads([p])
+        np.testing.assert_allclose(p.grad, 1.0)
+        np.testing.assert_allclose(p.sparse_grads[0].values, 1.0)
+
+    def test_scale_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            StaticLossScaler(0.5)
+
+    def test_update_is_noop(self):
+        s = StaticLossScaler(256.0)
+        s.update(found_overflow=True)
+        assert s.scale == 256.0
+
+
+class TestDynamicLossScaler:
+    def test_grows_after_clean_interval(self):
+        s = DynamicLossScaler(initial_scale=4.0, growth_interval=3)
+        for _ in range(3):
+            s.update(found_overflow=False)
+        assert s.scale == 8.0
+
+    def test_backs_off_on_overflow(self):
+        s = DynamicLossScaler(initial_scale=4.0)
+        s.update(found_overflow=True)
+        assert s.scale == 2.0
+
+    def test_overflow_resets_growth_counter(self):
+        s = DynamicLossScaler(initial_scale=4.0, growth_interval=2)
+        s.update(False)
+        s.update(True)   # back to 2, counter reset
+        s.update(False)
+        assert s.scale == 2.0  # only one clean step since overflow
+
+    def test_bounded_by_min_and_max(self):
+        s = DynamicLossScaler(
+            initial_scale=2.0, growth_interval=1, min_scale=1.0, max_scale=4.0
+        )
+        s.update(True)
+        s.update(True)
+        assert s.scale == 1.0
+        for _ in range(10):
+            s.update(False)
+        assert s.scale == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicLossScaler(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(backoff_factor=1.0)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(growth_interval=0)
+        with pytest.raises(ValueError):
+            DynamicLossScaler(initial_scale=0.5, min_scale=1.0)
+
+
+class TestOverflowDetection:
+    def test_finite_grads_pass(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate_grad(np.array([1.0, 2.0]))
+        assert grads_are_finite([p])
+
+    def test_inf_dense_detected(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate_grad(np.array([1.0, np.inf]))
+        assert not grads_are_finite([p])
+
+    def test_nan_sparse_detected(self):
+        p = Parameter(np.zeros((2, 1)))
+        p.accumulate_sparse_grad(
+            SparseGrad(np.array([0], np.int64), np.array([[np.nan]]))
+        )
+        assert not grads_are_finite([p])
+
+    def test_no_grads_is_finite(self):
+        assert grads_are_finite([Parameter(np.zeros(2))])

@@ -1,0 +1,93 @@
+"""Tests for the computational-intensity analysis."""
+
+import pytest
+
+from repro.data.batching import BatchSpec
+from repro.perf import (
+    ALL_TECHNIQUES,
+    CHAR_LM_1B,
+    WORD_LM_1B,
+    achieved_flops_per_gpu,
+    aggregate_achieved_flops,
+    char_lm_flops_per_iteration,
+    intensity_report,
+    word_lm_flops_per_iteration,
+)
+from repro.train.config import PAPER_CHAR_LM, PAPER_WORD_LM
+
+
+class TestFlopCounts:
+    def test_word_lm_near_paper_figure(self):
+        """Paper: 136 GFLOP per iteration for the word LM."""
+        flops = word_lm_flops_per_iteration(PAPER_WORD_LM, BatchSpec(32, 20))
+        assert flops == pytest.approx(136e9, rel=0.5)
+
+    def test_char_lm_same_magnitude_as_paper_figure(self):
+        """Paper: 2,721 GFLOP per iteration for the char LM.
+
+        Our 3x fwd+bwd convention over the depth-10 RHN gives ~7.5 TFLOP;
+        the paper's figure sits between our forward-only (~2.5 TFLOP) and
+        full counts — its counting convention is unstated, so the test
+        pins the order of magnitude, not the constant.
+        """
+        flops = char_lm_flops_per_iteration(PAPER_CHAR_LM, BatchSpec(128, 150))
+        assert 1e12 < flops < 1e13
+        forward_only = flops / 3
+        assert forward_only == pytest.approx(2721e9, rel=0.35)
+
+    def test_char_lm_is_compute_richer(self):
+        """The 20x intensity gap that explains the efficiency difference."""
+        word = word_lm_flops_per_iteration(PAPER_WORD_LM, BatchSpec(32, 20))
+        char = char_lm_flops_per_iteration(PAPER_CHAR_LM, BatchSpec(128, 150))
+        assert char > 10 * word
+
+
+class TestAchievedThroughput:
+    def test_word_lm_2_44_tflops(self):
+        """Paper: 2.44 TFLOP/s = 40% of Titan X peak."""
+        assert achieved_flops_per_gpu(fraction=0.40) == pytest.approx(
+            2.44e12, rel=0.01
+        )
+
+    def test_char_lm_3_9_tflops(self):
+        """Paper: 3.95 TFLOP/s = 64% of peak."""
+        assert achieved_flops_per_gpu(fraction=0.64) == pytest.approx(
+            3.9e12, rel=0.02
+        )
+
+    def test_tieba_aggregate_0_76_pflops(self):
+        """Paper Section V-C: 0.76 PFLOP/s total on 192 GPUs."""
+        assert aggregate_achieved_flops(192, fraction=0.64) == pytest.approx(
+            0.76e15, rel=0.02
+        )
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            achieved_flops_per_gpu(fraction=0.0)
+        with pytest.raises(ValueError):
+            achieved_flops_per_gpu(fraction=1.5)
+
+
+class TestIntensityReports:
+    def test_char_lm_is_compute_bound(self):
+        report = intensity_report(CHAR_LM_1B, 16, ALL_TECHNIQUES)
+        assert report.bound == "compute"
+        assert report.compute_fraction > 0.7
+
+    def test_word_lm_less_compute_dominated_at_scale(self):
+        """At 64 GPUs the word LM's compute share collapses — the
+        low-intensity story behind its 40% efficiency."""
+        r16 = intensity_report(WORD_LM_1B, 16, ALL_TECHNIQUES)
+        r64 = intensity_report(WORD_LM_1B, 64, ALL_TECHNIQUES)
+        assert r64.compute_fraction < r16.compute_fraction
+        assert r64.compute_fraction < 0.5
+
+    def test_fractions_sum_to_one(self):
+        report = intensity_report(WORD_LM_1B, 32, ALL_TECHNIQUES)
+        total = (
+            report.compute_seconds
+            + report.communication_seconds
+            + report.overhead_seconds
+        )
+        assert report.total_seconds == pytest.approx(total)
+        assert 0 < report.compute_fraction < 1

@@ -1,0 +1,102 @@
+"""Tests for straggler and overlap analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.perf import (
+    ALL_TECHNIQUES,
+    CHAR_LM_1B,
+    WORD_LM_1B,
+    PerfModel,
+    efficiency_ceiling,
+    expected_max_gaussian,
+    overlap_speedup,
+    overlapped_time,
+    perfect_overlap_bound,
+    simulate_synchronous_step,
+    straggler_slowdown,
+)
+
+
+class TestStragglers:
+    def test_single_rank_no_penalty(self):
+        assert expected_max_gaussian(1, 2.0, 0.5) == 2.0
+        assert straggler_slowdown(1, 0.3) == 1.0
+
+    def test_slowdown_grows_with_world(self):
+        vals = [straggler_slowdown(g, 0.1) for g in (2, 8, 64, 512)]
+        assert vals == sorted(vals)
+        assert vals[-1] < 1.5  # sqrt(2 ln G) grows slowly
+
+    def test_formula_tracks_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        for world in (4, 16, 64):
+            mc = simulate_synchronous_step(world, 1.0, 0.1, rng, n_steps=4000)
+            approx = expected_max_gaussian(world, 1.0, 0.1)
+            assert approx == pytest.approx(mc, rel=0.07)
+
+    def test_zero_jitter_is_free(self):
+        rng = np.random.default_rng(1)
+        assert simulate_synchronous_step(32, 1.0, 0.0, rng) == pytest.approx(1.0)
+
+    def test_efficiency_ceiling_decreasing(self):
+        c16 = efficiency_ceiling(16, cv=0.1)
+        c64 = efficiency_ceiling(64, cv=0.1)
+        assert 0 < c64 < c16 <= 1.0
+
+    def test_ceiling_above_paper_measurements(self):
+        """Jitter alone cannot explain all of Table III's fade — the
+        ceiling at plausible cv must sit above the measured 40%@64."""
+        assert efficiency_ceiling(64, cv=0.15) > 0.40
+
+    @given(world=st.integers(1, 512), cv=st.floats(0.0, 0.9))
+    @settings(max_examples=50)
+    def test_slowdown_at_least_one(self, world, cv):
+        assert straggler_slowdown(world, cv) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_max_gaussian(0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            straggler_slowdown(4, 1.5)
+        with pytest.raises(ValueError):
+            simulate_synchronous_step(0, 1.0, 0.1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            efficiency_ceiling(4, 0.1, reference_world=8)
+
+
+class TestOverlap:
+    def test_zero_overlap_is_sequential(self):
+        cost = PerfModel(WORD_LM_1B).iteration_cost(64, ALL_TECHNIQUES)
+        assert overlapped_time(cost, 0.0) == pytest.approx(cost.total)
+
+    def test_full_overlap_hides_comm_up_to_compute(self):
+        cost = PerfModel(WORD_LM_1B).iteration_cost(64, ALL_TECHNIQUES)
+        t = overlapped_time(cost, 1.0)
+        comm = cost.dense_allreduce + cost.input_exchange + cost.output_exchange
+        hidden = min(comm, cost.compute)
+        assert t == pytest.approx(cost.total - hidden)
+
+    def test_speedup_monotone_in_fraction(self):
+        speedups = [
+            overlap_speedup(CHAR_LM_1B, 64, ALL_TECHNIQUES, f)
+            for f in (0.0, 0.25, 0.5, 1.0)
+        ]
+        assert speedups == sorted(speedups)
+        assert speedups[0] == pytest.approx(1.0)
+
+    def test_char_lm_hides_all_comm(self):
+        """The compute-rich char LM can hide its entire dense allreduce."""
+        cost = PerfModel(CHAR_LM_1B).iteration_cost(64, ALL_TECHNIQUES)
+        comm = cost.dense_allreduce + cost.input_exchange + cost.output_exchange
+        assert cost.compute > comm  # fully hideable
+        bound = perfect_overlap_bound(CHAR_LM_1B, 64, ALL_TECHNIQUES)
+        assert bound == pytest.approx(cost.total / (cost.total - comm))
+
+    def test_fraction_validation(self):
+        cost = PerfModel(WORD_LM_1B).iteration_cost(16, ALL_TECHNIQUES)
+        with pytest.raises(ValueError):
+            overlapped_time(cost, -0.1)
+        with pytest.raises(ValueError):
+            overlapped_time(cost, 1.1)

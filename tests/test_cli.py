@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "word"
+        assert args.gpus == 4
+        assert not args.baseline
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--table", "7"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["zipf", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "35.2 GB" in out
+        assert "256x" in out
+
+    def test_zipf(self, capsys):
+        assert main(["zipf", "--tokens", "20000", "--dataset", "gb"]) == 0
+        out = capsys.readouterr().out
+        assert "Heaps fit" in out
+        assert "gb:" in out
+
+    @pytest.mark.parametrize("table,expect", [(3, "word-lm-1b"), (4, "char-lm-1b"), (5, "Tieba")])
+    def test_perf_tables(self, capsys, table, expect):
+        assert main(["perf", "--table", str(table)]) == 0
+        assert expect in capsys.readouterr().out
+
+    def test_perf_table3_shows_oom(self, capsys):
+        main(["perf", "--table", "3"])
+        assert "OOM *" in capsys.readouterr().out
+
+    def test_train_word_smoke(self, capsys):
+        rc = main(
+            [
+                "train", "--model", "word", "--gpus", "2", "--steps", "6",
+                "--vocab", "80", "--corpus-tokens", "5000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final val ppl" in out
+        assert "replica divergence: 0.0e+00" in out
+
+    def test_train_char_with_fp16(self, capsys):
+        rc = main(
+            [
+                "train", "--model", "char", "--gpus", "2", "--steps", "4",
+                "--vocab", "60", "--corpus-tokens", "30000", "--fp16",
+            ]
+        )
+        assert rc == 0
+        assert "unique + fp16" in capsys.readouterr().out
+
+    def test_generate_smoke(self, capsys):
+        rc = main(["generate", "--steps", "10", "--length", "15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bits/char" in out
+        assert "sample: the " in out
+
+    def test_train_baseline_flag(self, capsys):
+        rc = main(
+            [
+                "train", "--gpus", "2", "--steps", "3", "--vocab", "80",
+                "--corpus-tokens", "5000", "--baseline",
+            ]
+        )
+        assert rc == 0
+        assert "allgather" in capsys.readouterr().out

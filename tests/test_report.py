@@ -1,0 +1,48 @@
+"""Tests for benchmark report formatting."""
+
+import pytest
+
+from repro.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(
+            ["GPUs", "Time"], [[8, 14.6], [16, 8.1]], title="Table III"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table III"
+        assert "GPUs" in lines[1]
+        assert "14.6" in lines[3]
+
+    def test_cell_count_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.00012], [12345.6], [3.5], [0.0]])
+        assert "0.00012" in out
+        assert "3.5" in out
+        assert "0" in out
+
+    def test_string_cells_pass_through(self):
+        out = format_table(["status"], [["OOM"]])
+        assert "OOM" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("16 gpu", [0.5, 1.0], [120.0, 84.3])
+        assert out.startswith("16 gpu:")
+        assert "(0.5, 120)" in out
+        assert "(1, 84.3)" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])

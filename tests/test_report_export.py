@@ -1,0 +1,61 @@
+"""Tests for CSV/JSON result export."""
+
+import json
+
+import pytest
+
+from repro.report import to_csv, to_json, write_results
+
+
+class TestCSV:
+    def test_roundtrip_shape(self):
+        out = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2] == "3,4"
+
+    def test_quoting(self):
+        out = to_csv(["x"], [["hello, world"]])
+        assert '"hello, world"' in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            to_csv([], [])
+        with pytest.raises(ValueError):
+            to_csv(["a"], [[1, 2]])
+
+
+class TestJSON:
+    def test_records_keyed_by_header(self):
+        doc = json.loads(to_json(["gpu", "hours"], [[8, 14.6]]))
+        assert doc["rows"] == [{"gpu": 8, "hours": 14.6}]
+
+    def test_meta_attached(self):
+        doc = json.loads(
+            to_json(["x"], [[1]], meta={"table": "III", "units": "hours"})
+        )
+        assert doc["meta"]["table"] == "III"
+
+    def test_non_serializable_stringified(self):
+        class Odd:
+            def __str__(self):
+                return "odd"
+
+        doc = json.loads(to_json(["x"], [[Odd()]]))
+        assert doc["rows"][0]["x"] == "odd"
+
+
+class TestWriteResults:
+    def test_writes_both_formats(self, tmp_path):
+        paths = write_results(
+            tmp_path / "out", "table3", ["gpu"], [[8], [16]], meta={"t": 3}
+        )
+        assert paths["csv"].read_text().startswith("gpu")
+        doc = json.loads(paths["json"].read_text())
+        assert len(doc["rows"]) == 2
+        assert doc["meta"]["t"] == 3
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        write_results(target, "x", ["c"], [])
+        assert target.exists()

@@ -1,0 +1,99 @@
+"""Tests for the end-to-end simulated run facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DeviceSpec
+from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+from repro.optim import SGD
+from repro.sim import SimulatedRun
+from repro.train import TrainConfig, WordLanguageModel, WordLMConfig
+
+VOCAB = 80
+MODEL = WordLMConfig(
+    vocab_size=VOCAB, embedding_dim=8, hidden_dim=10, projection_dim=8,
+    num_samples=12,
+)
+CORPUS = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 20_000, seed=2)
+
+BIG_DEVICE = DeviceSpec(name="big", memory_bytes=10**9, peak_flops=1e12)
+# Sized between the unique path's peak (~40 KB incl. the 34 KB model
+# residency) and the baseline's (~52 KB) at world=10.
+TINY_DEVICE = DeviceSpec(name="tiny", memory_bytes=45_000, peak_flops=1e12)
+
+
+def make_run(world=4, device=BIG_DEVICE, use_unique=True, **kw):
+    cfg = TrainConfig(
+        world_size=world, batch=BatchSpec(2, 8), base_lr=0.3,
+        use_unique=use_unique,
+    )
+    return SimulatedRun(
+        lambda rng, rank: WordLanguageModel(MODEL, rng),
+        lambda params, lr: SGD(params, lr),
+        CORPUS,
+        cfg,
+        device_spec=device,
+        **kw,
+    )
+
+
+class TestCompletedRun:
+    def test_report_fields(self):
+        report = make_run().execute(steps=20)
+        assert report.completed and not report.oom
+        assert report.final_perplexity < report.initial_perplexity
+        assert report.wire_bytes_per_rank > 0
+        assert report.comm_seconds > 0
+        assert report.peak_memory_bytes >= report.model_bytes
+        assert "allreduce" in report.bytes_by_op
+
+    def test_model_residency_charged(self):
+        run = make_run()
+        params = run.trainer.replicas[0].parameter_bytes()
+        assert run.model_bytes == 2 * params  # weights + grads, SGD
+        run_adam = make_run(optimizer_slots=2)
+        assert run_adam.model_bytes == 4 * params
+
+    def test_summary_renders(self):
+        report = make_run().execute(steps=5)
+        text = report.summary()
+        assert "completed" in text
+        assert "MB/GPU" in text
+
+    def test_unique_run_cheaper_than_baseline(self):
+        r_uniq = make_run(use_unique=True).execute(steps=5)
+        r_base = make_run(use_unique=False).execute(steps=5)
+        assert r_uniq.wire_bytes_per_rank < r_base.wire_bytes_per_rank
+        assert r_uniq.peak_memory_bytes < r_base.peak_memory_bytes
+
+
+class TestOOMRun:
+    def test_baseline_oom_captured_not_raised(self):
+        report = make_run(world=10, device=TINY_DEVICE, use_unique=False).execute(
+            steps=3
+        )
+        assert report.oom and not report.completed
+        assert "exceeds capacity" in report.oom_message
+        assert report.summary().startswith("simulated run")
+        assert "ABORTED" in report.summary()
+
+    def test_unique_fits_same_device(self):
+        report = make_run(world=10, device=TINY_DEVICE, use_unique=True).execute(
+            steps=3
+        )
+        assert report.completed
+
+    def test_model_too_big_for_device_raises_at_setup(self):
+        """A model that can't even load is a configuration error, not a
+        run outcome."""
+        from repro.cluster import DeviceOOMError
+
+        micro = DeviceSpec(name="micro", memory_bytes=1000, peak_flops=1e12)
+        with pytest.raises(DeviceOOMError):
+            make_run(device=micro)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_run().execute(steps=0)
+        with pytest.raises(ValueError):
+            make_run(optimizer_slots=-1)

@@ -1,0 +1,244 @@
+"""Tests for checkpoint save/resume and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+from repro.nn import Linear, Module, Parameter
+from repro.optim import SGD, Adam
+from repro.train import (
+    CharLanguageModel,
+    CharLMConfig,
+    DistributedTrainer,
+    TrainConfig,
+    WordLanguageModel,
+    WordLMConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+VOCAB = 60
+WORD_CFG = WordLMConfig(
+    vocab_size=VOCAB, embedding_dim=6, hidden_dim=8, projection_dim=6, num_samples=8
+)
+CORPUS = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 6000, seed=0)
+
+
+def word_trainer(world=2, seed_offset=0):
+    cfg = TrainConfig(
+        world_size=world, batch=BatchSpec(2, 6), base_lr=0.2,
+        init_seed=1234 + seed_offset,
+    )
+    return DistributedTrainer(
+        lambda rng, rank: WordLanguageModel(WORD_CFG, rng),
+        lambda params, lr: SGD(params, lr),
+        CORPUS.train, CORPUS.valid, cfg,
+    )
+
+
+def char_trainer(world=2):
+    cfg = TrainConfig(world_size=world, batch=BatchSpec(2, 6), base_lr=1e-3)
+    mcfg = CharLMConfig(vocab_size=VOCAB, embedding_dim=6, hidden_dim=8,
+                        depth=2, dropout=0.0)
+    return DistributedTrainer(
+        lambda rng, rank: CharLanguageModel(
+            mcfg, rng, dropout_rng=np.random.default_rng(rank)
+        ),
+        lambda params, lr: Adam(params, lr),
+        CORPUS.train, CORPUS.valid, cfg,
+    )
+
+
+class TestModuleStateDict:
+    def test_roundtrip(self):
+        m = Linear(3, 4, np.random.default_rng(0))
+        state = m.state_dict()
+        m.weight.data[:] = 0.0
+        m.load_state_dict(state)
+        assert m.weight.data.any()
+
+    def test_state_is_a_copy(self):
+        m = Linear(3, 4, np.random.default_rng(0))
+        state = m.state_dict()
+        state["weight"][:] = 99.0
+        assert not (m.weight.data == 99.0).any()
+
+    def test_mismatched_names_rejected(self):
+        m = Linear(3, 4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            m.load_state_dict({"weight": m.weight.data})  # missing bias
+        with pytest.raises(ValueError):
+            m.load_state_dict(m.state_dict() | {"extra": np.zeros(1)})
+
+    def test_mismatched_shape_rejected(self):
+        m = Linear(3, 4, np.random.default_rng(0))
+        bad = m.state_dict()
+        bad["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            m.load_state_dict(bad)
+
+    def test_nested_modules(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2, np.random.default_rng(1))
+                self.b = Parameter(np.ones(3))
+
+        net = Net()
+        state = net.state_dict()
+        assert set(state) == {"a.weight", "a.bias", "b"}
+        net.b.data[:] = 7.0
+        net.load_state_dict(state)
+        np.testing.assert_allclose(net.b.data, 1.0)
+
+
+class TestOptimizerStateDict:
+    def test_sgd_roundtrip(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.5, clip_norm=2.0)
+        state = opt.state_dict()
+        opt2 = SGD([p], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.5
+        assert opt2.clip_norm == 2.0
+
+    def test_adam_roundtrip_preserves_moments(self):
+        p = Parameter(np.zeros((3, 2)))
+        opt = Adam([p], lr=0.01)
+        p.accumulate_grad(np.ones((3, 2)))
+        opt.step()
+        state = opt.state_dict()
+
+        p2 = Parameter(np.zeros((3, 2)))
+        opt2 = Adam([p2], lr=0.01)
+        opt2.load_state_dict(state)
+        # Both continue identically from here.
+        for o, q in ((opt, p), (opt2, p2)):
+            q.data[:] = 0.0
+            q.accumulate_grad(np.full((3, 2), 0.5))
+            o.step()
+        np.testing.assert_allclose(p.data, p2.data, rtol=1e-12)
+
+    def test_adam_shape_mismatch_rejected(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.01)
+        state = opt.state_dict()
+        state["m0"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            opt.load_state_dict(state)
+
+
+class TestCheckpointRoundtrip:
+    def test_resume_is_bit_identical(self, tmp_path):
+        """Train 4 steps, checkpoint, train 4 more; vs 8 straight."""
+        straight = word_trainer()
+        resumed = word_trainer()
+        for _ in range(4):
+            straight.train_step()
+            resumed.train_step()
+        ckpt = tmp_path / "step4.npz"
+        save_checkpoint(ckpt, resumed)
+
+        # A fresh trainer with *different* init must land on the
+        # checkpointed weights exactly.
+        fresh = word_trainer(seed_offset=999)
+        step = load_checkpoint(ckpt, fresh)
+        assert step == 4
+        for _ in range(4):
+            straight.train_step()
+            fresh.train_step()
+        for (n, a), (_, b) in zip(
+            straight.replicas[0].named_parameters(),
+            fresh.replicas[0].named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=n)
+
+    def test_adam_trainer_resume(self, tmp_path):
+        tr = char_trainer()
+        for _ in range(3):
+            tr.train_step()
+        ckpt = tmp_path / "char.npz"
+        save_checkpoint(ckpt, tr)
+        fresh = char_trainer()
+        load_checkpoint(ckpt, fresh)
+        tr.train_step()
+        fresh.train_step()
+        for (n, a), (_, b) in zip(
+            tr.replicas[0].named_parameters(),
+            fresh.replicas[0].named_parameters(),
+        ):
+            np.testing.assert_allclose(a.data, b.data, rtol=1e-12, err_msg=n)
+
+    def test_all_replicas_restored(self, tmp_path):
+        tr = word_trainer(world=3)
+        tr.train_step()
+        ckpt = tmp_path / "w3.npz"
+        save_checkpoint(ckpt, tr)
+        fresh = word_trainer(world=3, seed_offset=5)
+        load_checkpoint(ckpt, fresh)
+        from repro.train import assert_replicas_synchronized
+
+        assert_replicas_synchronized(fresh.replicas, atol=0.0)
+
+    def test_world_size_mismatch_rejected(self, tmp_path):
+        tr = word_trainer(world=2)
+        ckpt = tmp_path / "w2.npz"
+        save_checkpoint(ckpt, tr)
+        with pytest.raises(ValueError):
+            load_checkpoint(ckpt, word_trainer(world=4))
+
+    def test_dynamic_scaler_state_restored(self, tmp_path):
+        def scaled_trainer():
+            cfg = TrainConfig(
+                world_size=2, batch=BatchSpec(2, 6), base_lr=0.2,
+                loss_scale="dynamic",
+            )
+            return DistributedTrainer(
+                lambda rng, rank: WordLanguageModel(WORD_CFG, rng),
+                lambda params, lr: SGD(params, lr),
+                CORPUS.train, CORPUS.valid, cfg,
+            )
+
+        tr = scaled_trainer()
+        tr.scaler.growth_interval = 2
+        for _ in range(5):
+            tr.train_step()
+        assert tr.scaler.scale > 1024.0  # grew at least once
+        ckpt = tmp_path / "scaled.npz"
+        save_checkpoint(ckpt, tr)
+
+        fresh = scaled_trainer()
+        fresh.scaler.growth_interval = 2
+        load_checkpoint(ckpt, fresh)
+        assert fresh.scaler.scale == tr.scaler.scale
+        assert fresh.scaler._clean_steps == tr.scaler._clean_steps
+        assert fresh.skipped_steps == tr.skipped_steps
+        # Continuation is bit-identical.
+        tr.train_step()
+        fresh.train_step()
+        for (n, a), (_, b) in zip(
+            tr.replicas[0].named_parameters(),
+            fresh.replicas[0].named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=n)
+
+    def test_scaler_checkpoint_requires_scaler_trainer(self, tmp_path):
+        cfg = TrainConfig(
+            world_size=2, batch=BatchSpec(2, 6), base_lr=0.2,
+            loss_scale=512.0,
+        )
+        tr = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(WORD_CFG, rng),
+            lambda params, lr: SGD(params, lr),
+            CORPUS.train, CORPUS.valid, cfg,
+        )
+        ckpt = tmp_path / "static.npz"
+        save_checkpoint(ckpt, tr)
+        with pytest.raises(ValueError):
+            load_checkpoint(ckpt, word_trainer())
+
+    def test_diverged_replicas_refuse_to_checkpoint(self, tmp_path):
+        tr = word_trainer()
+        tr.replicas[1].embedding.weight.data[0, 0] += 1.0
+        with pytest.raises(AssertionError):
+            save_checkpoint(tmp_path / "bad.npz", tr)

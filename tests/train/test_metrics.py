@@ -1,0 +1,79 @@
+"""Tests for accuracy metrics."""
+
+import math
+
+import pytest
+
+from repro.train.metrics import (
+    accuracy_improvement,
+    bits_per_char,
+    compression_ratio,
+    nll_from_perplexity,
+    perplexity,
+    perplexity_from_bpc,
+)
+
+
+class TestPerplexity:
+    def test_roundtrip(self):
+        assert perplexity(nll_from_perplexity(72.4)) == pytest.approx(72.4)
+
+    def test_zero_nll_is_ppl_one(self):
+        assert perplexity(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            perplexity(-0.1)
+        with pytest.raises(ValueError):
+            nll_from_perplexity(0.5)
+
+
+class TestBPC:
+    def test_bpc_is_log2_ppl(self):
+        nll = nll_from_perplexity(2.0)
+        assert bits_per_char(nll) == pytest.approx(1.0)
+
+    def test_paper_amazon_figures(self):
+        """Section V-D: BPC 1.11 ~ char perplexity 2^1.11 = 2.16."""
+        assert perplexity_from_bpc(1.11) == pytest.approx(2.158, abs=0.01)
+
+    def test_roundtrip(self):
+        assert bits_per_char(math.log(perplexity_from_bpc(1.208))) == pytest.approx(
+            1.208
+        )
+
+
+class TestCompressionRatio:
+    def test_paper_tieba_figure(self):
+        """93.12 GB / 34.36 B chars at perplexity 11.1 -> ratio ~6.3."""
+        bpc = bits_per_char(nll_from_perplexity(11.1))
+        ratio = compression_ratio(93.12 * 1024**3, 34.36e9, bpc)
+        assert ratio == pytest.approx(6.3, rel=0.08)
+
+    def test_paper_amazon_reference(self):
+        """Prior work: BPC 1.11 on ~40GB/38.76B chars -> ratio ~6.8."""
+        ratio = compression_ratio(37.04 * 1024**3, 38.76e9, 1.11)
+        assert ratio == pytest.approx(6.8, rel=0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compression_ratio(0, 1, 1)
+        with pytest.raises(ValueError):
+            compression_ratio(1, 1, 0)
+
+
+class TestAccuracyImprovement:
+    def test_paper_35_percent_claim(self):
+        """Tieba: ppl 17.06 -> 11.1 is the paper's '35% improvement'."""
+        assert accuracy_improvement(17.06, 11.1) == pytest.approx(0.35, abs=0.01)
+
+    def test_paper_20_percent_claim(self):
+        """Tieba 12 GB point: 17.06 -> 13.6 is ~20%."""
+        assert accuracy_improvement(17.06, 13.6) == pytest.approx(0.20, abs=0.01)
+
+    def test_no_improvement_is_zero(self):
+        assert accuracy_improvement(10.0, 10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_improvement(0.5, 10.0)

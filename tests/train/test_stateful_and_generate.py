@@ -1,0 +1,226 @@
+"""Tests for stateful BPTT and text generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+from repro.data.batching import Batch
+from repro.optim import SGD
+from repro.train import (
+    CharLanguageModel,
+    CharLMConfig,
+    DistributedTrainer,
+    TrainConfig,
+    WordLanguageModel,
+    WordLMConfig,
+    assert_replicas_synchronized,
+    generate,
+    next_token_distribution,
+)
+
+VOCAB = 60
+WORD_CFG = WordLMConfig(
+    vocab_size=VOCAB, embedding_dim=6, hidden_dim=8, projection_dim=6, num_samples=8
+)
+CHAR_CFG = CharLMConfig(
+    vocab_size=VOCAB, embedding_dim=6, hidden_dim=8, depth=2, dropout=0.0
+)
+CORPUS = make_corpus(ONE_BILLION_WORD.scaled(VOCAB), 6000, seed=0)
+
+
+def batch(shape=(2, 5), seed=0):
+    rng = np.random.default_rng(seed)
+    return Batch(
+        inputs=rng.integers(0, VOCAB, shape), targets=rng.integers(0, VOCAB, shape)
+    )
+
+
+class TestStatefulModels:
+    def test_word_lm_carries_state(self):
+        m = WordLanguageModel(WORD_CFG, np.random.default_rng(0), stateful=True)
+        m.step(batch(), np.random.default_rng(1))
+        assert m._state is not None
+        m.reset_state()
+        assert m._state is None
+
+    def test_stateless_by_default(self):
+        m = WordLanguageModel(WORD_CFG, np.random.default_rng(0))
+        m.step(batch(), np.random.default_rng(1))
+        assert m._state is None
+
+    def test_state_changes_next_step_loss(self):
+        a = WordLanguageModel(WORD_CFG, np.random.default_rng(0), stateful=True)
+        b = WordLanguageModel(WORD_CFG, np.random.default_rng(0), stateful=False)
+        rngs = [np.random.default_rng(5), np.random.default_rng(5)]
+        # First step identical; second differs because `a` carries state.
+        la1 = a.step(batch(seed=1), rngs[0])
+        lb1 = b.step(batch(seed=1), rngs[1])
+        assert la1 == lb1
+        a.zero_grad(), b.zero_grad()
+        rngs = [np.random.default_rng(6), np.random.default_rng(6)]
+        la2 = a.step(batch(seed=2), rngs[0])
+        lb2 = b.step(batch(seed=2), rngs[1])
+        assert la2 != lb2
+
+    def test_batch_shape_change_resets_carry(self):
+        m = WordLanguageModel(WORD_CFG, np.random.default_rng(0), stateful=True)
+        m.step(batch(shape=(2, 5)), np.random.default_rng(1))
+        # No crash when the sequence count changes.
+        m.step(batch(shape=(3, 5), seed=2), np.random.default_rng(2))
+
+    def test_eval_does_not_touch_state(self):
+        m = WordLanguageModel(WORD_CFG, np.random.default_rng(0), stateful=True)
+        m.step(batch(), np.random.default_rng(1))
+        state = m._state
+        m.eval_nll([batch(seed=3)])
+        assert m._state is state
+
+    def test_char_lm_state_carry(self):
+        m = CharLanguageModel(
+            CHAR_CFG, np.random.default_rng(0),
+            dropout_rng=np.random.default_rng(1), stateful=True,
+        )
+        m.step(batch())
+        assert m._state is not None
+        m.reset_state()
+        assert m._state is None
+
+    def test_stateful_distributed_training_stays_synchronized(self):
+        cfg = TrainConfig(world_size=3, batch=BatchSpec(2, 6), base_lr=0.2)
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(WORD_CFG, rng, stateful=True),
+            lambda params, lr: SGD(params, lr),
+            CORPUS.train, CORPUS.valid, cfg,
+        )
+        trainer.train_epoch(max_steps=5, evals_per_epoch=1)
+        assert_replicas_synchronized(trainer.replicas, atol=0.0)
+
+    def test_trainer_resets_state_each_epoch(self):
+        cfg = TrainConfig(world_size=2, batch=BatchSpec(2, 6), base_lr=0.2)
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(WORD_CFG, rng, stateful=True),
+            lambda params, lr: SGD(params, lr),
+            CORPUS.train, CORPUS.valid, cfg,
+        )
+        trainer.train_step()
+        assert trainer.replicas[0]._state is not None
+        trainer.train_epoch(max_steps=1, evals_per_epoch=1)  # resets first
+        # After the reset + 1 step, state exists again; the reset itself
+        # is observable through the epoch hook having run without error.
+        assert trainer.replicas[0]._state is not None
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def word_model(self):
+        return WordLanguageModel(WORD_CFG, np.random.default_rng(0))
+
+    @pytest.fixture(scope="class")
+    def char_model(self):
+        return CharLanguageModel(
+            CHAR_CFG, np.random.default_rng(0),
+            dropout_rng=np.random.default_rng(1),
+        )
+
+    def test_distribution_is_valid(self, word_model):
+        probs = next_token_distribution(word_model, np.array([1, 2, 3]))
+        assert probs.shape == (VOCAB,)
+        assert probs.min() >= 0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_char_model_distribution(self, char_model):
+        probs = next_token_distribution(char_model, np.array([0, 5]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_generate_length_and_range(self, word_model):
+        out = generate(word_model, np.array([0]), 20, np.random.default_rng(0))
+        assert out.shape == (20,)
+        assert out.min() >= 0 and out.max() < VOCAB
+
+    def test_generate_deterministic_by_rng(self, word_model):
+        a = generate(word_model, np.array([3]), 10, np.random.default_rng(7))
+        b = generate(word_model, np.array([3]), 10, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_low_temperature_concentrates(self, word_model):
+        """At temperature -> 0 every draw from a fixed prompt is the
+        argmax; at high temperature draws spread out."""
+        probs = next_token_distribution(word_model, np.array([1]))
+        top1 = int(np.argmax(probs))
+        cold = [
+            int(generate(word_model, np.array([1]), 1,
+                         np.random.default_rng(s), temperature=1e-4)[0])
+            for s in range(8)
+        ]
+        hot = [
+            int(generate(word_model, np.array([1]), 1,
+                         np.random.default_rng(s), temperature=50.0)[0])
+            for s in range(8)
+        ]
+        assert all(t == top1 for t in cold)
+        assert len(set(hot)) > 1
+
+    def test_top_k_restricts_support(self, word_model):
+        probs = next_token_distribution(word_model, np.array([1]))
+        top1 = int(np.argmax(probs))
+        out = generate(
+            word_model, np.array([1]), 10, np.random.default_rng(0), top_k=1
+        )
+        # With top_k=1 every next-step draw is the argmax of its context;
+        # at least the first draw is predictable.
+        assert out[0] == top1
+
+    def test_trained_model_reflects_corpus_statistics(self):
+        """After training on a Zipf stream, frequent types get more
+        probability mass than rare ones."""
+        from repro.optim import Adam
+
+        model = CharLanguageModel(
+            CHAR_CFG, np.random.default_rng(0),
+            dropout_rng=np.random.default_rng(1),
+        )
+        opt = Adam(list(model.parameters()), lr=5e-3)
+        stream = CORPUS.train
+        for i in range(60):
+            start = (i * 40) % (stream.size - 41)
+            window = stream[start : start + 41]
+            b = Batch(inputs=window[:-1].reshape(2, 20),
+                      targets=window[1:].reshape(2, 20))
+            model.step(b)
+            opt.step()
+        probs = next_token_distribution(model, CORPUS.valid[:10])
+        assert probs[:5].sum() > probs[-5:].sum()
+
+    def test_validation(self, word_model):
+        with pytest.raises(ValueError):
+            generate(word_model, np.array([]), 5, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            generate(word_model, np.array([1]), -1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            generate(word_model, np.array([1]), 1, np.random.default_rng(0),
+                     temperature=0.0)
+        with pytest.raises(ValueError):
+            generate(word_model, np.array([1]), 1, np.random.default_rng(0),
+                     top_k=0)
+        with pytest.raises(ValueError):
+            next_token_distribution(word_model, np.array([[1, 2]]))
+
+
+class TestGenerationContextWindow:
+    def test_max_context_slides(self):
+        """Long generations must not feed unbounded context back in."""
+        model = WordLanguageModel(WORD_CFG, np.random.default_rng(0))
+        out = generate(
+            model, np.arange(5) % VOCAB, 30, np.random.default_rng(1),
+            max_context=4,
+        )
+        assert out.shape == (30,)
+
+    def test_max_context_changes_predictions(self):
+        """A context window shorter than the prompt must alter the
+        distribution (the model sees a different suffix)."""
+        model = WordLanguageModel(WORD_CFG, np.random.default_rng(0))
+        long_ctx = np.array([1, 2, 3, 4, 5, 6, 7, 8])
+        full = next_token_distribution(model, long_ctx)
+        short = next_token_distribution(model, long_ctx[-2:])
+        assert not np.allclose(full, short)
