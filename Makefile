@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples results clean
+.PHONY: install test lint bench examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,13 +10,16 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint src/repro
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
 
-results: test bench
+results: lint test bench
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 

@@ -14,14 +14,17 @@ simulated multi-GPU cluster:
 * :mod:`repro.core` — the paper's contribution: uniqueness, seeding and
   compression;
 * :mod:`repro.train` — word/char LM assemblies and the SPMD trainer;
-* :mod:`repro.perf` — the analytic model behind Tables III-V.
+* :mod:`repro.perf` — the analytic model behind Tables III-V;
+* :mod:`repro.analysis` — correctness tooling: the REPRO lint rules and
+  the runtime collective/compression sanitizer.
 """
 
-from . import cluster, core, data, nn, optim, perf, report, sim, train
+from . import analysis, cluster, core, data, nn, optim, perf, report, sim, train
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "cluster",
     "core",
     "data",

@@ -1,0 +1,426 @@
+"""The project rule set, ``REPRO001``–``REPRO006``.
+
+Each rule guards an invariant the paper's experiments depend on; the
+rationale strings say which section breaks when the rule is violated.
+Rules are registered into :data:`~repro.analysis.lint.engine.RULE_REGISTRY`
+on import and run by default from ``python -m repro.cli lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from .engine import Finding, ModuleSource, Rule, register
+
+__all__ = [
+    "BareGlobalRngRule",
+    "CollectiveOutsideScopeRule",
+    "DtypeDefaultRule",
+    "ExportsDriftRule",
+    "Float64IntoCommRule",
+    "PrintInLibraryRule",
+]
+
+_NUMPY_ALIASES = {"np", "numpy"}
+
+#: Collective methods of the simulated communicator (and its wrappers).
+_COLLECTIVES = {"allreduce", "allgather", "broadcast", "reduce_scatter"}
+
+
+def _attr_chain(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_np_attr(node: ast.AST, *names: str) -> bool:
+    """True when ``node`` is ``np.<name>``/``numpy.<name>`` for any name."""
+    chain = _attr_chain(node)
+    if chain is None:
+        return False
+    root, _, rest = chain.partition(".")
+    return root in _NUMPY_ALIASES and rest in names
+
+
+@register
+class BareGlobalRngRule(Rule):
+    """REPRO001: randomness must flow through explicit generators."""
+
+    rule_id = "REPRO001"
+    title = "bare global RNG"
+    rationale = (
+        "The seeding experiments (paper §III-B) assign every rank a seed "
+        "group; np.random.* calls on the hidden global state bypass that "
+        "assignment and silently decouple ranks. Use an explicit "
+        "np.random.Generator (np.random.default_rng(seed))."
+    )
+
+    #: Explicitly-seeded constructors that are the *fix*, not the bug.
+    ALLOWED = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "MT19937",
+            "SFC64",
+        }
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if chain is None:
+                    continue
+                parts = chain.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in _NUMPY_ALIASES
+                    and parts[1] == "random"
+                    and parts[2] not in self.ALLOWED
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"global-state RNG `{chain}`: pass an explicit "
+                        "np.random.Generator (np.random.default_rng(seed)) "
+                        "so the rank's seed group controls the stream",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name != "*" and alias.name not in self.ALLOWED:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"`from numpy.random import {alias.name}` "
+                                "imports the global-state API; import an "
+                                "explicit Generator constructor instead",
+                            )
+
+
+@register
+class Float64IntoCommRule(Rule):
+    """REPRO002: no float64 payloads at communicator/codec call sites."""
+
+    rule_id = "REPRO002"
+    title = "float64 into a communication path"
+    rationale = (
+        "Wire volumes in Tables III-V assume FP32 payloads (halved to "
+        "FP16 by §III-C compression). A float64 array entering a "
+        "collective doubles every byte count silently. Cast to "
+        "repro.nn.DTYPE before the comm boundary."
+    )
+
+    _CALLEES = _COLLECTIVES | {"encode"}
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in self._CALLEES:
+                continue
+            consumed: set[int] = set()
+            for sub in self._iter_arg_nodes(node):
+                if id(sub) in consumed:
+                    continue
+                hit = self._float64_use(sub)
+                if hit is not None:
+                    if isinstance(sub, ast.Call):
+                        # Don't double-report the np.float64 inside an
+                        # already-flagged astype(...) call.
+                        consumed.update(id(n) for n in ast.walk(sub))
+                    yield self.finding(
+                        module,
+                        sub,
+                        f"{hit} flows into `.{node.func.attr}(...)`: comm "
+                        "payloads are FP32/FP16 — cast with "
+                        ".astype(repro.nn.DTYPE) before the boundary",
+                    )
+
+    @staticmethod
+    def _iter_arg_nodes(call: ast.Call) -> Iterator[ast.AST]:
+        for arg in call.args:
+            yield from ast.walk(arg)
+        for kw in call.keywords:
+            yield from ast.walk(kw.value)
+
+    @staticmethod
+    def _float64_use(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Attribute) and _is_np_attr(node, "float64"):
+            return "np.float64"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and any(
+                _is_np_attr(a, "float64")
+                for a in list(node.args)
+                + [kw.value for kw in node.keywords]
+            )
+        ):
+            return "astype(np.float64)"
+        return None
+
+
+@register
+class CollectiveOutsideScopeRule(Rule):
+    """REPRO003: orchestration-level comm must run inside a ledger scope."""
+
+    rule_id = "REPRO003"
+    title = "collective outside a ledger scope"
+    rationale = (
+        "The per-phase cost attribution behind the paper's analysis "
+        "(embedding-sync vs dense-allreduce, Tables III-V) only works if "
+        "orchestration code issues communication inside "
+        "`with ledger.scope(...)`. The comm substrate (cluster/, core/) "
+        "inherits the caller's scope and is exempt."
+    )
+
+    _CALLEES = _COLLECTIVES | {"barrier", "sync_replicas"}
+
+    def applies_to(self, path: Path) -> bool:
+        parts = set(path.parts)
+        return not parts & {"cluster", "core", "analysis"}
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._walk(module, module.tree, in_scope=False)
+
+    def _walk(
+        self, module: ModuleSource, node: ast.AST, in_scope: bool
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            entered = in_scope or any(
+                isinstance(item.context_expr, ast.Call)
+                and isinstance(item.context_expr.func, ast.Attribute)
+                and item.context_expr.func.attr == "scope"
+                for item in node.items
+            )
+            for child in ast.iter_child_nodes(node):
+                yield from self._walk(module, child, entered)
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._CALLEES
+            and not in_scope
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"`.{node.func.attr}(...)` issued outside any "
+                "`with ledger.scope(...)` block: its cost lands in the "
+                "unattributed bucket",
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(module, child, in_scope)
+
+
+@register
+class DtypeDefaultRule(Rule):
+    """REPRO004: nn/ dtype defaults name the canonical constants."""
+
+    rule_id = "REPRO004"
+    title = "raw or mutable default in nn/ signatures"
+    rationale = (
+        "The NN stack standardizes on repro.nn.dtypes.DTYPE (FP32, the "
+        "paper's hardware) with ACC_DTYPE for exactness paths; a literal "
+        "np.float64 default re-pins one signature and drifts the stack. "
+        "Mutable defaults are shared across calls and corrupt replicas."
+    )
+
+    _FLOAT_NAMES = ("float16", "float32", "float64")
+
+    def applies_to(self, path: Path) -> bool:
+        return "nn" in path.parts
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_args(
+                module,
+                node.args.args[len(node.args.args) - len(node.args.defaults):],
+                node.args.defaults,
+            )
+            yield from self._check_args(
+                module,
+                [
+                    a
+                    for a, d in zip(node.args.kwonlyargs, node.args.kw_defaults)
+                    if d is not None
+                ],
+                [d for d in node.args.kw_defaults if d is not None],
+            )
+
+    def _check_args(
+        self, module: ModuleSource, args: list[ast.arg], defaults: list[ast.expr]
+    ) -> Iterator[Finding]:
+        for arg, default in zip(args, defaults):
+            if arg.arg == "dtype" and _is_np_attr(default, *self._FLOAT_NAMES):
+                yield self.finding(
+                    module,
+                    default,
+                    f"dtype default `{_attr_chain(default)}`: use "
+                    "repro.nn.dtypes.DTYPE (or ACC_DTYPE for accumulation "
+                    "paths) so the stack re-pins in one place",
+                )
+            elif isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set"}
+            ):
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default for `{arg.arg}`: one instance is "
+                    "shared across every call (and every replica) — "
+                    "default to None and construct inside",
+                )
+
+
+@register
+class ExportsDriftRule(Rule):
+    """REPRO005: every module declares __all__ and it names real bindings."""
+
+    rule_id = "REPRO005"
+    title = "missing or drifting __all__"
+    rationale = (
+        "__all__ is the published API contract the docs and the "
+        "re-export chain (repro.core, repro.cluster) rely on; a missing "
+        "declaration hides drift, and a stale entry breaks "
+        "`from module import *` consumers at import time."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        all_node = None
+        for stmt in module.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__all__"
+            ):
+                all_node = stmt
+                break
+        if all_node is None:
+            yield Finding(
+                path=str(module.path),
+                line=1,
+                col=0,
+                rule_id=self.rule_id,
+                message="module does not declare __all__ — the public API "
+                "is whatever happens not to start with an underscore",
+            )
+            return
+        if not isinstance(all_node.value, (ast.List, ast.Tuple)):
+            return  # dynamically built; nothing to verify statically
+        names = []
+        for elt in all_node.value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.append((elt, elt.value))
+        bound = self._bound_names(module.tree)
+        if bound is None:
+            return  # star-import present; bindings unknowable statically
+        for node, name in names:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    node,
+                    f"__all__ exports {name!r} but the module never binds "
+                    "it — stale entry or missing import",
+                )
+
+    @staticmethod
+    def _bound_names(tree: ast.Module) -> set[str] | None:
+        bound: set[str] = {"__version__", "__doc__"}
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            bound.add(node.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.partition(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        return None
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                # Common guarded-import shapes; recurse one level.
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        for alias in sub.names:
+                            if alias.name != "*":
+                                bound.add(
+                                    alias.asname
+                                    or alias.name.partition(".")[0]
+                                )
+                    elif isinstance(
+                        sub,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        bound.add(sub.name)
+                    elif isinstance(sub, ast.Assign):
+                        for target in sub.targets:
+                            for node in ast.walk(target):
+                                if isinstance(node, ast.Name):
+                                    bound.add(node.id)
+        return bound
+
+
+@register
+class PrintInLibraryRule(Rule):
+    """REPRO006: library code never prints."""
+
+    rule_id = "REPRO006"
+    title = "print() in library code"
+    rationale = (
+        "Library output must flow through the CostLedger / returned "
+        "report strings so experiment drivers stay machine-readable; a "
+        "stray print interleaves with the CLI's table output and breaks "
+        "result parsing. Only the CLI layer prints."
+    )
+
+    #: Module files allowed to print (the user-facing shell).
+    ALLOWED_FILES = frozenset({"cli.py"})
+
+    def applies_to(self, path: Path) -> bool:
+        return path.name not in self.ALLOWED_FILES
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code: record to the CostLedger, "
+                    "return a string, or raise — the CLI owns stdout",
+                )

@@ -1,0 +1,358 @@
+"""Runtime sanitizer: MPI-style mismatch detection for the SPMD simulator.
+
+Real HPC stacks catch communication bugs with MPI correctness tools and
+NCCL debug layers; the simulator's equivalent is :class:`Sanitizer`, an
+opt-in wrapper around :class:`~repro.cluster.communicator.Communicator`
+(or any of its subclasses) that validates every collective before it
+executes:
+
+* **rank-count agreement** — the per-rank list must carry exactly one
+  array per rank;
+* **shape agreement** — allreduce/reduce_scatter/broadcast payloads must
+  be shape-identical across ranks (an allgatherv may be ragged in its
+  leading dim only).  On a real cluster a mismatch deadlocks or
+  corrupts; here it would silently skew Tables III-V;
+* **dtype agreement** — mixed dtypes across ranks mean at least one
+  rank fell off the FP16/FP32 discipline of §III-C;
+* **payload hygiene** — NaN/Inf anywhere, and saturated values in FP16
+  payloads (the signature of a compression-scaling overflow);
+* **scope attribution** (opt-in) — collectives must run inside a
+  ``with ledger.scope(...)`` block so their cost is attributable.
+
+Every violation raises a :class:`SanitizerError` subclass whose message
+names the op, the offending rank(s), and a concrete counterexample.
+
+:class:`SanitizedFp16Codec` applies the same philosophy at the FP16
+down-cast boundary of :mod:`repro.core.compression`: where the stock
+codec deliberately saturates out-of-range values (the behaviour the
+accuracy experiments model), the sanitized codec *reports* them, with
+the flat indices, original values, and the largest compression-scaling
+factor that would have fit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.communicator import Communicator
+from ..core.compression import FP16_MAX, Fp16Codec, IdentityCodec, WireCodec
+
+__all__ = [
+    "CollectiveMismatchError",
+    "CompressionOverflowError",
+    "OpRecord",
+    "SanitizedFp16Codec",
+    "Sanitizer",
+    "SanitizerError",
+    "sanitize_codec",
+]
+
+#: How many offending elements a counterexample report shows.
+_MAX_EXAMPLES = 5
+
+
+class SanitizerError(RuntimeError):
+    """Base class for everything the sanitizer detects."""
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Per-rank disagreement in a collective's payload list."""
+
+
+class CompressionOverflowError(SanitizerError):
+    """FP16 compression-scaling produced NaN/Inf or saturated values."""
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One sanitized collective, kept for op-sequence comparison."""
+
+    op: str
+    shapes: tuple[tuple[int, ...], ...]
+    dtype: str
+    tag: str
+
+
+def _describe(values: np.ndarray, indices: np.ndarray) -> str:
+    shown = indices[:_MAX_EXAMPLES]
+    pairs = ", ".join(
+        f"[{int(i)}]={values.reshape(-1)[int(i)]}" for i in shown
+    )
+    extra = "" if indices.size <= _MAX_EXAMPLES else (
+        f" (+{indices.size - _MAX_EXAMPLES} more)"
+    )
+    return pairs + extra
+
+
+class Sanitizer:
+    """Validating wrapper around a communicator.
+
+    Parameters
+    ----------
+    comm:
+        The communicator (or :class:`FailingCommunicator`, or another
+        wrapper) whose collectives should be checked.
+    require_scope:
+        When True, any collective issued while the ledger's scope stack
+        is empty raises — the static counterpart is lint rule REPRO003.
+    check_finite:
+        Scan every payload for NaN/Inf (and FP16 saturation).  On by
+        default; the scan is O(payload) like the collective itself.
+    forbid_dtypes:
+        Dtypes that must never cross the wire — e.g. ``(np.float64,)``
+        in an FP16-compressed run, the dynamic counterpart of REPRO002.
+
+    All non-collective attributes (``world_size``, ``ledger``,
+    ``devices``, ...) delegate to the wrapped communicator, so a
+    ``Sanitizer`` drops into any code that takes a ``Communicator``.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        require_scope: bool = False,
+        check_finite: bool = True,
+        forbid_dtypes: Sequence[np.dtype | type | str] = (),
+    ):
+        self._comm = comm
+        self.require_scope = require_scope
+        self.check_finite = check_finite
+        self.forbid_dtypes = tuple(np.dtype(d) for d in forbid_dtypes)
+        self.op_log: list[OpRecord] = []
+
+    def __getattr__(self, name: str):
+        return getattr(self._comm, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sanitizer({self._comm!r})"
+
+    # ------------------------------------------------------------------
+    # checks
+    # ------------------------------------------------------------------
+
+    def _validate(
+        self,
+        op: str,
+        arrays: Sequence[np.ndarray],
+        tag: str,
+        ragged_leading: bool = False,
+    ) -> None:
+        world = self._comm.world_size
+        if len(arrays) != world:
+            raise CollectiveMismatchError(
+                f"{op}[tag={tag!r}]: got {len(arrays)} per-rank arrays for "
+                f"a {world}-rank communicator — on a real cluster "
+                f"{abs(len(arrays) - world)} rank(s) would hang in this "
+                "collective"
+            )
+        for rank, a in enumerate(arrays):
+            if not isinstance(a, np.ndarray):
+                raise CollectiveMismatchError(
+                    f"{op}[tag={tag!r}]: rank {rank} supplied "
+                    f"{type(a).__name__}, not an ndarray"
+                )
+
+        dtypes = {a.dtype for a in arrays}
+        if len(dtypes) > 1:
+            detail = ", ".join(
+                f"rank {r}: {a.dtype}" for r, a in enumerate(arrays)
+            )
+            raise CollectiveMismatchError(
+                f"{op}[tag={tag!r}]: per-rank dtype mismatch ({detail}) — "
+                "at least one rank fell off the wire-format discipline"
+            )
+        dtype = arrays[0].dtype
+        if dtype in self.forbid_dtypes:
+            raise CollectiveMismatchError(
+                f"{op}[tag={tag!r}]: payload dtype {dtype} is forbidden on "
+                "this communicator (float64 on an FP16/FP32 comm path "
+                "doubles every wire-byte count in Tables III-V)"
+            )
+
+        shapes = [a.shape for a in arrays]
+        if ragged_leading:
+            trailing = {a.shape[1:] for a in arrays}
+            ndims = {a.ndim for a in arrays}
+            if len(ndims) > 1 or len(trailing) > 1:
+                detail = ", ".join(
+                    f"rank {r}: {s}" for r, s in enumerate(shapes)
+                )
+                raise CollectiveMismatchError(
+                    f"{op}[tag={tag!r}]: per-rank shapes disagree beyond "
+                    f"the gather axis ({detail}) — allgatherv permits "
+                    "ragged leading dims only"
+                )
+        elif len(set(shapes)) > 1:
+            detail = ", ".join(f"rank {r}: {s}" for r, s in enumerate(shapes))
+            raise CollectiveMismatchError(
+                f"{op}[tag={tag!r}]: per-rank shape mismatch ({detail}) — "
+                "every rank must contribute the same signature or the "
+                "reduction is undefined"
+            )
+
+        if self.check_finite:
+            for rank, a in enumerate(arrays):
+                bad = np.flatnonzero(~np.isfinite(a))
+                if bad.size:
+                    raise CollectiveMismatchError(
+                        f"{op}[tag={tag!r}]: rank {rank} payload contains "
+                        f"{bad.size} non-finite value(s): "
+                        f"{_describe(a, bad)}"
+                    )
+                if a.dtype == np.float16:
+                    sat = np.flatnonzero(np.abs(a) >= FP16_MAX)
+                    if sat.size:
+                        raise CompressionOverflowError(
+                            f"{op}[tag={tag!r}]: rank {rank} FP16 payload "
+                            f"holds {sat.size} saturated value(s) "
+                            f"(|x| >= {FP16_MAX}): {_describe(a, sat)} — "
+                            "compression-scaling overflowed before the "
+                            "wire; lower the scale factor"
+                        )
+
+        if self.require_scope and self._comm.ledger.current_scope == "":
+            raise SanitizerError(
+                f"{op}[tag={tag!r}] issued outside any ledger scope: wrap "
+                "the call in `with comm.ledger.scope(name):` so its cost "
+                "is attributed (lint rule REPRO003)"
+            )
+
+        self.op_log.append(
+            OpRecord(
+                op=op,
+                shapes=tuple(a.shape for a in arrays),
+                dtype=str(dtype),
+                tag=tag,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # collectives (delegate after validation)
+    # ------------------------------------------------------------------
+
+    def allreduce(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> list[np.ndarray]:
+        self._validate("allreduce", arrays, tag)
+        return self._comm.allreduce(arrays, tag=tag)
+
+    def allgather(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> list[np.ndarray]:
+        self._validate("allgather", arrays, tag, ragged_leading=True)
+        return self._comm.allgather(arrays, tag=tag)
+
+    def broadcast(
+        self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""
+    ) -> list[np.ndarray]:
+        self._validate("broadcast", arrays, tag)
+        return self._comm.broadcast(arrays, root=root, tag=tag)
+
+    def reduce_scatter(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> list[np.ndarray]:
+        self._validate("reduce_scatter", arrays, tag)
+        return self._comm.reduce_scatter(arrays, tag=tag)
+
+    def barrier(self, tag: str = "") -> None:
+        if self.require_scope and self._comm.ledger.current_scope == "":
+            raise SanitizerError(
+                f"barrier[tag={tag!r}] issued outside any ledger scope "
+                "(lint rule REPRO003)"
+            )
+        self.op_log.append(OpRecord("barrier", (), "", tag))
+        self._comm.barrier(tag=tag)
+
+    # ------------------------------------------------------------------
+    # end-of-run invariants
+    # ------------------------------------------------------------------
+
+    def finish(self) -> list[OpRecord]:
+        """End-of-run check: ledger scopes balanced; returns the op log."""
+        self._comm.ledger.assert_balanced()
+        return list(self.op_log)
+
+    def assert_same_sequence(self, other: "Sanitizer") -> None:
+        """Compare two communicators' op sequences (e.g. two sub-groups).
+
+        Mirrors MPI correctness tools' cross-communicator matching: the
+        first divergence in (op, shapes, dtype) is reported with its
+        position.
+        """
+        for i, (a, b) in enumerate(zip(self.op_log, other.op_log)):
+            if a != b:
+                raise CollectiveMismatchError(
+                    f"op sequences diverge at position {i}: {a} vs {b}"
+                )
+        if len(self.op_log) != len(other.op_log):
+            raise CollectiveMismatchError(
+                f"op sequences diverge in length: {len(self.op_log)} vs "
+                f"{len(other.op_log)} collectives"
+            )
+
+
+@dataclass(frozen=True)
+class SanitizedFp16Codec(Fp16Codec):
+    """FP16 codec that reports overflow instead of silently saturating.
+
+    The stock :class:`Fp16Codec` clips ``arr * scale`` into the finite
+    FP16 range — the behaviour whose accuracy effects the experiments
+    measure.  This variant raises :class:`CompressionOverflowError` at
+    the down-cast boundary with a counterexample (flat indices, values,
+    and the largest scale that would have fit), so a scaling factor that
+    overflows is caught in the run that introduced it rather than as a
+    perplexity regression three tables later.
+    """
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise ValueError("codec applies to floating-point tensors")
+        bad = np.flatnonzero(~np.isfinite(arr))
+        if bad.size:
+            raise CompressionOverflowError(
+                f"FP16 encode: input already holds {bad.size} non-finite "
+                f"value(s) before scaling: {_describe(arr, bad)}"
+            )
+        scaled = arr.astype(np.float64, copy=False) * self.scale
+        over = np.flatnonzero(np.abs(scaled) > FP16_MAX)
+        if over.size:
+            peak = float(np.abs(arr).max())
+            safe = FP16_MAX / peak if peak > 0 else float("inf")
+            raise CompressionOverflowError(
+                f"FP16 compression-scaling overflow: scale={self.scale} "
+                f"pushes {over.size} value(s) past the FP16 max "
+                f"({FP16_MAX}); counterexample {_describe(arr, over)} "
+                f"(scaled: {_describe(scaled, over)}). Largest safe "
+                f"scale for this tensor: {safe:.1f}"
+            )
+        return super().encode(arr)
+
+    def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        out = super().decode(arr, dtype)
+        bad = np.flatnonzero(~np.isfinite(out))
+        if bad.size:
+            raise CompressionOverflowError(
+                f"FP16 decode produced {bad.size} non-finite value(s): "
+                f"{_describe(out, bad)} — the wire tensor was corrupted "
+                "or encoded without sanitizing"
+            )
+        return out
+
+
+def sanitize_codec(codec: WireCodec | None) -> WireCodec | None:
+    """Return a checking variant of ``codec`` where one exists.
+
+    ``Fp16Codec`` gains overflow detection; the identity codec and
+    ``None`` (no compression) pass through unchanged, as does a codec
+    that is already sanitized.
+    """
+    if isinstance(codec, SanitizedFp16Codec) or codec is None:
+        return codec
+    if isinstance(codec, Fp16Codec):
+        return SanitizedFp16Codec(scale=codec.scale)
+    if isinstance(codec, IdentityCodec):
+        return codec
+    return codec

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.cli train    [--model word|char --gpus 8 --steps 100 ...]
     python -m repro.cli perf     [--table 3|4|5]
     python -m repro.cli example  # the Section III-A worked example
+    python -m repro.cli lint     [paths ... --rules REPRO001,REPRO006]
 
 Every command prints the same rows the corresponding paper table or
 figure reports; heavy lifting is delegated to the library so the CLI is
@@ -15,7 +16,9 @@ a thin, testable shell.
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
@@ -51,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--seed-strategy", default="per_rank",
                          choices=[s.value for s in _seed_strategies()])
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--sanitize", action="store_true",
+                         help="wrap the communicator and codec in the "
+                         "runtime sanitizer (collective mismatch, FP16 "
+                         "overflow, and ledger-scope checking)")
 
     p_perf = sub.add_parser("perf", help="paper-scale time/memory tables")
     p_perf.add_argument("--table", type=int, default=3, choices=[3, 4, 5])
@@ -65,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("example", help="Section III-A worked memory example")
+
+    p_lint = sub.add_parser(
+        "lint", help="run the REPRO static-analysis rules over source paths"
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run "
+                        "(default: all registered rules)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="describe the registered rules and exit")
     return parser
 
 
@@ -118,12 +136,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
     preset = ONE_BILLION_WORD if is_word else TIEBA
     corpus = make_corpus(preset.scaled(args.vocab), args.corpus_tokens,
                          seed=args.seed)
+    codec = Fp16Codec(512.0) if args.fp16 else None
+    comm = None
+    if args.sanitize:
+        from repro.analysis import Sanitizer, sanitize_codec
+        from repro.cluster import Communicator
+
+        codec = sanitize_codec(codec)
+        comm = Sanitizer(
+            Communicator(args.gpus, track_memory=False), require_scope=True
+        )
     cfg = TrainConfig(
         world_size=args.gpus,
         batch=BatchSpec(2, 10),
         base_lr=0.3 if is_word else 3e-3,
         use_unique=not args.baseline,
-        codec=Fp16Codec(512.0) if args.fp16 else None,
+        codec=codec,
         seed_strategy=SeedStrategy(args.seed_strategy),
     )
     if is_word:
@@ -134,7 +162,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         trainer = DistributedTrainer(
             lambda rng, rank: WordLanguageModel(model_cfg, rng),
             lambda params, lr: SGD(params, lr),
-            corpus.train, corpus.valid, cfg,
+            corpus.train, corpus.valid, cfg, comm=comm,
         )
     else:
         model_cfg = CharLMConfig(
@@ -146,12 +174,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 model_cfg, rng, dropout_rng=np.random.default_rng(rank)
             ),
             lambda params, lr: Adam(params, lr),
-            corpus.train, corpus.valid, cfg,
+            corpus.train, corpus.valid, cfg, comm=comm,
         )
 
     print(f"{args.model} LM | {args.gpus} simulated GPUs | vocab {args.vocab} "
           f"| exchange: {'allgather' if args.baseline else 'unique'}"
-          f"{' + fp16' if args.fp16 else ''}")
+          f"{' + fp16' if args.fp16 else ''}"
+          f"{' | sanitized' if args.sanitize else ''}")
     print(f"initial val ppl: {perplexity(trainer.evaluate()):.2f}")
     for step in range(args.steps):
         loss = trainer.train_step()
@@ -162,6 +191,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"wire MB/GPU: "
           f"{trainer.comm.ledger.total_wire_bytes_per_rank / 1e6:.2f}")
     print(f"replica divergence: {max_replica_divergence(trainer.replicas):.1e}")
+    if args.sanitize:
+        op_log = trainer.comm.finish()
+        print(f"sanitizer: {len(op_log)} collectives checked, 0 violations")
     return 0
 
 
@@ -279,12 +311,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        LintEngine,
+        default_rules,
+        format_findings,
+        iter_rule_classes,
+    )
+
+    if args.list_rules:
+        for cls in iter_rule_classes():
+            print(f"{cls.rule_id}  {cls.title}")
+            print(f"    {cls.rationale}")
+        return 0
+    only = None
+    if args.rules is not None:
+        only = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        engine = LintEngine(default_rules(only))
+    except ValueError as exc:
+        known = ", ".join(cls.rule_id for cls in iter_rule_classes())
+        print(f"error: {exc} (known rules: {known})", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = engine.lint_paths(args.paths)
+    print(format_findings(findings))
+    return 1 if findings else 0
+
+
 _COMMANDS = {
     "zipf": _cmd_zipf,
     "train": _cmd_train,
     "perf": _cmd_perf,
     "generate": _cmd_generate,
     "example": _cmd_example,
+    "lint": _cmd_lint,
 }
 
 

@@ -46,10 +46,11 @@ from .process_group import (
     partition_ranks,
     sub_communicator,
 )
-from .tracing import CommEvent, CostLedger, LedgerSnapshot
+from .tracing import CommEvent, CostLedger, LedgerScopeError, LedgerSnapshot
 
 __all__ = [
     "Communicator",
+    "LedgerScopeError",
     "FailingCommunicator",
     "RankFailureError",
     "degrade_fabric",

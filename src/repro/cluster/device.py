@@ -18,6 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+__all__ = [
+    "Allocation",
+    "DeviceOOMError",
+    "DeviceSpec",
+    "ScopedAllocation",
+    "SimulatedDevice",
+    "TITAN_X",
+    "V100",
+]
+
 
 class DeviceOOMError(MemoryError):
     """Raised when an allocation would exceed a device's memory capacity.

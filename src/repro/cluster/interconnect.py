@@ -20,6 +20,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "INFINIBAND_FDR",
+    "Interconnect",
+    "LinkSpec",
+    "NVLINK_V100",
+    "PAPER_CLUSTER_FABRIC",
+    "PCIE_GEN3",
+    "V100_FABRIC",
+]
+
 
 @dataclass(frozen=True)
 class LinkSpec:

@@ -15,6 +15,13 @@ from dataclasses import dataclass
 
 from .communicator import Communicator
 
+__all__ = [
+    "ProcessGroup",
+    "group_of_rank",
+    "partition_ranks",
+    "sub_communicator",
+]
+
 
 @dataclass(frozen=True)
 class ProcessGroup:

@@ -18,6 +18,23 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+__all__ = [
+    "CommEvent",
+    "CostLedger",
+    "LedgerScopeError",
+    "LedgerSnapshot",
+]
+
+
+class LedgerScopeError(RuntimeError):
+    """Unbalanced or mismatched ledger scope push/pop.
+
+    Raised instead of silently corrupting attribution: an unbalanced
+    stack means every subsequent event would be charged to the wrong
+    phase, which is exactly the kind of bookkeeping bug the analysis
+    tooling exists to catch.
+    """
+
 
 @dataclass(frozen=True)
 class CommEvent:
@@ -67,9 +84,56 @@ class CostLedger:
     def current_scope(self) -> str:
         return "/".join(self._scope_stack)
 
+    @property
+    def scope_depth(self) -> int:
+        return len(self._scope_stack)
+
     def scope(self, name: str) -> "_LedgerScope":
         """Context manager attributing enclosed events to ``name``."""
         return _LedgerScope(self, name)
+
+    def push_scope(self, name: str) -> None:
+        """Enter a named scope (prefer the :meth:`scope` context manager)."""
+        if "/" in name:
+            raise LedgerScopeError("scope names must not contain '/'")
+        self._scope_stack.append(name)
+
+    def pop_scope(self, expected: str | None = None) -> str:
+        """Leave the innermost scope, optionally checking its name.
+
+        Raises
+        ------
+        LedgerScopeError
+            If no scope is open (pop-on-empty), or ``expected`` is given
+            and does not match the innermost open scope.
+        """
+        if not self._scope_stack:
+            raise LedgerScopeError(
+                "pop_scope on an empty scope stack: every pop must match a "
+                "prior push (did an earlier scope exit twice?)"
+            )
+        top = self._scope_stack[-1]
+        if expected is not None and top != expected:
+            raise LedgerScopeError(
+                f"mismatched ledger scope nesting: tried to close "
+                f"{expected!r} but the innermost open scope is {top!r} "
+                f"(open stack: {self.current_scope!r})"
+            )
+        return self._scope_stack.pop()
+
+    def assert_balanced(self) -> None:
+        """Raise :class:`LedgerScopeError` if any scope is still open.
+
+        Call at the end of a run (the sanitizer does this) to catch a
+        ``push_scope`` that never popped — events recorded afterwards
+        would be silently mis-attributed.
+        """
+        if self._scope_stack:
+            raise LedgerScopeError(
+                f"unbalanced ledger scopes at end of run: "
+                f"{self.current_scope!r} still open "
+                f"({len(self._scope_stack)} unpopped push(es))"
+            )
 
     # -- aggregates ----------------------------------------------------------
 
@@ -183,9 +247,8 @@ class _LedgerScope:
         self._name = name
 
     def __enter__(self) -> CostLedger:
-        self._ledger._scope_stack.append(self._name)
+        self._ledger.push_scope(self._name)
         return self._ledger
 
     def __exit__(self, *exc_info: object) -> None:
-        popped = self._ledger._scope_stack.pop()
-        assert popped == self._name, "mismatched ledger scope nesting"
+        self._ledger.pop_scope(expected=self._name)

@@ -18,10 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["WireCodec", "IdentityCodec", "Fp16Codec", "wire_bytes_ratio"]
+__all__ = ["FP16_MAX", "WireCodec", "IdentityCodec", "Fp16Codec", "wire_bytes_ratio"]
 
 #: Largest finite FP16 value; encodes saturate rather than produce inf.
-_FP16_MAX = float(np.finfo(np.float16).max)
+FP16_MAX = float(np.finfo(np.float16).max)
+_FP16_MAX = FP16_MAX
 
 
 class WireCodec:

@@ -3,6 +3,7 @@ LSTM and Recurrent Highway layers, full and sampled softmax losses."""
 
 from . import functional, init
 from .dropout import Dropout
+from .dtypes import ACC_DTYPE, DTYPE
 from .embedding import Embedding
 from .linear import Linear
 from .lstm import LSTM
@@ -16,6 +17,8 @@ from .softmax import FullSoftmaxLoss
 __all__ = [
     "functional",
     "init",
+    "DTYPE",
+    "ACC_DTYPE",
     "Module",
     "Parameter",
     "SparseGrad",

@@ -1,0 +1,26 @@
+"""Canonical parameter dtypes for the NN stack.
+
+The paper's cluster trains in single precision (TITAN X / V100 FP32
+math, with FP16 reserved for the wire format of Section III-C), so the
+default parameter dtype across :mod:`repro.nn` is float32.  Exactness
+checks — finite-difference gradient tests, bit-identity invariants —
+opt into float64 explicitly by passing ``dtype=ACC_DTYPE``; optimizers
+likewise accumulate reductions (e.g. global grad norms) in
+:data:`ACC_DTYPE` regardless of the parameter dtype.
+
+Lint rule ``REPRO004`` enforces that dtype defaults inside ``nn/`` name
+these constants instead of repeating ``np.float64``/``np.float32``
+literals, so the whole stack can be re-pinned in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DTYPE", "ACC_DTYPE"]
+
+#: Default parameter/activation dtype: FP32, per the paper's hardware.
+DTYPE: np.dtype = np.dtype(np.float32)
+
+#: Accumulation dtype for precision-critical reductions and exactness tests.
+ACC_DTYPE: np.dtype = np.dtype(np.float64)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .dtypes import DTYPE
 from .module import Module
 from .parameter import Parameter, SparseGrad
 
@@ -31,8 +32,8 @@ class Embedding(Module):
     rng:
         Initialization generator (uniform ±1/sqrt(D), the common LM choice).
     dtype:
-        Parameter dtype; experiments use float64 for exactness checks and
-        float32 for realism.
+        Parameter dtype; defaults to :data:`repro.nn.DTYPE` (float32,
+        the paper's hardware) — exactness checks pass ``ACC_DTYPE``.
     """
 
     def __init__(
@@ -40,7 +41,7 @@ class Embedding(Module):
         num_embeddings: int,
         dim: int,
         rng: np.random.Generator,
-        dtype: np.dtype = np.float64,
+        dtype: np.dtype = DTYPE,
     ):
         super().__init__()
         if num_embeddings <= 0 or dim <= 0:

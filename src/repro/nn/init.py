@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtypes import DTYPE
+
 __all__ = ["uniform", "xavier_uniform", "orthogonal", "zeros"]
 
 
 def uniform(
     shape: tuple[int, ...], scale: float, rng: np.random.Generator,
-    dtype: np.dtype = np.float64,
+    dtype: np.dtype = DTYPE,
 ) -> np.ndarray:
     """U(-scale, scale) initialization (TF 1.x default for embeddings)."""
     if scale <= 0:
@@ -25,7 +27,7 @@ def uniform(
 
 def xavier_uniform(
     shape: tuple[int, int], rng: np.random.Generator,
-    dtype: np.dtype = np.float64,
+    dtype: np.dtype = DTYPE,
 ) -> np.ndarray:
     """Glorot/Xavier uniform for 2-D weights: U(±sqrt(6/(fan_in+fan_out)))."""
     if len(shape) != 2:
@@ -37,7 +39,7 @@ def xavier_uniform(
 
 def orthogonal(
     shape: tuple[int, int], rng: np.random.Generator,
-    gain: float = 1.0, dtype: np.dtype = np.float64,
+    gain: float = 1.0, dtype: np.dtype = DTYPE,
 ) -> np.ndarray:
     """Orthogonal initialization — standard for recurrent weight matrices."""
     if len(shape) != 2:
@@ -51,6 +53,6 @@ def orthogonal(
     return (gain * q[:rows, :cols]).astype(dtype)
 
 
-def zeros(shape: tuple[int, ...], dtype: np.dtype = np.float64) -> np.ndarray:
+def zeros(shape: tuple[int, ...], dtype: np.dtype = DTYPE) -> np.ndarray:
     """Zero initialization (biases)."""
     return np.zeros(shape, dtype=dtype)

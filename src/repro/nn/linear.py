@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .dtypes import DTYPE
 from .module import Module
 from .parameter import Parameter
 
@@ -24,7 +25,7 @@ class Linear(Module):
         out_dim: int,
         rng: np.random.Generator,
         bias: bool = True,
-        dtype: np.dtype = np.float64,
+        dtype: np.dtype = DTYPE,
     ):
         super().__init__()
         if in_dim <= 0 or out_dim <= 0:

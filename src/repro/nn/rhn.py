@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .dtypes import DTYPE
 from .functional import dsigmoid, dtanh, sigmoid, tanh
 from .module import Module
 from .parameter import Parameter
@@ -47,7 +48,7 @@ class RHN(Module):
         hidden_dim: int,
         depth: int,
         rng: np.random.Generator,
-        dtype: np.dtype = np.float64,
+        dtype: np.dtype = DTYPE,
     ):
         super().__init__()
         if input_dim <= 0 or hidden_dim <= 0:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .dtypes import DTYPE
 from .functional import cross_entropy_from_logits
 from .module import Module
 from .parameter import Parameter, SparseGrad
@@ -104,7 +105,7 @@ class SampledSoftmaxLoss(Module):
         hidden_dim: int,
         num_samples: int,
         rng: np.random.Generator,
-        dtype: np.dtype = np.float64,
+        dtype: np.dtype = DTYPE,
         weight: Parameter | None = None,
     ):
         super().__init__()

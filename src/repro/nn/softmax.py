@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .dtypes import DTYPE
 from .functional import cross_entropy_from_logits
 from .module import Module
 from .parameter import Parameter
@@ -33,7 +34,7 @@ class FullSoftmaxLoss(Module):
         vocab_size: int,
         hidden_dim: int,
         rng: np.random.Generator,
-        dtype: np.dtype = np.float64,
+        dtype: np.dtype = DTYPE,
     ):
         super().__init__()
         if vocab_size <= 1 or hidden_dim <= 0:

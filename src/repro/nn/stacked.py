@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .dtypes import DTYPE
 from .dropout import Dropout
 from .lstm import LSTM
 from .module import Module
@@ -43,7 +44,7 @@ class StackedLSTM(Module):
         num_layers: int,
         rng: np.random.Generator,
         dropout: float = 0.0,
-        dtype: np.dtype = np.float64,
+        dtype: np.dtype = DTYPE,
     ):
         super().__init__()
         if num_layers <= 0:

@@ -15,6 +15,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..nn.dtypes import ACC_DTYPE
 from ..nn.parameter import Parameter
 
 __all__ = ["Adam"]
@@ -113,7 +114,7 @@ class Adam:
                 row_t = self._row_t[i]
                 assert row_t is not None
                 row_t[rows] += 1
-                t_rows = row_t[rows][:, None].astype(np.float64)
+                t_rows = row_t[rows][:, None].astype(ACC_DTYPE)
                 m[rows] = b1 * m[rows] + (1 - b1) * g
                 v[rows] = b2 * v[rows] + (1 - b2) * g**2
                 m_hat = m[rows] / (1 - b1**t_rows)

@@ -13,6 +13,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..nn.dtypes import ACC_DTYPE
 from ..nn.parameter import Parameter
 
 __all__ = ["SGD"]
@@ -85,10 +86,10 @@ class SGD:
         sq = 0.0
         for p in self.params:
             if p.grad is not None:
-                sq += float((p.grad.astype(np.float64) ** 2).sum())
+                sq += float((p.grad.astype(ACC_DTYPE) ** 2).sum())
             merged = p.merged_sparse_grad()
             if merged is not None:
-                sq += float((merged.values.astype(np.float64) ** 2).sum())
+                sq += float((merged.values.astype(ACC_DTYPE) ** 2).sum())
         return float(np.sqrt(sq))
 
     def step(self) -> None:

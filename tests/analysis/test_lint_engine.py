@@ -1,0 +1,104 @@
+"""Tests for the lint engine: discovery, noqa, registry, CLI plumbing."""
+
+import pytest
+
+from repro.analysis import LintEngine, default_rules
+from repro.analysis.lint import PARSE_ERROR_ID, Rule, register
+from repro.analysis.lint.engine import RULE_REGISTRY, Finding, format_findings
+from repro.cli import main
+
+CLEAN = '__all__ = ["f"]\n\n\ndef f():\n    return 1\n'
+DIRTY = '__all__ = []\n\n\ndef f():\n    print("x")\n    return 1\n'
+
+
+class TestEngine:
+    def test_clean_source_has_no_findings(self):
+        assert LintEngine().lint_source(CLEAN, "mod.py") == []
+
+    def test_findings_are_sorted_and_located(self):
+        findings = LintEngine().lint_source(DIRTY, "mod.py")
+        assert [f.rule_id for f in findings] == ["REPRO006"]
+        assert findings[0].line == 5
+        assert findings[0].path == "mod.py"
+
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = LintEngine().lint_file(bad)
+        assert [f.rule_id for f in findings] == [PARSE_ERROR_ID]
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(CLEAN)
+        (tmp_path / "pkg" / "__pycache__" / "b.py").write_text(DIRTY)
+        files = list(LintEngine.iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_format_findings_tallies_by_rule(self):
+        f1 = Finding("a.py", 1, 0, "REPRO001", "m")
+        f2 = Finding("a.py", 2, 0, "REPRO001", "m")
+        out = format_findings([f1, f2])
+        assert "2 finding(s)" in out and "REPRO001: 2" in out
+        assert format_findings([]) == "no findings"
+
+
+class TestNoqa:
+    def test_targeted_noqa_suppresses_matching_rule(self):
+        src = '__all__ = []\nprint("x")  # noqa: REPRO006\n'
+        assert LintEngine().lint_source(src, "mod.py") == []
+
+    def test_targeted_noqa_keeps_other_rules(self):
+        src = '__all__ = []\nprint("x")  # noqa: REPRO001\n'
+        ids = [f.rule_id for f in LintEngine().lint_source(src, "mod.py")]
+        assert ids == ["REPRO006"]
+
+    def test_bare_noqa_suppresses_everything_on_the_line(self):
+        src = '__all__ = []\nprint(np.random.rand())  # noqa\n'
+        assert LintEngine().lint_source(src, "mod.py") == []
+
+
+class TestRegistry:
+    def test_default_rules_cover_the_documented_set(self):
+        ids = [r.rule_id for r in default_rules()]
+        assert ids == [f"REPRO00{i}" for i in range(1, 7)]
+
+    def test_subset_selection(self):
+        ids = [r.rule_id for r in default_rules(["repro001", "REPRO006"])]
+        assert ids == ["REPRO001", "REPRO006"]
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="REPRO999"):
+            default_rules(["REPRO999"])
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+
+            @register
+            class Clone(Rule):
+                rule_id = "REPRO001"
+
+        assert RULE_REGISTRY["REPRO001"].__name__ != "Clone"
+
+
+class TestCli:
+    def test_lint_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text(CLEAN)
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(DIRTY)
+        assert main(["lint", str(clean)]) == 0
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "REPRO006" in out
+
+    def test_rules_filter(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(DIRTY)
+        assert main(["lint", str(dirty), "--rules", "REPRO001"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for i in range(1, 7):
+            assert f"REPRO00{i}" in out

@@ -1,0 +1,142 @@
+"""Positive/negative cases for each REPRO rule.
+
+Every case pairs a minimal violating snippet with its minimally-fixed
+twin, so a rule that stops firing (or starts over-firing) fails here
+before it silently stops guarding src/repro.
+"""
+
+from repro.analysis import LintEngine, default_rules
+
+
+def ids_for(src: str, path: str = "mod.py", only: str | None = None):
+    rules = default_rules(None if only is None else [only])
+    return [f.rule_id for f in LintEngine(rules).lint_source(src, path)]
+
+
+class TestRepro001BareRng:
+    def test_global_state_call_flagged(self):
+        assert ids_for("x = np.random.rand(3)\n", only="REPRO001") == ["REPRO001"]
+
+    def test_global_seed_flagged(self):
+        assert ids_for("np.random.seed(0)\n", only="REPRO001") == ["REPRO001"]
+
+    def test_numpy_spelling_flagged(self):
+        assert ids_for("x = numpy.random.randn()\n", only="REPRO001") == [
+            "REPRO001"
+        ]
+
+    def test_from_import_flagged(self):
+        assert ids_for("from numpy.random import rand\n", only="REPRO001") == [
+            "REPRO001"
+        ]
+
+    def test_explicit_generator_allowed(self):
+        clean = (
+            "rng = np.random.default_rng(0)\n"
+            "ss = np.random.SeedSequence(1)\n"
+            "g = np.random.Generator(np.random.PCG64(2))\n"
+        )
+        assert ids_for(clean, only="REPRO001") == []
+
+
+class TestRepro002Float64Comm:
+    def test_astype_into_collective_flagged(self):
+        src = "comm.allreduce([g.astype(np.float64)], tag='t')\n"
+        assert ids_for(src, only="REPRO002") == ["REPRO002"]
+
+    def test_dtype_kwarg_into_encode_flagged(self):
+        src = "codec.encode(np.zeros(4, dtype=np.float64))\n"
+        assert ids_for(src, only="REPRO002") == ["REPRO002"]
+
+    def test_float32_payload_allowed(self):
+        src = "comm.allreduce([g.astype(np.float32)], tag='t')\n"
+        assert ids_for(src, only="REPRO002") == []
+
+    def test_float64_elsewhere_allowed(self):
+        # Accumulating in float64 *outside* the comm path is the
+        # optimizer's prerogative (grad-norm accumulation).
+        src = "sq = (g.astype(np.float64) ** 2).sum()\n"
+        assert ids_for(src, only="REPRO002") == []
+
+
+class TestRepro003ScopeAttribution:
+    def test_unscoped_collective_in_orchestration_flagged(self):
+        src = "def step(comm, xs):\n    comm.allreduce(xs)\n"
+        assert ids_for(src, "train/loop.py", only="REPRO003") == ["REPRO003"]
+
+    def test_scoped_collective_allowed(self):
+        src = (
+            "def step(comm, led, xs):\n"
+            "    with led.scope('sync'):\n"
+            "        comm.allreduce(xs)\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO003") == []
+
+    def test_scope_covers_nested_functions_lexically(self):
+        src = (
+            "def step(comm, led, xs):\n"
+            "    with led.scope('sync'):\n"
+            "        if xs:\n"
+            "            comm.reduce_scatter(xs)\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO003") == []
+
+    def test_comm_substrate_exempt(self):
+        src = "def helper(comm, xs):\n    return comm.allgather(xs)\n"
+        assert ids_for(src, "core/unique.py", only="REPRO003") == []
+        assert ids_for(src, "cluster/hierarchical.py", only="REPRO003") == []
+
+
+class TestRepro004DtypeDefaults:
+    def test_float64_dtype_default_in_nn_flagged(self):
+        src = "def f(dtype: np.dtype = np.float64):\n    pass\n"
+        assert ids_for(src, "nn/layer.py", only="REPRO004") == ["REPRO004"]
+
+    def test_kwonly_dtype_default_flagged(self):
+        src = "def f(*, dtype=np.float32):\n    pass\n"
+        assert ids_for(src, "nn/layer.py", only="REPRO004") == ["REPRO004"]
+
+    def test_constant_reference_allowed(self):
+        src = "def f(dtype: np.dtype = DTYPE):\n    pass\n"
+        assert ids_for(src, "nn/layer.py", only="REPRO004") == []
+
+    def test_mutable_default_flagged(self):
+        src = "def f(layers=[]):\n    pass\n"
+        assert ids_for(src, "nn/layer.py", only="REPRO004") == ["REPRO004"]
+
+    def test_outside_nn_not_this_rules_business(self):
+        src = "def f(dtype: np.dtype = np.float64):\n    pass\n"
+        assert ids_for(src, "train/config.py", only="REPRO004") == []
+
+
+class TestRepro005Exports:
+    def test_missing_all_flagged(self):
+        assert ids_for("def f():\n    pass\n", only="REPRO005") == ["REPRO005"]
+
+    def test_stale_entry_flagged(self):
+        src = "__all__ = ['f', 'ghost']\n\ndef f():\n    pass\n"
+        assert ids_for(src, only="REPRO005") == ["REPRO005"]
+
+    def test_imported_and_assigned_names_count_as_bound(self):
+        src = (
+            "from os import path\n"
+            "import sys\n"
+            "X = 1\n"
+            "__all__ = ['path', 'sys', 'X', 'f']\n"
+            "def f():\n    pass\n"
+        )
+        assert ids_for(src, only="REPRO005") == []
+
+    def test_dynamic_all_is_not_second_guessed(self):
+        src = "__all__ = sorted(globals())\n"
+        assert ids_for(src, only="REPRO005") == []
+
+
+class TestRepro006Print:
+    def test_print_in_library_flagged(self):
+        src = "__all__ = []\ndef f():\n    print('dbg')\n"
+        assert ids_for(src, "perf/model.py", only="REPRO006") == ["REPRO006"]
+
+    def test_cli_module_exempt(self):
+        src = "__all__ = []\nprint('table row')\n"
+        assert ids_for(src, "cli.py", only="REPRO006") == []

@@ -1,0 +1,238 @@
+"""Fault-injection tests for the runtime sanitizer.
+
+Each test injects one of the failure modes the paper's comm layer must
+never hit — mismatched per-rank collectives, FP16 compression-scaling
+overflow, unbalanced ledger scopes — and asserts the sanitizer reports
+it with rank/op context and a usable counterexample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    CollectiveMismatchError,
+    CompressionOverflowError,
+    SanitizedFp16Codec,
+    Sanitizer,
+    SanitizerError,
+    sanitize_codec,
+)
+from repro.cluster import Communicator, LedgerScopeError
+from repro.core.compression import FP16_MAX, Fp16Codec, IdentityCodec
+
+
+def make(world=2, **kw):
+    return Sanitizer(Communicator(world, track_memory=False), **kw)
+
+
+def per_rank(world, shape, dtype=np.float32, fill=1.0):
+    return [np.full(shape, fill, dtype=dtype) for _ in range(world)]
+
+
+class TestCollectiveAgreement:
+    def test_clean_allreduce_passes_and_matches_unwrapped(self):
+        san = make()
+        arrays = [np.arange(4, dtype=np.float32) * (r + 1) for r in range(2)]
+        out = san.allreduce([a.copy() for a in arrays], tag="g")
+        ref = Communicator(2, track_memory=False).allreduce(
+            [a.copy() for a in arrays], tag="g"
+        )
+        for o, r in zip(out, ref):
+            np.testing.assert_array_equal(o, r)
+        assert [rec.op for rec in san.op_log] == ["allreduce"]
+
+    def test_mismatched_shapes_reported_with_rank_and_op(self):
+        san = make()
+        bad = [np.zeros((3,), np.float32), np.zeros((4,), np.float32)]
+        with pytest.raises(CollectiveMismatchError) as exc:
+            san.allreduce(bad, tag="grads")
+        msg = str(exc.value)
+        assert "allreduce" in msg
+        assert "rank 0: (3,)" in msg and "rank 1: (4,)" in msg
+
+    def test_mismatched_dtypes_reported(self):
+        san = make()
+        bad = [np.zeros(3, np.float32), np.zeros(3, np.float64)]
+        with pytest.raises(CollectiveMismatchError, match="dtype mismatch"):
+            san.allreduce(bad)
+
+    def test_wrong_rank_count_reported(self):
+        san = make(world=4)
+        with pytest.raises(CollectiveMismatchError, match="hang"):
+            san.allreduce(per_rank(3, (2,)))
+
+    def test_forbidden_dtype_reported(self):
+        san = make(forbid_dtypes=(np.float64,))
+        with pytest.raises(CollectiveMismatchError, match="float64"):
+            san.allreduce(per_rank(2, (2,), dtype=np.float64))
+
+    def test_nan_payload_reported_with_rank_and_index(self):
+        san = make()
+        arrays = per_rank(2, (5,))
+        arrays[1][3] = np.nan
+        with pytest.raises(CollectiveMismatchError) as exc:
+            san.allreduce(arrays, tag="t")
+        assert "rank 1" in str(exc.value) and "[3]" in str(exc.value)
+
+    def test_allgatherv_ragged_leading_dim_allowed(self):
+        san = make()
+        ragged = [
+            np.zeros((2, 3), np.float32),
+            np.zeros((5, 3), np.float32),
+        ]
+        assert len(san.allgather(ragged)) == 2
+
+    def test_allgather_trailing_dim_mismatch_rejected(self):
+        san = make()
+        bad = [np.zeros((2, 3), np.float32), np.zeros((2, 4), np.float32)]
+        with pytest.raises(CollectiveMismatchError, match="gather axis"):
+            san.allgather(bad)
+
+    def test_delegation_exposes_communicator_surface(self):
+        san = make()
+        assert san.world_size == 2
+        assert san.ledger.total_wire_bytes_per_rank == 0
+        san.barrier(tag="sync-point")
+        assert san.op_log[-1].op == "barrier"
+
+
+class TestFp16Boundary:
+    def test_overflow_through_compression_path_names_rank_and_op(self):
+        """An overflowing scale pushed through core/compression.py and a
+        collective is caught at the wire with rank/op context."""
+        codec = Fp16Codec(scale=1024.0)
+        grads = [np.full(4, 10.0, np.float32), np.full(4, 100.0, np.float32)]
+        wire = [codec.encode(g) for g in grads]  # rank 1 saturates silently
+        san = make()
+        with pytest.raises(CompressionOverflowError) as exc:
+            san.allreduce(wire, tag="fp16-grads")
+        msg = str(exc.value)
+        assert "allreduce" in msg and "rank 1" in msg
+        assert "lower the scale" in msg
+
+    def test_sanitized_codec_reports_counterexample(self):
+        codec = SanitizedFp16Codec(scale=1024.0)
+        arr = np.array([0.5, 100.0, 0.25], dtype=np.float32)
+        with pytest.raises(CompressionOverflowError) as exc:
+            codec.encode(arr)
+        msg = str(exc.value)
+        assert "[1]=100.0" in msg          # the offending element
+        assert "scale=1024.0" in msg       # the parameter that caused it
+        assert "Largest safe scale" in msg
+        assert f"{FP16_MAX / 100.0:.1f}" in msg
+
+    def test_sanitized_codec_rejects_nonfinite_input(self):
+        codec = SanitizedFp16Codec(scale=8.0)
+        with pytest.raises(CompressionOverflowError, match="non-finite"):
+            codec.encode(np.array([1.0, np.inf]))
+
+    def test_sanitized_codec_roundtrip_matches_stock_codec(self):
+        stock, checked = Fp16Codec(512.0), SanitizedFp16Codec(512.0)
+        arr = np.linspace(-2, 2, 37, dtype=np.float32)
+        np.testing.assert_array_equal(stock.encode(arr), checked.encode(arr))
+        wire = checked.encode(arr)
+        np.testing.assert_array_equal(
+            stock.decode(wire, arr.dtype), checked.decode(wire, arr.dtype)
+        )
+
+    def test_sanitize_codec_mapping(self):
+        assert sanitize_codec(None) is None
+        ident = IdentityCodec()
+        assert sanitize_codec(ident) is ident
+        wrapped = sanitize_codec(Fp16Codec(256.0))
+        assert isinstance(wrapped, SanitizedFp16Codec)
+        assert wrapped.scale == 256.0
+        assert sanitize_codec(wrapped) is wrapped
+
+
+class TestLedgerInvariants:
+    def test_unbalanced_scope_detected_at_finish(self):
+        san = make()
+        san.ledger.push_scope("epoch")
+        san.allreduce(per_rank(2, (2,)))
+        with pytest.raises(LedgerScopeError, match="'epoch' still open"):
+            san.finish()
+
+    def test_balanced_run_finishes_with_op_log(self):
+        san = make()
+        with san.ledger.scope("sync"):
+            san.allreduce(per_rank(2, (2,)))
+        log = san.finish()
+        assert [r.op for r in log] == ["allreduce"]
+
+    def test_require_scope_rejects_unattributed_collective(self):
+        san = make(require_scope=True)
+        with pytest.raises(SanitizerError, match="REPRO003"):
+            san.allreduce(per_rank(2, (2,)))
+        with san.ledger.scope("sync"):
+            san.allreduce(per_rank(2, (2,)))  # attributed: fine
+
+    def test_require_scope_covers_barrier(self):
+        san = make(require_scope=True)
+        with pytest.raises(SanitizerError, match="barrier"):
+            san.barrier()
+
+
+class TestSequenceComparison:
+    def test_identical_sequences_pass(self):
+        a, b = make(), make()
+        for san in (a, b):
+            san.allreduce(per_rank(2, (3,)), tag="x")
+            san.allgather(per_rank(2, (1,)), tag="y")
+        a.assert_same_sequence(b)
+
+    def test_diverging_op_reported_with_position(self):
+        a, b = make(), make()
+        a.allreduce(per_rank(2, (3,)))
+        b.allgather(per_rank(2, (3,)))
+        with pytest.raises(CollectiveMismatchError, match="position 0"):
+            a.assert_same_sequence(b)
+
+    def test_length_divergence_reported(self):
+        a, b = make(), make()
+        a.allreduce(per_rank(2, (3,)))
+        b.allreduce(per_rank(2, (3,)))
+        b.barrier()
+        with pytest.raises(CollectiveMismatchError, match="length"):
+            a.assert_same_sequence(b)
+
+
+class TestTrainerIntegration:
+    def test_sanitized_fp16_training_runs_clean(self):
+        """A short sanitized FP16 run: every collective validated, all
+        scopes balanced, replicas still bit-identical."""
+        from repro.core import SeedStrategy
+        from repro.data import ONE_BILLION_WORD, BatchSpec, make_corpus
+        from repro.optim import SGD
+        from repro.train import (
+            DistributedTrainer,
+            TrainConfig,
+            WordLanguageModel,
+            WordLMConfig,
+            max_replica_divergence,
+        )
+
+        corpus = make_corpus(ONE_BILLION_WORD.scaled(40), 3000, seed=0)
+        san = make(world=2, require_scope=True)
+        cfg = TrainConfig(
+            world_size=2,
+            batch=BatchSpec(2, 8),
+            base_lr=0.1,
+            use_unique=True,
+            codec=sanitize_codec(Fp16Codec(512.0)),
+            seed_strategy=SeedStrategy.PER_RANK,
+        )
+        model_cfg = WordLMConfig(
+            vocab_size=40, embedding_dim=8, hidden_dim=12,
+            projection_dim=8, num_samples=16,
+        )
+        trainer = DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(model_cfg, rng),
+            lambda params, lr: SGD(params, lr),
+            corpus.train, corpus.valid, cfg, comm=san,
+        )
+        for _ in range(3):
+            trainer.train_step()
+        log = san.finish()
+        assert len(log) > 0
+        assert max_replica_divergence(trainer.replicas) == 0.0

@@ -1,0 +1,31 @@
+"""The correctness gate: ``src/repro`` must stay lint-clean.
+
+This is the tier-1 enforcement of the acceptance criterion that
+``python -m repro.cli lint src/repro`` exits 0 — any PR that introduces
+a bare global RNG, a float64 leak into a comm path, an unattributed
+collective, a drifting ``__all__``, a raw dtype default in nn/, or a
+stray print fails here with the exact file:line.
+"""
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, format_findings
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir(), f"source tree not found at {SRC}"
+
+
+def test_repo_is_lint_clean():
+    findings = LintEngine().lint_paths([SRC])
+    assert not findings, "\n" + format_findings(findings)
+
+
+def test_every_source_module_was_visited():
+    files = list(LintEngine.iter_python_files([SRC]))
+    # The tree has ~70 modules; a collapse of discovery (e.g. a glob
+    # regression quietly linting nothing) must not pass as "clean".
+    assert len(files) > 60
+    assert any(f.name == "communicator.py" for f in files)

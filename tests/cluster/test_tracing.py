@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.tracing import CostLedger
+from repro.cluster.tracing import CostLedger, LedgerScopeError
 
 
 class TestRecording:
@@ -66,6 +66,51 @@ class TestScopes:
         with pytest.raises(ValueError):
             with ledger.scope("a/b"):
                 pass
+
+
+class TestScopeBalance:
+    def test_pop_on_empty_raises(self):
+        ledger = CostLedger()
+        with pytest.raises(LedgerScopeError, match="empty scope stack"):
+            ledger.pop_scope()
+
+    def test_mismatched_pop_raises_with_both_names(self):
+        ledger = CostLedger()
+        ledger.push_scope("outer")
+        ledger.push_scope("inner")
+        with pytest.raises(LedgerScopeError, match="'outer'.*'inner'"):
+            ledger.pop_scope(expected="outer")
+        # the stack is left untouched by the failed pop
+        assert ledger.current_scope == "outer/inner"
+
+    def test_nested_push_pop_balanced(self):
+        ledger = CostLedger()
+        ledger.push_scope("a")
+        ledger.push_scope("b")
+        assert ledger.pop_scope(expected="b") == "b"
+        assert ledger.pop_scope(expected="a") == "a"
+        ledger.assert_balanced()
+
+    def test_assert_balanced_flags_open_scope(self):
+        ledger = CostLedger()
+        ledger.push_scope("leaked")
+        with pytest.raises(LedgerScopeError, match="'leaked' still open"):
+            ledger.assert_balanced()
+
+    def test_double_exit_detected(self):
+        """A scope context that exits twice is a pop-on-empty, not an
+        AssertionError (asserts vanish under ``python -O``)."""
+        ledger = CostLedger()
+        cm = ledger.scope("once")
+        cm.__enter__()
+        cm.__exit__(None, None, None)
+        with pytest.raises(LedgerScopeError):
+            cm.__exit__(None, None, None)
+
+    def test_slash_in_push_scope_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(LedgerScopeError):
+            ledger.push_scope("a/b")
 
 
 class TestSnapshots:

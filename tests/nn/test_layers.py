@@ -24,11 +24,11 @@ class TestInit:
         assert np.abs(w).max() <= limit
 
     def test_orthogonal_is_orthogonal(self):
-        w = nn_init.orthogonal((16, 16), rng())
+        w = nn_init.orthogonal((16, 16), rng(), dtype=np.float64)
         np.testing.assert_allclose(w @ w.T, np.eye(16), atol=1e-10)
 
     def test_orthogonal_rectangular(self):
-        w = nn_init.orthogonal((4, 8), rng())
+        w = nn_init.orthogonal((4, 8), rng(), dtype=np.float64)
         np.testing.assert_allclose(w @ w.T, np.eye(4), atol=1e-10)
 
     def test_invalid_args(self):
@@ -125,7 +125,7 @@ class TestEmbedding:
         assert sg.values.shape == (3, 2)
 
     def test_gradient_matches_finite_difference(self):
-        emb = Embedding(6, 3, rng())
+        emb = Embedding(6, 3, rng(), dtype=np.float64)
         ids = np.array([[0, 2, 2], [5, 0, 1]])
         g_out = np.random.default_rng(1).standard_normal((2, 3, 3))
 
@@ -162,7 +162,7 @@ class TestLinear:
         assert sum(p.data.size for p in lin.parameters()) == 24
 
     def test_gradients_match_finite_difference(self):
-        lin = Linear(3, 2, rng())
+        lin = Linear(3, 2, rng(), dtype=np.float64)
         x = np.random.default_rng(5).standard_normal((4, 3))
         g_out = np.random.default_rng(6).standard_normal((4, 2))
 

@@ -9,7 +9,8 @@ from ..helpers import numerical_grad
 
 
 def make_lstm(i=3, h=4, seed=0):
-    return LSTM(i, h, np.random.default_rng(seed))
+    # Gradient checks need double precision; the library default is FP32.
+    return LSTM(i, h, np.random.default_rng(seed), dtype=np.float64)
 
 
 class TestForward:

@@ -9,7 +9,8 @@ from ..helpers import numerical_grad
 
 
 def make_rhn(i=2, h=3, depth=3, seed=0):
-    return RHN(i, h, depth, np.random.default_rng(seed))
+    # Gradient checks need double precision; the library default is FP32.
+    return RHN(i, h, depth, np.random.default_rng(seed), dtype=np.float64)
 
 
 class TestForward:

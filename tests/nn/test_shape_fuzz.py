@@ -88,7 +88,7 @@ class TestStateCarryFuzz:
         """Splitting any sequence at any point and carrying state must
         reproduce the unsplit forward exactly."""
         rng = np.random.default_rng(seed)
-        lstm = LSTM(2, 3, rng)
+        lstm = LSTM(2, 3, rng, dtype=np.float64)
         t_total = 6
         x = rng.standard_normal((2, t_total, 2))
         full, _ = lstm.forward(x)

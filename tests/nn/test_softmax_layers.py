@@ -20,7 +20,7 @@ class TestFullSoftmaxLoss:
         assert 0 < loss < 10
 
     def test_gradients_match_finite_difference(self):
-        layer = FullSoftmaxLoss(5, 3, rng(2))
+        layer = FullSoftmaxLoss(5, 3, rng(2), dtype=np.float64)
         hidden = rng(3).standard_normal((4, 3))
         targets = np.array([0, 4, 2, 2])
 
@@ -107,7 +107,8 @@ class TestLogUniformSampler:
 
 class TestSampledSoftmaxLoss:
     def make(self, v=20, h=3, s=6, seed=4):
-        return SampledSoftmaxLoss(v, h, s, rng(seed))
+        # Gradient checks need double precision; the library default is FP32.
+        return SampledSoftmaxLoss(v, h, s, rng(seed), dtype=np.float64)
 
     def test_loss_finite(self):
         layer = self.make()

@@ -9,7 +9,11 @@ from ..helpers import numerical_grad
 
 
 def make(i=2, h=3, layers=2, dropout=0.0, seed=0):
-    return StackedLSTM(i, h, layers, np.random.default_rng(seed), dropout=dropout)
+    # Gradient checks need double precision; the library default is FP32.
+    return StackedLSTM(
+        i, h, layers, np.random.default_rng(seed), dropout=dropout,
+        dtype=np.float64,
+    )
 
 
 class TestForward:
@@ -23,7 +27,7 @@ class TestForward:
     def test_single_layer_equals_plain_lstm(self):
         rng_state = 7
         stack = make(layers=1, seed=rng_state)
-        plain = LSTM(2, 3, np.random.default_rng(rng_state))
+        plain = LSTM(2, 3, np.random.default_rng(rng_state), dtype=np.float64)
         x = np.random.default_rng(1).standard_normal((2, 4, 2))
         out_stack, _ = stack.forward(x)
         out_plain, _ = plain.forward(x)
