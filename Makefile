@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench examples results clean
+.PHONY: install test lint bench bench-smoke examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast overlap/straggler ablations with their timeline-vs-analytic
+# acceptance gates — cheap enough to run on every CI push.
+bench-smoke:
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_ablation_overlap.py \
+		benchmarks/bench_ablation_stragglers.py --benchmark-only
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

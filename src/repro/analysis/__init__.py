@@ -8,14 +8,15 @@ be attributed to a ledger scope.  This package provides two complementary
 checkers:
 
 * :mod:`repro.analysis.lint` — an AST-based lint framework with
-  project-specific rules (``REPRO001``–``REPRO006``), run via
+  project-specific rules (``REPRO001``–``REPRO007``), run via
   ``python -m repro.cli lint`` / ``make lint`` and enforced on
   ``src/repro`` itself by a tier-1 test;
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime wrapper around
   :class:`~repro.cluster.communicator.Communicator` and the FP16 wire
   codec that detects mismatched per-rank collectives, compression
-  overflow (with a counterexample), and unbalanced ledger scopes, run
-  via ``python -m repro.cli train --sanitize``.
+  overflow (with a counterexample), unbalanced ledger scopes, dropped
+  async work handles, and cross-rank issue-order mismatches, run via
+  ``python -m repro.cli train --sanitize``.
 """
 
 from .lint import (
@@ -30,7 +31,10 @@ from .lint import (
 from .sanitizer import (
     CollectiveMismatchError,
     CompressionOverflowError,
+    DroppedHandleError,
+    IssueOrderError,
     SanitizedFp16Codec,
+    SanitizedWorkHandle,
     Sanitizer,
     SanitizerError,
     sanitize_codec,
@@ -46,8 +50,11 @@ __all__ = [
     "iter_rule_classes",
     "Sanitizer",
     "SanitizerError",
+    "SanitizedWorkHandle",
     "CollectiveMismatchError",
     "CompressionOverflowError",
+    "DroppedHandleError",
+    "IssueOrderError",
     "SanitizedFp16Codec",
     "sanitize_codec",
 ]

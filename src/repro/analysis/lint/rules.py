@@ -1,4 +1,4 @@
-"""The project rule set, ``REPRO001``–``REPRO006``.
+"""The project rule set, ``REPRO001``–``REPRO007``.
 
 Each rule guards an invariant the paper's experiments depend on; the
 rationale strings say which section breaks when the rule is violated.
@@ -17,6 +17,7 @@ from .engine import Finding, ModuleSource, Rule, register
 __all__ = [
     "BareGlobalRngRule",
     "CollectiveOutsideScopeRule",
+    "DroppedWorkHandleRule",
     "DtypeDefaultRule",
     "ExportsDriftRule",
     "Float64IntoCommRule",
@@ -27,6 +28,18 @@ _NUMPY_ALIASES = {"np", "numpy"}
 
 #: Collective methods of the simulated communicator (and its wrappers).
 _COLLECTIVES = {"allreduce", "allgather", "broadcast", "reduce_scatter"}
+
+#: Their non-blocking variants (return a WorkHandle / pending object),
+#: plus the async entry points of the core layer built on them.
+_ASYNC_COLLECTIVES = {
+    "iallreduce",
+    "iallgather",
+    "ibroadcast",
+    "ireduce_scatter",
+    "ibucketed_allreduce",
+    "iunique_exchange",
+    "iexchange",
+}
 
 
 def _attr_chain(node: ast.AST) -> str | None:
@@ -124,7 +137,7 @@ class Float64IntoCommRule(Rule):
         "repro.nn.DTYPE before the comm boundary."
     )
 
-    _CALLEES = _COLLECTIVES | {"encode"}
+    _CALLEES = _COLLECTIVES | _ASYNC_COLLECTIVES | {"encode"}
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -191,7 +204,7 @@ class CollectiveOutsideScopeRule(Rule):
         "inherits the caller's scope and is exempt."
     )
 
-    _CALLEES = _COLLECTIVES | {"barrier", "sync_replicas"}
+    _CALLEES = _COLLECTIVES | _ASYNC_COLLECTIVES | {"barrier", "sync_replicas"}
 
     def applies_to(self, path: Path) -> bool:
         parts = set(path.parts)
@@ -390,6 +403,112 @@ class ExportsDriftRule(Rule):
                                 if isinstance(node, ast.Name):
                                     bound.add(node.id)
         return bound
+
+
+@register
+class DroppedWorkHandleRule(Rule):
+    """REPRO007: async collective work handles must be awaited."""
+
+    rule_id = "REPRO007"
+    title = "dropped async work handle"
+    rationale = (
+        "A WorkHandle from an `i*` collective that is never wait()ed "
+        "leaks its scratch allocation for the rest of the run and its "
+        "completion never reaches the timeline — overlap measurements "
+        "and peak-memory numbers both go quietly wrong. The runtime "
+        "counterpart is Sanitizer.finish()'s DroppedHandleError."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for owner, body in self._scopes(module.tree):
+            yield from self._check_scope(module, owner, body)
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+        """Module body plus every function body, each its own scope."""
+        yield tree, tree.body
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, node.body
+
+    @classmethod
+    def _statements(cls, body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        """Statements of one scope, not descending into nested scopes."""
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield stmt
+            for attr in ("body", "orelse", "finalbody"):
+                yield from cls._statements(getattr(stmt, attr, []))
+            for handler in getattr(stmt, "handlers", []):
+                yield from cls._statements(handler.body)
+
+    @staticmethod
+    def _issue_op(node: ast.AST) -> str | None:
+        """The `i*` callee name when ``node`` is an async-issue call."""
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            return None
+        return name if name in _ASYNC_COLLECTIVES else None
+
+    @staticmethod
+    def _name_loaded(owner: ast.AST, name: str) -> bool:
+        """Any Load of ``name`` in the scope (closures included)."""
+        return any(
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Load)
+            for node in ast.walk(owner)
+        )
+
+    def _check_scope(
+        self, module: ModuleSource, owner: ast.AST, body: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        for stmt in self._statements(body):
+            if isinstance(stmt, ast.Expr):
+                op = self._issue_op(stmt.value)
+                if op is not None:
+                    yield self.finding(
+                        module,
+                        stmt,
+                        f"`{op}(...)` handle discarded at issue: nothing "
+                        "can ever wait() this collective — keep the "
+                        "handle, or use the blocking variant",
+                    )
+                continue
+            target = None
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                target = stmt.targets[0].id
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                target = stmt.target.id
+            if target is None or stmt.value is None:
+                continue
+            op = self._issue_op(stmt.value)
+            if op is None:
+                continue
+            # Conservative: any later Load of the name counts as a use
+            # (passing the handle on is assumed to lead to a wait).
+            if not self._name_loaded(owner, target):
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"handle `{target}` from `{op}(...)` is never used in "
+                    "its enclosing scope: the collective is issued but "
+                    "nothing wait()s it",
+                )
 
 
 @register

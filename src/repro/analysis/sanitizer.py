@@ -19,6 +19,22 @@ executes:
 * **scope attribution** (opt-in) — collectives must run inside a
   ``with ledger.scope(...)`` block so their cost is attributable.
 
+The async engine adds two failure modes, both covered here:
+
+* **dropped handles** — an ``i*`` collective whose
+  :class:`~repro.cluster.communicator.WorkHandle` is never ``wait()``\\ ed
+  leaks scratch for the rest of the run and silently omits the
+  completion from the timeline.  The sanitizer wraps every handle it
+  issues and :meth:`Sanitizer.finish` raises :class:`DroppedHandleError`
+  for any still un-awaited (the static counterpart is lint rule
+  REPRO007);
+* **cross-rank issue-order mismatch** — SPMD code that issues
+  collectives in different orders on different ranks deadlocks on a
+  real cluster.  Rank-local issue intents recorded via
+  :meth:`Sanitizer.declare_issue` are compared by
+  :meth:`Sanitizer.assert_uniform_issue_order`, which reports the first
+  divergence.
+
 Every violation raises a :class:`SanitizerError` subclass whose message
 names the op, the offending rank(s), and a concrete counterexample.
 
@@ -37,14 +53,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..cluster.communicator import Communicator
+from ..cluster.communicator import Communicator, WorkHandle
 from ..core.compression import FP16_MAX, Fp16Codec, IdentityCodec, WireCodec
 
 __all__ = [
     "CollectiveMismatchError",
     "CompressionOverflowError",
+    "DroppedHandleError",
+    "IssueOrderError",
     "OpRecord",
     "SanitizedFp16Codec",
+    "SanitizedWorkHandle",
     "Sanitizer",
     "SanitizerError",
     "sanitize_codec",
@@ -66,6 +85,24 @@ class CompressionOverflowError(SanitizerError):
     """FP16 compression-scaling produced NaN/Inf or saturated values."""
 
 
+class DroppedHandleError(SanitizerError):
+    """An ``i*`` collective's work handle was never ``wait()``\\ ed.
+
+    The collective's scratch stays charged to every device and its
+    completion never lands on the timeline — the async engine's
+    equivalent of a leaked request.  Raised by :meth:`Sanitizer.finish`.
+    """
+
+
+class IssueOrderError(SanitizerError):
+    """Ranks declared collectives in different orders.
+
+    On a real cluster this deadlocks (each rank blocks in a different
+    collective); raised by
+    :meth:`Sanitizer.assert_uniform_issue_order`.
+    """
+
+
 @dataclass(frozen=True)
 class OpRecord:
     """One sanitized collective, kept for op-sequence comparison."""
@@ -85,6 +122,38 @@ def _describe(values: np.ndarray, indices: np.ndarray) -> str:
         f" (+{indices.size - _MAX_EXAMPLES} more)"
     )
     return pairs + extra
+
+
+class SanitizedWorkHandle:
+    """Tracking wrapper around a :class:`WorkHandle`.
+
+    Returned by the sanitizer's ``i*`` collectives; remembers whether
+    :meth:`wait` ran so :meth:`Sanitizer.finish` can name every handle
+    that was issued and then dropped.  All other attributes delegate to
+    the wrapped handle.
+    """
+
+    def __init__(self, handle: WorkHandle, record: OpRecord):
+        self._handle = handle
+        self.record = record
+
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)
+
+    def wait(self) -> list[np.ndarray]:
+        """Complete the collective (delegates to the wrapped handle)."""
+        return self._handle.wait()
+
+    def is_complete(self) -> bool:
+        """Whether the underlying work has been awaited."""
+        return self._handle.is_complete()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "complete" if self.is_complete() else "pending"
+        return (
+            f"SanitizedWorkHandle({self.record.op}"
+            f"[tag={self.record.tag!r}], {state})"
+        )
 
 
 class Sanitizer:
@@ -122,6 +191,8 @@ class Sanitizer:
         self.check_finite = check_finite
         self.forbid_dtypes = tuple(np.dtype(d) for d in forbid_dtypes)
         self.op_log: list[OpRecord] = []
+        self._issued_handles: list[SanitizedWorkHandle] = []
+        self._rank_issue_logs: dict[int, list[OpRecord]] = {}
 
     def __getattr__(self, name: str):
         return getattr(self._comm, name)
@@ -257,6 +328,49 @@ class Sanitizer:
         self._validate("reduce_scatter", arrays, tag)
         return self._comm.reduce_scatter(arrays, tag=tag)
 
+    # Non-blocking variants validate at issue (the moment the payload
+    # hits the wire on a real stack) and wrap the returned handle so
+    # dropped work is detectable at finish().  They must be explicit
+    # methods: ``__getattr__`` delegation would hand back the raw
+    # communicator's ``i*`` and bypass every check.
+
+    def _issue_checked(self, handle: WorkHandle) -> SanitizedWorkHandle:
+        wrapped = SanitizedWorkHandle(handle, self.op_log[-1])
+        self._issued_handles.append(wrapped)
+        return wrapped
+
+    def iallreduce(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> SanitizedWorkHandle:
+        """Validated non-blocking allreduce; the handle is tracked."""
+        self._validate("allreduce", arrays, tag)
+        return self._issue_checked(self._comm.iallreduce(arrays, tag=tag))
+
+    def iallgather(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> SanitizedWorkHandle:
+        """Validated non-blocking allgather; the handle is tracked."""
+        self._validate("allgather", arrays, tag, ragged_leading=True)
+        return self._issue_checked(self._comm.iallgather(arrays, tag=tag))
+
+    def ibroadcast(
+        self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""
+    ) -> SanitizedWorkHandle:
+        """Validated non-blocking broadcast; the handle is tracked."""
+        self._validate("broadcast", arrays, tag)
+        return self._issue_checked(
+            self._comm.ibroadcast(arrays, root=root, tag=tag)
+        )
+
+    def ireduce_scatter(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> SanitizedWorkHandle:
+        """Validated non-blocking reduce-scatter; the handle is tracked."""
+        self._validate("reduce_scatter", arrays, tag)
+        return self._issue_checked(
+            self._comm.ireduce_scatter(arrays, tag=tag)
+        )
+
     def barrier(self, tag: str = "") -> None:
         if self.require_scope and self._comm.ledger.current_scope == "":
             raise SanitizerError(
@@ -271,9 +385,81 @@ class Sanitizer:
     # ------------------------------------------------------------------
 
     def finish(self) -> list[OpRecord]:
-        """End-of-run check: ledger scopes balanced; returns the op log."""
+        """End-of-run checks; returns the op log.
+
+        Raises :class:`DroppedHandleError` if any ``i*`` collective
+        issued through this sanitizer was never awaited, then verifies
+        the ledger's scope stack is balanced.
+        """
+        dropped = [h for h in self._issued_handles if not h.is_complete()]
+        if dropped:
+            detail = ", ".join(
+                f"{h.record.op}[tag={h.record.tag!r}]" for h in dropped[:5]
+            )
+            extra = "" if len(dropped) <= 5 else f" (+{len(dropped) - 5} more)"
+            raise DroppedHandleError(
+                f"{len(dropped)} async collective(s) were issued but never "
+                f"wait()ed: {detail}{extra} — their scratch stays charged "
+                "to every device and their completion never reaches the "
+                "timeline (lint rule REPRO007)"
+            )
         self._comm.ledger.assert_balanced()
         return list(self.op_log)
+
+    # ------------------------------------------------------------------
+    # cross-rank issue-order checking
+    # ------------------------------------------------------------------
+
+    def declare_issue(self, rank: int, op: str, tag: str = "") -> None:
+        """Record that ``rank``'s control flow issues ``op`` next.
+
+        The simulator executes collectives once for all ranks, so
+        per-rank divergence can only come from rank-dependent control
+        flow *around* the calls.  SPMD orchestration code declares each
+        rank's intent here; :meth:`assert_uniform_issue_order` then
+        checks all ranks agree — the condition under which the single
+        shared call is actually representative of G independent
+        processes.
+        """
+        if not 0 <= rank < self._comm.world_size:
+            raise ValueError(
+                f"rank {rank} out of range for world size "
+                f"{self._comm.world_size}"
+            )
+        self._rank_issue_logs.setdefault(rank, []).append(
+            OpRecord(op=op, shapes=(), dtype="", tag=tag)
+        )
+
+    def assert_uniform_issue_order(self) -> None:
+        """Raise :class:`IssueOrderError` on the first cross-rank divergence.
+
+        Compares every declaring rank's issue sequence against the
+        lowest declaring rank's; a real cluster would deadlock at the
+        first position where two ranks enter different collectives.
+        """
+        if not self._rank_issue_logs:
+            return
+        ranks = sorted(self._rank_issue_logs)
+        base_rank = ranks[0]
+        base = self._rank_issue_logs[base_rank]
+        for rank in ranks[1:]:
+            log = self._rank_issue_logs[rank]
+            for i, (a, b) in enumerate(zip(base, log)):
+                if a != b:
+                    raise IssueOrderError(
+                        f"ranks {base_rank} and {rank} issue different "
+                        f"collectives at position {i}: "
+                        f"{a.op}[tag={a.tag!r}] vs {b.op}[tag={b.tag!r}] — "
+                        "on a real cluster both ranks would block forever "
+                        "in mismatched collectives"
+                    )
+            if len(base) != len(log):
+                raise IssueOrderError(
+                    f"ranks {base_rank} and {rank} issue different "
+                    f"collective counts: {len(base)} vs {len(log)} — the "
+                    "shorter rank would hang waiting for peers in the "
+                    "extra collective"
+                )
 
     def assert_same_sequence(self, other: "Sanitizer") -> None:
         """Compare two communicators' op sequences (e.g. two sub-groups).

@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="wrap the communicator and codec in the "
                          "runtime sanitizer (collective mismatch, FP16 "
                          "overflow, and ledger-scope checking)")
+    p_train.add_argument("--overlap", action=argparse.BooleanOptionalAction,
+                         default=False,
+                         help="issue gradient collectives layer-by-layer "
+                         "during backward instead of in one blocking sync "
+                         "(numerics are bit-identical either way)")
 
     p_perf = sub.add_parser("perf", help="paper-scale time/memory tables")
     p_perf.add_argument("--table", type=int, default=3, choices=[3, 4, 5])
@@ -153,6 +158,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         use_unique=not args.baseline,
         codec=codec,
         seed_strategy=SeedStrategy(args.seed_strategy),
+        overlap=args.overlap,
     )
     if is_word:
         model_cfg = WordLMConfig(
@@ -180,6 +186,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"{args.model} LM | {args.gpus} simulated GPUs | vocab {args.vocab} "
           f"| exchange: {'allgather' if args.baseline else 'unique'}"
           f"{' + fp16' if args.fp16 else ''}"
+          f"{' | overlapped' if args.overlap else ''}"
           f"{' | sanitized' if args.sanitize else ''}")
     print(f"initial val ppl: {perplexity(trainer.evaluate()):.2f}")
     for step in range(args.steps):

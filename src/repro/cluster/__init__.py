@@ -20,8 +20,13 @@ from .collectives import (
     ring_broadcast_time,
     ring_reduce_scatter_time,
 )
-from .communicator import Communicator
-from .failures import FailingCommunicator, RankFailureError, degrade_fabric
+from .communicator import Communicator, WorkHandle
+from .failures import (
+    FailingCommunicator,
+    RankFailureError,
+    degrade_fabric,
+    inject_straggler,
+)
 from .hierarchical import hierarchical_allreduce, hierarchical_allreduce_time
 from .device import (
     TITAN_X,
@@ -46,14 +51,28 @@ from .process_group import (
     partition_ranks,
     sub_communicator,
 )
+from .timeline import (
+    COMM_STREAM,
+    COMPUTE_STREAM,
+    CollectiveTicket,
+    Timeline,
+    TimelineEvent,
+)
 from .tracing import CommEvent, CostLedger, LedgerScopeError, LedgerSnapshot
 
 __all__ = [
     "Communicator",
+    "WorkHandle",
+    "Timeline",
+    "TimelineEvent",
+    "CollectiveTicket",
+    "COMPUTE_STREAM",
+    "COMM_STREAM",
     "LedgerScopeError",
     "FailingCommunicator",
     "RankFailureError",
     "degrade_fabric",
+    "inject_straggler",
     "hierarchical_allreduce",
     "hierarchical_allreduce_time",
     "CommEvent",

@@ -1,5 +1,5 @@
 """The simulated-cluster communicator: MPI-flavoured collectives with
-memory and cost accounting.
+memory, cost, and schedule accounting.
 
 Design
 ------
@@ -16,7 +16,23 @@ what a real cluster would have moved and held:
   call — an ALLGATHER of dense gradients really does spike every GPU by
   ``G*K*D`` floats, which is how the baseline OOMs in Tables III/IV;
 * each collective records **wire bytes per rank** and **alpha-beta model
-  time** to the :class:`~repro.cluster.tracing.CostLedger`.
+  time** to the :class:`~repro.cluster.tracing.CostLedger`;
+* each collective is placed on the per-rank
+  :class:`~repro.cluster.timeline.Timeline`, so overlapped schedules
+  produce a measured makespan instead of a summed phase list.
+
+Async engine
+------------
+Every collective has a non-blocking ``i*`` variant (``iallreduce``,
+``iallgather``, ``ibroadcast``, ``ireduce_scatter``) returning a
+:class:`WorkHandle` — the same issue/wait split PyTorch ``ProcessGroup``
+and Horovod expose.  Issue computes the numerics eagerly (the simulator
+is deterministic, so results cannot depend on wait order — bit-exactness
+by construction), charges scratch, appends the ledger event, and places
+the collective on the comm stream; ``wait()`` releases the scratch and
+blocks the compute streams at the collective's timeline end.  The
+blocking methods are exactly ``issue + wait``, so existing callers see
+identical numerics, ledger totals, and peak footprints.
 
 The API mirrors mpi4py's buffer-object conventions (`Allreduce`,
 `Allgather`, ...) in lower-case, operating on numpy arrays directly.
@@ -32,9 +48,73 @@ import numpy as np
 from . import collectives as coll
 from .device import DeviceSpec, ScopedAllocation, SimulatedDevice, TITAN_X
 from .interconnect import Interconnect, PAPER_CLUSTER_FABRIC
+from .timeline import Timeline
 from .tracing import CostLedger
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "WorkHandle"]
+
+
+class WorkHandle:
+    """One in-flight non-blocking collective.
+
+    Returned by the communicator's ``i*`` methods.  The numeric results
+    are computed at issue time (the simulator is single-threaded and
+    deterministic); what the handle defers is the *accounting*: scratch
+    buffers stay charged to every device, and the simulated compute
+    streams are not blocked, until :meth:`wait`.
+
+    A handle must be awaited exactly once before the results are used —
+    dropping one leaks scratch memory and desynchronizes the timeline,
+    which is the bug class lint rule ``REPRO007`` and the runtime
+    sanitizer's dropped-handle check both target.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        op: str,
+        results: list[np.ndarray],
+        scratch: ExitStack,
+        scratch_bytes: int,
+        ticket,
+        tag: str,
+    ):
+        self._comm = comm
+        self.op = op
+        self.tag = tag
+        self._results = results
+        self._scratch = scratch
+        self.scratch_bytes = scratch_bytes
+        self.ticket = ticket
+        self._complete = False
+
+    def wait(self) -> list[np.ndarray]:
+        """Complete the collective and return the per-rank results.
+
+        Releases the scratch buffers, removes the handle from the
+        communicator's pending set, and advances every rank's compute
+        stream to the collective's timeline end.  Idempotent: a second
+        ``wait()`` returns the cached results without re-accounting.
+        """
+        if not self._complete:
+            self._complete = True
+            self._scratch.close()
+            self._comm._pending.discard(self)
+            if self.ticket is not None:
+                self._comm.timeline.complete(self.ticket)
+        return self._results
+
+    def is_complete(self) -> bool:
+        """Whether :meth:`wait` has already been called.
+
+        The simulator has no true concurrency: completion is observed,
+        never polled, so this reports the handle's await state.
+        """
+        return self._complete
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "complete" if self._complete else "pending"
+        return f"WorkHandle(op={self.op!r}, tag={self.tag!r}, {state})"
 
 
 class Communicator:
@@ -55,6 +135,10 @@ class Communicator:
         When False, scratch-buffer charging is skipped (useful for pure
         accuracy experiments where OOM modelling is irrelevant and the
         simulated ``world`` exceeds what a 12 GB card could hold).
+    timeline:
+        Optional shared event timeline; a fresh one is created if
+        omitted.  All collectives — blocking and non-blocking — are
+        scheduled onto it.
     """
 
     def __init__(
@@ -64,6 +148,7 @@ class Communicator:
         fabric: Interconnect = PAPER_CLUSTER_FABRIC,
         ledger: CostLedger | None = None,
         track_memory: bool = True,
+        timeline: Timeline | None = None,
     ):
         if world_size <= 0:
             raise ValueError(f"world_size must be positive, got {world_size}")
@@ -71,9 +156,16 @@ class Communicator:
         self.fabric = fabric
         self.ledger = ledger if ledger is not None else CostLedger()
         self.track_memory = track_memory
+        self.timeline = timeline if timeline is not None else Timeline(world_size)
+        if self.timeline.world_size != world_size:
+            raise ValueError(
+                f"timeline world size {self.timeline.world_size} != "
+                f"communicator world size {world_size}"
+            )
         self.devices = [
             SimulatedDevice(device_id=r, spec=device_spec) for r in range(world_size)
         ]
+        self._pending: set[WorkHandle] = set()
 
     # ------------------------------------------------------------------
     # helpers
@@ -89,58 +181,85 @@ class Communicator:
     def _ring_link(self):
         return self.fabric.ring_link(self.world_size)
 
-    def _scratch(self, stack: ExitStack, nbytes: int, tag: str) -> None:
-        """Charge a temporary buffer of ``nbytes`` on every device."""
-        if not self.track_memory or nbytes == 0:
-            return
-        for dev in self.devices:
-            stack.enter_context(ScopedAllocation(dev, nbytes, tag))
+    def _issue(
+        self,
+        op: str,
+        results: list[np.ndarray],
+        scratch_bytes: int,
+        scratch_tag: str,
+        wire_bytes_per_rank: int,
+        time_s: float,
+        tag: str,
+    ) -> WorkHandle:
+        """Common issue path: charge scratch, schedule, record, enqueue."""
+        scratch = ExitStack()
+        if self.track_memory and scratch_bytes > 0:
+            for dev in self.devices:
+                scratch.enter_context(
+                    ScopedAllocation(dev, scratch_bytes, scratch_tag)
+                )
+        ticket = self.timeline.schedule_collective(time_s, name=f"{op}:{tag}")
+        self.ledger.record(
+            op=op,
+            world=self.world_size,
+            wire_bytes_per_rank=wire_bytes_per_rank,
+            time_s=time_s,
+            tag=tag,
+            start_s=ticket.start,
+            end_s=ticket.end,
+        )
+        handle = WorkHandle(
+            self, op, results, scratch, scratch_bytes, ticket, tag
+        )
+        self._pending.add(handle)
+        return handle
 
     # ------------------------------------------------------------------
-    # collectives
+    # non-blocking collectives (the async engine)
     # ------------------------------------------------------------------
 
-    def allreduce(
+    def iallreduce(
         self, arrays: Sequence[np.ndarray], tag: str = ""
-    ) -> list[np.ndarray]:
-        """Sum-allreduce across ranks (ring algorithm cost model).
+    ) -> WorkHandle:
+        """Non-blocking sum-allreduce; ring algorithm cost model.
 
         Scratch: one extra buffer of the message size per rank (the ring
         works in-place on shards, needing only a receive shard; we charge
-        a conservative full-message receive buffer).
+        a conservative full-message receive buffer), held until
+        ``wait()``.
         """
         self._check_ranks(arrays, "allreduce")
         nbytes = int(arrays[0].nbytes)
-        with ExitStack() as stack:
-            self._scratch(stack, nbytes, f"allreduce-recv:{tag}")
-            results = coll.allreduce_arrays(arrays)
-        self.ledger.record(
+        return self._issue(
             op="allreduce",
-            world=self.world_size,
+            results=coll.allreduce_arrays(arrays),
+            scratch_bytes=nbytes,
+            scratch_tag=f"allreduce-recv:{tag}",
             wire_bytes_per_rank=coll.allreduce_wire_bytes(self.world_size, nbytes),
-            time_s=coll.ring_allreduce_time(self.world_size, nbytes, self._ring_link()),
+            time_s=coll.ring_allreduce_time(
+                self.world_size, nbytes, self._ring_link()
+            ),
             tag=tag,
         )
-        return results
 
-    def allgather(
+    def iallgather(
         self, arrays: Sequence[np.ndarray], tag: str = ""
-    ) -> list[np.ndarray]:
-        """Allgather (allgatherv) across ranks.
+    ) -> WorkHandle:
+        """Non-blocking allgather (allgatherv).
 
-        Scratch: every rank must hold the **full gathered result** — this
-        is the ``Θ(G·K·D)`` footprint that limits the baseline.
+        Scratch: every rank must hold the **full gathered result** — the
+        ``Θ(G·K·D)`` footprint that limits the baseline — until
+        ``wait()``.
         """
         self._check_ranks(arrays, "allgather")
         per_rank_bytes = [int(np.atleast_1d(a).nbytes) for a in arrays]
         total_bytes = sum(per_rank_bytes)
         max_contrib = max(per_rank_bytes)
-        with ExitStack() as stack:
-            self._scratch(stack, total_bytes, f"allgather-recv:{tag}")
-            results = coll.allgather_arrays(arrays)
-        self.ledger.record(
+        return self._issue(
             op="allgather",
-            world=self.world_size,
+            results=coll.allgather_arrays(arrays),
+            scratch_bytes=total_bytes,
+            scratch_tag=f"allgather-recv:{tag}",
             wire_bytes_per_rank=coll.allgather_wire_bytes(
                 self.world_size, max_contrib
             ),
@@ -149,39 +268,38 @@ class Communicator:
             ),
             tag=tag,
         )
-        return results
 
-    def broadcast(
+    def ibroadcast(
         self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""
-    ) -> list[np.ndarray]:
-        """Broadcast the root's array to all ranks."""
+    ) -> WorkHandle:
+        """Non-blocking broadcast of the root's array to all ranks."""
         self._check_ranks(arrays, "broadcast")
         nbytes = int(arrays[root].nbytes)
-        with ExitStack() as stack:
-            self._scratch(stack, nbytes, f"broadcast-recv:{tag}")
-            results = coll.broadcast_arrays(arrays, root=root)
-        self.ledger.record(
+        return self._issue(
             op="broadcast",
-            world=self.world_size,
-            wire_bytes_per_rank=coll.broadcast_wire_bytes(self.world_size, nbytes),
-            time_s=coll.ring_broadcast_time(self.world_size, nbytes, self._ring_link()),
+            results=coll.broadcast_arrays(arrays, root=root),
+            scratch_bytes=nbytes,
+            scratch_tag=f"broadcast-recv:{tag}",
+            wire_bytes_per_rank=coll.broadcast_wire_bytes(
+                self.world_size, nbytes
+            ),
+            time_s=coll.ring_broadcast_time(
+                self.world_size, nbytes, self._ring_link()
+            ),
             tag=tag,
         )
-        return results
 
-    def reduce_scatter(
+    def ireduce_scatter(
         self, arrays: Sequence[np.ndarray], tag: str = ""
-    ) -> list[np.ndarray]:
-        """Sum-reduce then scatter equal shards, one per rank."""
+    ) -> WorkHandle:
+        """Non-blocking sum-reduce + scatter of equal shards, one per rank."""
         self._check_ranks(arrays, "reduce_scatter")
         nbytes = int(arrays[0].nbytes)
-        shard_bytes = nbytes // self.world_size
-        with ExitStack() as stack:
-            self._scratch(stack, shard_bytes, f"reduce_scatter-recv:{tag}")
-            results = coll.reduce_scatter_arrays(arrays)
-        self.ledger.record(
+        return self._issue(
             op="reduce_scatter",
-            world=self.world_size,
+            results=coll.reduce_scatter_arrays(arrays),
+            scratch_bytes=nbytes // self.world_size,
+            scratch_tag=f"reduce_scatter-recv:{tag}",
             wire_bytes_per_rank=coll.reduce_scatter_wire_bytes(
                 self.world_size, nbytes
             ),
@@ -190,31 +308,115 @@ class Communicator:
             ),
             tag=tag,
         )
-        return results
+
+    # ------------------------------------------------------------------
+    # blocking collectives (issue + wait; numerics and accounting are
+    # bit-identical to the pre-async engine)
+    # ------------------------------------------------------------------
+
+    def allreduce(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> list[np.ndarray]:
+        """Sum-allreduce across ranks (ring algorithm cost model)."""
+        return self.iallreduce(arrays, tag=tag).wait()
+
+    def allgather(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> list[np.ndarray]:
+        """Allgather (allgatherv) across ranks."""
+        return self.iallgather(arrays, tag=tag).wait()
+
+    def broadcast(
+        self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""
+    ) -> list[np.ndarray]:
+        """Broadcast the root's array to all ranks."""
+        return self.ibroadcast(arrays, root=root, tag=tag).wait()
+
+    def reduce_scatter(
+        self, arrays: Sequence[np.ndarray], tag: str = ""
+    ) -> list[np.ndarray]:
+        """Sum-reduce then scatter equal shards, one per rank."""
+        return self.ireduce_scatter(arrays, tag=tag).wait()
 
     def barrier(self, tag: str = "") -> None:
         """Synchronization point: latency-only, no payload."""
         link = self._ring_link()
+        time_s = 2 * (self.world_size - 1) * link.latency
+        ticket = self.timeline.schedule_collective(time_s, name=f"barrier:{tag}")
+        self.timeline.complete(ticket)
         self.ledger.record(
             op="barrier",
             world=self.world_size,
             wire_bytes_per_rank=0,
-            time_s=2 * (self.world_size - 1) * link.latency,
+            time_s=time_s,
             tag=tag,
+            start_s=ticket.start,
+            end_s=ticket.end,
         )
+
+    def wait_all(self) -> int:
+        """Wait every pending handle (drain the comm streams).
+
+        Returns the number of handles completed.  Useful at step or
+        epoch boundaries to guarantee no work is silently in flight.
+        """
+        pending = list(self._pending)
+        for handle in pending:
+            handle.wait()
+        return len(pending)
 
     # ------------------------------------------------------------------
     # memory views
     # ------------------------------------------------------------------
 
     @property
+    def pending_work(self) -> tuple[WorkHandle, ...]:
+        """Handles issued but not yet awaited (order unspecified)."""
+        return tuple(self._pending)
+
+    @property
+    def in_flight_scratch_bytes(self) -> int:
+        """Scratch bytes currently charged *per rank* by pending async work.
+
+        Every collective charges its scratch to all devices, so this is
+        the per-device (not summed-over-devices) in-flight footprint.
+        Zero when ``track_memory`` is off or nothing is pending.
+        """
+        if not self.track_memory:
+            return 0
+        return sum(h.scratch_bytes for h in self._pending)
+
+    @property
     def peak_bytes_per_rank(self) -> int:
-        """Maximum peak footprint over all devices."""
+        """Maximum peak footprint over all devices.
+
+        The peak *includes* scratch of in-flight async work: a handle
+        issued but not yet awaited keeps its receive buffers charged to
+        every device, exactly as a real non-blocking collective pins its
+        buffers until completion.
+        """
         return max(dev.peak_bytes for dev in self.devices)
 
-    def reset_peaks(self) -> None:
+    def reset_peaks(self) -> int:
+        """Reset every device's high-water mark; report in-flight scratch.
+
+        Each device's peak is reset to its *current* footprint — which
+        still contains the scratch of any pending (issued, un-awaited)
+        async collectives, since those buffers remain live until their
+        handle's ``wait()``.  A post-reset ``peak_bytes_per_rank`` is
+        therefore never smaller than the in-flight async scratch.
+
+        Returns
+        -------
+        int
+            The per-rank in-flight scratch bytes still charged at reset
+            time (``in_flight_scratch_bytes``), so callers measuring
+            "peak since reset" can see how much of the floor is pending
+            async work rather than persistent tensors.
+        """
         for dev in self.devices:
             dev.reset_peak()
+        return self.in_flight_scratch_bytes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

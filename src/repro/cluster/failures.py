@@ -1,4 +1,4 @@
-"""Fault injection: degraded links and mid-run rank failures.
+"""Fault injection: degraded links, stragglers, and mid-run rank failures.
 
 Long training runs on hundreds of GPUs meet hardware trouble; the paper's
 Hero run (192 GPUs for 34 hours) is exactly the regime where a failure
@@ -7,6 +7,11 @@ story matters.  This module provides:
 * :func:`degrade_fabric` — an interconnect with reduced bandwidth on one
   or both tiers (a flapping switch, a congested PCIe root complex),
   letting cost-model studies quantify sensitivity to network health;
+* :func:`inject_straggler` — slow one rank's compute stream on a
+  :class:`~repro.cluster.timeline.Timeline` by a constant factor (a
+  thermally-throttled GPU, a noisy host), so the synchronous-straggler
+  analysis of :mod:`repro.perf.stragglers` can be validated against a
+  measured schedule rather than only the extreme-value formula;
 * :class:`FailingCommunicator` — a communicator that raises
   :class:`RankFailureError` after a configured number of collectives,
   simulating a node crash mid-step.  Combined with
@@ -21,8 +26,14 @@ from dataclasses import replace
 
 from .communicator import Communicator
 from .interconnect import Interconnect, LinkSpec
+from .timeline import Timeline
 
-__all__ = ["degrade_fabric", "RankFailureError", "FailingCommunicator"]
+__all__ = [
+    "degrade_fabric",
+    "inject_straggler",
+    "RankFailureError",
+    "FailingCommunicator",
+]
 
 
 def degrade_fabric(
@@ -45,6 +56,23 @@ def degrade_fabric(
         intra_node=slow(fabric.intra_node, intra_factor),
         inter_node=slow(fabric.inter_node, inter_factor),
     )
+
+
+def inject_straggler(
+    timeline: Timeline, rank: int, slowdown: float
+) -> Timeline:
+    """Make ``rank`` a straggler: scale its compute durations by ``slowdown``.
+
+    ``slowdown`` must be >= 1 (this injects degradation, not speedups).
+    Returns the timeline for chaining.  Every subsequent collective the
+    rank participates in starts no earlier than the rank's slowed issue
+    point, so the whole synchronous schedule pays the straggler — the
+    mechanism behind :func:`repro.perf.stragglers.straggler_slowdown`.
+    """
+    if slowdown < 1.0:
+        raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+    timeline.set_compute_scale(rank, slowdown)
+    return timeline
 
 
 class RankFailureError(RuntimeError):
@@ -93,18 +121,26 @@ class FailingCommunicator(Communicator):
             raise RankFailureError(self.failing_rank, op, self._collectives)
         self._collectives += 1
 
-    def allreduce(self, arrays, tag=""):
+    # The failure fires at *issue* time — a crashed rank never enqueues
+    # the collective — so both the blocking calls (issue + wait) and the
+    # async ``i*`` API observe it before any state is touched.
+
+    def iallreduce(self, arrays, tag=""):
+        """Failure-checked non-blocking allreduce."""
         self._maybe_fail("allreduce")
-        return super().allreduce(arrays, tag=tag)
+        return super().iallreduce(arrays, tag=tag)
 
-    def allgather(self, arrays, tag=""):
+    def iallgather(self, arrays, tag=""):
+        """Failure-checked non-blocking allgather."""
         self._maybe_fail("allgather")
-        return super().allgather(arrays, tag=tag)
+        return super().iallgather(arrays, tag=tag)
 
-    def broadcast(self, arrays, root=0, tag=""):
+    def ibroadcast(self, arrays, root=0, tag=""):
+        """Failure-checked non-blocking broadcast."""
         self._maybe_fail("broadcast")
-        return super().broadcast(arrays, root=root, tag=tag)
+        return super().ibroadcast(arrays, root=root, tag=tag)
 
-    def reduce_scatter(self, arrays, tag=""):
+    def ireduce_scatter(self, arrays, tag=""):
+        """Failure-checked non-blocking reduce-scatter."""
         self._maybe_fail("reduce_scatter")
-        return super().reduce_scatter(arrays, tag=tag)
+        return super().ireduce_scatter(arrays, tag=tag)

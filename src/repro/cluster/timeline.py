@@ -1,0 +1,275 @@
+"""Per-rank two-stream event timeline for the async collective engine.
+
+Real accelerators run gradient communication on a **comm stream** that
+proceeds concurrently with the **compute stream** still executing the
+backward pass; wall-clock per iteration is the *schedule makespan*, not
+the sum of phase times.  The synchronous simulator had no notion of
+this — ``repro.perf.overlap`` asserted the overlapped time with a closed
+formula.  This module *derives* it from an actual execution order.
+
+Model
+-----
+Each of ``world_size`` ranks owns two streams:
+
+* **compute** — advanced explicitly via :meth:`Timeline.record_compute`
+  (the trainer and the perf benches feed it backward-pass chunks).  A
+  per-rank *compute scale* models stragglers: every compute duration on
+  rank ``r`` is multiplied by ``compute_scale[r]`` (see
+  :func:`repro.cluster.failures.inject_straggler`).
+* **comm** — occupied by collectives scheduled via
+  :meth:`Timeline.schedule_collective`.
+
+Contention rules (the same constraints a ring over one fabric imposes):
+
+1. a collective cannot *start* before every participating rank has
+   reached its issue point (``start >= max_r compute_clock[r]`` at issue);
+2. the ring link is a single shared resource — collectives serialize on
+   it in issue order (``start >= end`` of the previous collective);
+3. a rank's compute stream blocks at :meth:`Timeline.complete` (the
+   ``wait()``) until the collective's end time.
+
+Durations come from the caller — the communicator passes the existing
+:class:`~repro.cluster.interconnect.LinkSpec` alpha-beta cost models —
+so the timeline adds *ordering*, never new cost constants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "COMPUTE_STREAM",
+    "COMM_STREAM",
+    "CollectiveTicket",
+    "Timeline",
+    "TimelineEvent",
+]
+
+#: Stream names used in events and chrome traces.
+COMPUTE_STREAM = "compute"
+COMM_STREAM = "comm"
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One interval on one rank's compute or comm stream."""
+
+    rank: int
+    stream: str
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Interval length in simulated seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CollectiveTicket:
+    """The scheduled placement of one collective on the comm streams.
+
+    Returned by :meth:`Timeline.schedule_collective`; passed back to
+    :meth:`Timeline.complete` when the issuing code ``wait()``\\ s.
+    """
+
+    index: int
+    name: str
+    start: float
+    end: float
+
+
+class Timeline:
+    """Simulated two-stream (compute + comm) schedule over all ranks.
+
+    Parameters
+    ----------
+    world_size:
+        Number of simulated ranks.
+
+    Notes
+    -----
+    The timeline is *monotone*: clocks only move forward, and scheduling
+    queries are O(1) per event.  All times are simulated seconds from
+    the start of the run; use :meth:`mark` / :meth:`elapsed_since` for
+    per-iteration spans.
+    """
+
+    def __init__(self, world_size: int):
+        if world_size <= 0:
+            raise ValueError(f"world_size must be positive, got {world_size}")
+        self.world_size = world_size
+        self.compute_clock = [0.0] * world_size
+        self.comm_clock = [0.0] * world_size
+        self.compute_scale = [1.0] * world_size
+        self.events: list[TimelineEvent] = []
+        self._link_free = 0.0
+        self._next_index = 0
+
+    # ------------------------------------------------------------------
+    # stream advancement
+    # ------------------------------------------------------------------
+
+    def set_compute_scale(self, rank: int, factor: float) -> None:
+        """Scale every subsequent compute duration on ``rank`` by ``factor``.
+
+        ``factor > 1`` makes the rank a straggler; the synchronous
+        schedule then pays the slowdown on every collective that rank
+        participates in (rule 1 above).
+        """
+        self._check_rank(rank)
+        if factor <= 0:
+            raise ValueError(f"compute scale must be positive, got {factor}")
+        self.compute_scale[rank] = factor
+
+    def record_compute(
+        self, rank: int, seconds: float, name: str = "compute"
+    ) -> TimelineEvent:
+        """Append ``seconds`` of work to ``rank``'s compute stream.
+
+        The duration is multiplied by the rank's compute scale; returns
+        the placed event.
+        """
+        self._check_rank(rank)
+        if seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {seconds}")
+        start = self.compute_clock[rank]
+        end = start + seconds * self.compute_scale[rank]
+        self.compute_clock[rank] = end
+        event = TimelineEvent(rank, COMPUTE_STREAM, name, start, end)
+        self.events.append(event)
+        return event
+
+    def schedule_collective(
+        self, duration: float, name: str = "", ranks: Sequence[int] | None = None
+    ) -> CollectiveTicket:
+        """Place one collective of ``duration`` seconds on the comm streams.
+
+        The start time honours the contention rules in the module
+        docstring: no earlier than any participating rank's current
+        compute position (its issue point), no earlier than any of their
+        comm streams, and no earlier than the shared link frees up.
+        The collective's completion does **not** block compute — call
+        :meth:`complete` when the issuing code waits on its handle.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        participants = range(self.world_size) if ranks is None else ranks
+        participants = list(participants)
+        for r in participants:
+            self._check_rank(r)
+        if not participants:
+            raise ValueError("a collective needs at least one participant")
+        start = max(
+            max(self.compute_clock[r] for r in participants),
+            max(self.comm_clock[r] for r in participants),
+            self._link_free,
+        )
+        end = start + duration
+        for r in participants:
+            self.comm_clock[r] = end
+            self.events.append(
+                TimelineEvent(r, COMM_STREAM, name or "collective", start, end)
+            )
+        self._link_free = end
+        ticket = CollectiveTicket(self._next_index, name, start, end)
+        self._next_index += 1
+        return ticket
+
+    def complete(
+        self, ticket: CollectiveTicket, ranks: Sequence[int] | None = None
+    ) -> float:
+        """Block compute streams until ``ticket``'s collective finishes.
+
+        Models ``WorkHandle.wait()``: each waiting rank's compute clock
+        advances to at least the collective's end time.  Returns the end
+        time.  Idempotent — waiting twice is a no-op.
+        """
+        participants = range(self.world_size) if ranks is None else ranks
+        for r in participants:
+            self._check_rank(r)
+            self.compute_clock[r] = max(self.compute_clock[r], ticket.end)
+        return ticket.end
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """End of the schedule: the latest point any stream reaches."""
+        span = 0.0
+        if self.compute_clock:
+            span = max(span, max(self.compute_clock), max(self.comm_clock))
+        span = max(span, self._link_free)
+        return span
+
+    def mark(self) -> float:
+        """Snapshot the current makespan (start of a measured interval)."""
+        return self.makespan
+
+    def elapsed_since(self, mark: float) -> float:
+        """Simulated seconds between ``mark`` and the current makespan."""
+        return self.makespan - mark
+
+    def busy_time(self, rank: int, stream: str) -> float:
+        """Total occupied seconds of one rank's compute or comm stream."""
+        self._check_rank(rank)
+        return sum(
+            e.duration
+            for e in self.events
+            if e.rank == rank and e.stream == stream
+        )
+
+    def exposed_comm_time(self) -> float:
+        """Comm seconds *not* hidden behind compute, over the whole run.
+
+        The difference between the makespan and the busiest compute
+        stream: with perfect overlap it is zero; with no compute
+        recorded it equals the serialized comm span.
+        """
+        busiest = max(
+            (self.busy_time(r, COMPUTE_STREAM) for r in range(self.world_size)),
+            default=0.0,
+        )
+        return max(0.0, self.makespan - busiest)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Export the schedule in Chrome trace-event format.
+
+        One ``pid`` per rank, one ``tid`` per stream, so the two-stream
+        structure renders as paired tracks in ``chrome://tracing``.
+        """
+        trace = []
+        for e in self.events:
+            trace.append(
+                {
+                    "name": e.name,
+                    "cat": e.stream,
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": e.rank,
+                    "tid": 0 if e.stream == COMPUTE_STREAM else 1,
+                    "args": {"stream": e.stream},
+                }
+            )
+        return trace
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"rank {rank} out of range for world size {self.world_size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Timeline(world_size={self.world_size}, "
+            f"events={len(self.events)}, makespan={self.makespan:.3e}s)"
+        )

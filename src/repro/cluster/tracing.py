@@ -38,7 +38,13 @@ class LedgerScopeError(RuntimeError):
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One collective operation as observed by the ledger."""
+    """One collective operation as observed by the ledger.
+
+    ``start_s``/``end_s`` are the collective's placement on the
+    per-rank :class:`~repro.cluster.timeline.Timeline` (simulated
+    seconds); both are negative when the recording communicator carried
+    no timeline (pure cost accounting).
+    """
 
     op: str
     world: int
@@ -46,6 +52,13 @@ class CommEvent:
     time_s: float
     tag: str = ""
     scope: str = ""
+    start_s: float = -1.0
+    end_s: float = -1.0
+
+    @property
+    def has_schedule(self) -> bool:
+        """Whether this event was placed on a timeline."""
+        return self.start_s >= 0.0 and self.end_s >= 0.0
 
 
 @dataclass
@@ -62,6 +75,8 @@ class CostLedger:
         wire_bytes_per_rank: int,
         time_s: float,
         tag: str = "",
+        start_s: float = -1.0,
+        end_s: float = -1.0,
     ) -> CommEvent:
         if wire_bytes_per_rank < 0:
             raise ValueError("wire_bytes_per_rank must be non-negative")
@@ -74,6 +89,8 @@ class CostLedger:
             time_s=time_s,
             tag=tag,
             scope=self.current_scope,
+            start_s=start_s,
+            end_s=end_s,
         )
         self.events.append(event)
         return event
@@ -194,21 +211,29 @@ class CostLedger:
     def to_chrome_trace(self) -> list[dict]:
         """Export events in Chrome trace-event format (``chrome://tracing``).
 
-        Events are laid end-to-end on a single simulated-time track (the
-        communicator serializes collectives), tagged with op, scope, and
-        per-rank wire bytes, so a run's communication profile can be
-        inspected visually.
+        Events that were placed on a timeline keep their scheduled
+        issue/complete interval (overlapped collectives render as
+        overlapping blocks); unscheduled events are laid end-to-end on a
+        fallback clock, preserving the old single-track view.  Every
+        block is tagged with op, scope, and per-rank wire bytes, so a
+        run's communication profile can be inspected visually.
         """
         trace = []
         clock_us = 0.0
         for i, e in enumerate(self.events):
             duration_us = e.time_s * 1e6
+            if e.has_schedule:
+                ts = e.start_s * 1e6
+                duration_us = (e.end_s - e.start_s) * 1e6
+            else:
+                ts = clock_us
+                clock_us += duration_us
             trace.append(
                 {
                     "name": f"{e.op}" + (f" [{e.tag}]" if e.tag else ""),
                     "cat": e.scope or "comm",
                     "ph": "X",
-                    "ts": clock_us,
+                    "ts": ts,
                     "dur": duration_us,
                     "pid": 0,
                     "tid": 0,
@@ -219,7 +244,6 @@ class CostLedger:
                     },
                 }
             )
-            clock_us += duration_us
         return trace
 
     def write_chrome_trace(self, path) -> None:

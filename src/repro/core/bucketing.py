@@ -9,8 +9,14 @@ latency is paid per bucket instead of per tensor, and casts batch.
 :func:`plan_buckets` groups tensors greedily in order (preserving
 backward-completion order so overlap remains possible);
 :func:`bucketed_allreduce` executes the fused exchange over the
-simulated communicator.  An ablation bench compares per-tensor vs
-bucketed latency on the paper's fabric.
+simulated communicator, bucket by bucket (issue + wait);
+:func:`ibucketed_allreduce` is the overlapped variant — every bucket is
+*issued* as soon as it is formed (the way DDP issues a bucket the
+moment backward fills it) and the returned
+:class:`PendingBucketedAllreduce` defers all waits, so bucket ``i``'s
+collective rides the comm stream while bucket ``i+1`` is still being
+flattened.  An ablation bench compares per-tensor vs bucketed latency
+on the paper's fabric.
 """
 
 from __future__ import annotations
@@ -20,10 +26,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..cluster.communicator import Communicator
+from ..cluster.communicator import Communicator, WorkHandle
 from .compression import WireCodec
 
-__all__ = ["Bucket", "plan_buckets", "bucketed_allreduce"]
+__all__ = [
+    "Bucket",
+    "PendingBucketedAllreduce",
+    "bucketed_allreduce",
+    "ibucketed_allreduce",
+    "plan_buckets",
+]
 
 
 @dataclass(frozen=True)
@@ -39,6 +51,8 @@ def plan_buckets(tensor_nbytes: Sequence[int], bucket_bytes: int) -> list[Bucket
 
     A tensor larger than the bucket size gets a bucket of its own (it is
     never split — splitting buys nothing for a single collective).
+    Zero-byte tensors add nothing to a bucket's budget and never force a
+    split; an empty input yields an empty plan.
     """
     if bucket_bytes <= 0:
         raise ValueError("bucket_bytes must be positive")
@@ -58,6 +72,130 @@ def plan_buckets(tensor_nbytes: Sequence[int], bucket_bytes: int) -> list[Bucket
     return buckets
 
 
+def _validate_structure(
+    world: int, per_rank_tensors: Sequence[Sequence[np.ndarray]]
+) -> int:
+    """Check the per-rank tensor grid agrees; return the tensor count."""
+    if len(per_rank_tensors) != world:
+        raise ValueError(
+            f"got {len(per_rank_tensors)} ranks for world size {world}"
+        )
+    n_tensors = len(per_rank_tensors[0])
+    for r, tensors in enumerate(per_rank_tensors):
+        if len(tensors) != n_tensors:
+            raise ValueError(
+                f"rank {r} has {len(tensors)} tensors, rank 0 has {n_tensors}"
+            )
+        for i in range(n_tensors):
+            ref = per_rank_tensors[0][i]
+            if tensors[i].shape != ref.shape or tensors[i].dtype != ref.dtype:
+                raise ValueError(f"tensor {i} mismatched on rank {r}")
+    return n_tensors
+
+
+class PendingBucketedAllreduce:
+    """All buckets of one fused allreduce, in flight.
+
+    Produced by :func:`ibucketed_allreduce`.  Holds one
+    :class:`~repro.cluster.communicator.WorkHandle` per bucket;
+    :meth:`wait` completes them in issue order and unflattens the
+    reduced buckets back into the original per-rank tensor structure.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        per_rank_tensors: Sequence[Sequence[np.ndarray]],
+        buckets: list[Bucket],
+        handles: list[WorkHandle],
+        codec: WireCodec | None,
+    ):
+        self._comm = comm
+        self._tensors = per_rank_tensors
+        self._buckets = buckets
+        self._handles = handles
+        self._codec = codec
+        self._result: list[list[np.ndarray]] | None = None
+
+    @property
+    def handles(self) -> tuple[WorkHandle, ...]:
+        """The per-bucket work handles, in issue order."""
+        return tuple(self._handles)
+
+    def is_complete(self) -> bool:
+        """Whether every bucket's handle has been awaited."""
+        return all(h.is_complete() for h in self._handles)
+
+    def wait(self) -> list[list[np.ndarray]]:
+        """Complete every bucket; return per-rank lists of reduced tensors."""
+        if self._result is not None:
+            return self._result
+        world = self._comm.world_size
+        n_tensors = len(self._tensors[0]) if self._tensors else 0
+        results: list[list[np.ndarray | None]] = [
+            [None] * n_tensors for _ in range(world)
+        ]
+        for bucket, handle in zip(self._buckets, self._handles):
+            reduced = handle.wait()
+            for rank in range(world):
+                flat = reduced[rank]
+                if self._codec is not None:
+                    flat = self._codec.decode(
+                        flat, self._tensors[rank][0].dtype
+                    )
+                offset = 0
+                for i in bucket.tensor_indices:
+                    shape = self._tensors[rank][i].shape
+                    size = self._tensors[rank][i].size
+                    results[rank][i] = flat[offset : offset + size].reshape(
+                        shape
+                    )
+                    offset += size
+        self._result = [list(r) for r in results]  # type: ignore[arg-type]
+        return self._result
+
+
+def ibucketed_allreduce(
+    comm: Communicator,
+    per_rank_tensors: Sequence[Sequence[np.ndarray]],
+    bucket_bytes: int = 4 * 1024 * 1024,
+    codec: WireCodec | None = None,
+    tag: str = "bucketed",
+) -> PendingBucketedAllreduce:
+    """Issue a fused allreduce bucket-by-bucket without waiting.
+
+    Each bucket's ``iallreduce`` is issued the moment the bucket is
+    flattened (and encoded), so its collective occupies the comm stream
+    while later buckets — in a real run, later backward layers — are
+    still producing.  All waits are deferred to the returned pending
+    object, which also unflattens results back to tensor structure.
+
+    Parameters are as for :func:`bucketed_allreduce`.
+    """
+    world = comm.world_size
+    n_tensors = _validate_structure(world, per_rank_tensors)
+    if n_tensors == 0:
+        return PendingBucketedAllreduce(comm, per_rank_tensors, [], [], codec)
+
+    sizes = [int(t.nbytes) for t in per_rank_tensors[0]]
+    buckets = plan_buckets(sizes, bucket_bytes)
+    handles: list[WorkHandle] = []
+    for b, bucket in enumerate(buckets):
+        flats = []
+        for rank in range(world):
+            flat = np.concatenate(
+                [
+                    per_rank_tensors[rank][i].reshape(-1)
+                    for i in bucket.tensor_indices
+                ]
+            )
+            flats.append(codec.encode(flat) if codec is not None else flat)
+        handles.append(comm.iallreduce(flats, tag=f"{tag}:bucket{b}"))
+    return PendingBucketedAllreduce(
+        comm, per_rank_tensors, buckets, handles, codec
+    )
+
+
 def bucketed_allreduce(
     comm: Communicator,
     per_rank_tensors: Sequence[Sequence[np.ndarray]],
@@ -66,6 +204,11 @@ def bucketed_allreduce(
     tag: str = "bucketed",
 ) -> list[list[np.ndarray]]:
     """Sum-allreduce a list of tensors per rank, fused into buckets.
+
+    The blocking schedule: each bucket is issued and awaited before the
+    next is formed, so at most one bucket's scratch is ever live — the
+    exact pre-async behaviour (and memory profile).  Use
+    :func:`ibucketed_allreduce` for the overlapped schedule.
 
     Parameters
     ----------
@@ -83,18 +226,7 @@ def bucketed_allreduce(
     Per-rank lists of reduced tensors, same structure as the input.
     """
     world = comm.world_size
-    if len(per_rank_tensors) != world:
-        raise ValueError(
-            f"got {len(per_rank_tensors)} ranks for world size {world}"
-        )
-    n_tensors = len(per_rank_tensors[0])
-    for r, tensors in enumerate(per_rank_tensors):
-        if len(tensors) != n_tensors:
-            raise ValueError(f"rank {r} has {len(tensors)} tensors, rank 0 has {n_tensors}")
-        for i in range(n_tensors):
-            ref = per_rank_tensors[0][i]
-            if tensors[i].shape != ref.shape or tensors[i].dtype != ref.dtype:
-                raise ValueError(f"tensor {i} mismatched on rank {r}")
+    n_tensors = _validate_structure(world, per_rank_tensors)
     if n_tensors == 0:
         return [[] for _ in range(world)]
 
@@ -107,10 +239,13 @@ def bucketed_allreduce(
         flats = []
         for rank in range(world):
             flat = np.concatenate(
-                [per_rank_tensors[rank][i].reshape(-1) for i in bucket.tensor_indices]
+                [
+                    per_rank_tensors[rank][i].reshape(-1)
+                    for i in bucket.tensor_indices
+                ]
             )
             flats.append(codec.encode(flat) if codec is not None else flat)
-        reduced = comm.allreduce(flats, tag=f"{tag}:bucket{b}")
+        reduced = comm.iallreduce(flats, tag=f"{tag}:bucket{b}").wait()
         for rank in range(world):
             flat = reduced[rank]
             if codec is not None:

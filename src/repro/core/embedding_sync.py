@@ -14,9 +14,21 @@ one global gradient:
 Gradients are *averaged* over ranks (the global batch is G x the local
 batch and each rank computed a mean loss), so perplexity trajectories
 are directly comparable across world sizes up to the LR scaling rule.
+
+Two schedules are supported.  The default (``overlap=False``) issues and
+completes each parameter's collective before touching the next — the
+exact pre-async behaviour.  With ``overlap=True`` the synchronizer walks
+parameters in reverse registration order (the order backward produces
+gradients), *issues* every collective first — dense allreduces
+interleaved with the sparse exchanges' first stage — and only then
+drains the waits, so collectives queue up on the comm stream while
+later parameters are still being issued.  Numerics are identical either
+way; only the simulated timeline differs.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 import numpy as np
 
@@ -62,6 +74,17 @@ class GradientSynchronizer:
     average:
         Divide the summed gradient by world size (mean-of-means).  On by
         default; turn off for sum semantics.
+    overlap:
+        Use the issue-all-then-drain schedule in :meth:`sync_replicas`
+        (see module docstring).  Off by default: the blocking schedule
+        is the bit-exact reference, including its ledger event order.
+    on_issue:
+        Optional hook ``f(param_name)`` called immediately *before* each
+        parameter's collectives are issued on the overlapped path.  The
+        trainer uses it to record that parameter's slice of backward
+        compute on the timeline — the "backward produces this layer's
+        gradient, then its bucket is issued" interleaving.  Ignored on
+        the blocking path.
     """
 
     def __init__(
@@ -70,14 +93,20 @@ class GradientSynchronizer:
         strategy: ExchangeStrategy | None = None,
         codec: WireCodec | None = None,
         average: bool = True,
+        overlap: bool = False,
+        on_issue: Callable[[str], None] | None = None,
     ):
         self.comm = comm
         self.strategy = strategy if strategy is not None else AllGatherExchange()
         self.codec = codec
         self.average = average
+        self.overlap = overlap
+        self.on_issue = on_issue
 
-    def sync_dense(self, params: list[Parameter], tag: str) -> None:
-        """ALLREDUCE one dense-grad parameter across ranks, in place."""
+    def _issue_dense(
+        self, params: list[Parameter], tag: str
+    ) -> Callable[[], None]:
+        """Issue one dense allreduce; return the finisher that applies it."""
         grads = []
         for p in params:
             if p.grad is None:
@@ -85,27 +114,68 @@ class GradientSynchronizer:
             grads.append(p.grad)
         if self.codec is not None:
             wire = [self.codec.encode(g) for g in grads]
-            reduced_wire = self.comm.allreduce(wire, tag=tag)[0]
-            reduced = self.codec.decode(reduced_wire, grads[0].dtype)
+            handle = self.comm.iallreduce(wire, tag=tag)
         else:
-            reduced = self.comm.allreduce(grads, tag=tag)[0]
-        if self.average:
-            reduced = reduced / self.comm.world_size
-        for p in params:
-            p.grad = reduced.copy()
+            handle = self.comm.iallreduce(grads, tag=tag)
 
-    def sync_sparse(self, params: list[Parameter], tag: str) -> None:
-        """Exchange one sparse-grad parameter across ranks, in place."""
+        def finish() -> None:
+            reduced = handle.wait()[0]
+            if self.codec is not None:
+                reduced = self.codec.decode(reduced, grads[0].dtype)
+            if self.average:
+                reduced = reduced / self.comm.world_size
+            for p in params:
+                p.grad = reduced.copy()
+
+        return finish
+
+    def _issue_sparse(
+        self, params: list[Parameter], tag: str
+    ) -> Callable[[], None]:
+        """Start one sparse exchange; return the finisher that applies it."""
         grads = []
         for p in params:
             g = concat_token_grads(p)
             if g is None:
                 raise ValueError(f"{tag}: rank missing sparse grad")
             grads.append(g)
-        exchanged = self.strategy.exchange(self.comm, grads, tag=tag)
-        for p, result in zip(params, exchanged):
-            values = result.values / self.comm.world_size if self.average else result.values
-            p.sparse_grads = [SparseGrad(indices=result.indices, values=values)]
+        pending = self.strategy.iexchange(self.comm, grads, tag=tag)
+
+        def finish() -> None:
+            exchanged = pending.wait()
+            for p, result in zip(params, exchanged):
+                values = (
+                    result.values / self.comm.world_size
+                    if self.average
+                    else result.values
+                )
+                p.sparse_grads = [
+                    SparseGrad(indices=result.indices, values=values)
+                ]
+
+        return finish
+
+    def sync_dense(self, params: list[Parameter], tag: str) -> None:
+        """ALLREDUCE one dense-grad parameter across ranks, in place."""
+        self._issue_dense(params, tag)()
+
+    def sync_sparse(self, params: list[Parameter], tag: str) -> None:
+        """Exchange one sparse-grad parameter across ranks, in place."""
+        self._issue_sparse(params, tag)()
+
+    @staticmethod
+    def _named_params(replicas: list[Module], world: int) -> tuple[list[dict], list[str]]:
+        """Validate replica structure; return per-rank name->param maps."""
+        if len(replicas) != world:
+            raise ValueError(
+                f"{len(replicas)} replicas for world size {world}"
+            )
+        named = [dict(r.named_parameters()) for r in replicas]
+        names = list(named[0].keys())
+        for d in named[1:]:
+            if list(d.keys()) != names:
+                raise ValueError("replicas are not structurally identical")
+        return named, names
 
     def sync_replicas(self, replicas: list[Module]) -> None:
         """Synchronize every parameter of per-rank replicas of one model.
@@ -114,16 +184,14 @@ class GradientSynchronizer:
         a parameter is synced sparse if *any* rank produced sparse grads
         for it this step, dense if any rank produced dense grads —
         tied-embedding setups can hit both paths for one parameter.
+
+        With ``overlap=True`` this uses the issue-all-then-drain
+        schedule described in the module docstring.
         """
-        if len(replicas) != self.comm.world_size:
-            raise ValueError(
-                f"{len(replicas)} replicas for world size {self.comm.world_size}"
-            )
-        named = [dict(r.named_parameters()) for r in replicas]
-        names = list(named[0].keys())
-        for d in named[1:]:
-            if list(d.keys()) != names:
-                raise ValueError("replicas are not structurally identical")
+        named, names = self._named_params(replicas, self.comm.world_size)
+        if self.overlap:
+            self._sync_replicas_overlapped(named, names)
+            return
         for name in names:
             params = [d[name] for d in named]
             has_sparse = any(p.sparse_grads for p in params)
@@ -133,3 +201,38 @@ class GradientSynchronizer:
                     self.sync_dense(params, tag=f"{name}:dense")
                 if has_sparse:
                     self.sync_sparse(params, tag=name)
+
+    def _sync_replicas_overlapped(
+        self, named: list[dict], names: list[str]
+    ) -> None:
+        """Issue every parameter's collectives first, then drain.
+
+        Parameters are issued in *reverse* registration order — the
+        order backward produces gradients — so a timeline-carrying
+        communicator sees dense buckets and the sparse exchanges' index
+        gathers queue up back-to-back, the way an eager DDP-style hook
+        would issue them.  Finishers then drain in the same order;
+        sparse second-stage collectives (the value allreduce, which
+        depends on gathered indices) are issued during the drain, under
+        the owning parameter's ledger scope.
+        """
+        issued: list[tuple[str, Callable[[], None]]] = []
+        for name in reversed(names):
+            params = [d[name] for d in named]
+            has_sparse = any(p.sparse_grads for p in params)
+            has_dense = any(p.grad is not None for p in params)
+            if self.on_issue is not None and (has_dense or has_sparse):
+                self.on_issue(name)
+            scope_name = name.replace("/", "-")
+            with self.comm.ledger.scope(scope_name):
+                if has_dense:
+                    issued.append(
+                        (scope_name, self._issue_dense(params, tag=f"{name}:dense"))
+                    )
+                if has_sparse:
+                    issued.append(
+                        (scope_name, self._issue_sparse(params, tag=name))
+                    )
+        for scope_name, finish in issued:
+            with self.comm.ledger.scope(scope_name):
+                finish()

@@ -16,18 +16,56 @@ invariant).
 
 Either can carry a :class:`~repro.core.compression.WireCodec` to apply
 the Section III-C FP16 compression to the value traffic.
+
+Each strategy also exposes :meth:`ExchangeStrategy.iexchange`, the
+non-blocking form used by the overlapped synchronizer: it *issues* every
+collective whose payload is already known and returns a
+:class:`PendingSparseExchange` whose ``wait()`` finishes the rest.
+``exchange`` is always ``iexchange(...).wait()``, so blocking and
+overlapped runs stay bit-identical.
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 import numpy as np
 
 from ..cluster.communicator import Communicator
 from ..nn.parameter import SparseGrad
 from .compression import WireCodec
-from .unique import unique_exchange
+from .unique import iunique_exchange
 
-__all__ = ["ExchangeStrategy", "AllGatherExchange", "UniqueExchange"]
+__all__ = [
+    "AllGatherExchange",
+    "ExchangeStrategy",
+    "PendingSparseExchange",
+    "UniqueExchange",
+]
+
+
+class PendingSparseExchange:
+    """A strategy exchange in flight; ``wait()`` yields per-rank grads.
+
+    Wraps a finisher closure produced by a strategy's ``iexchange`` —
+    the collectives that could be issued eagerly already have been; the
+    finisher completes them (and any dependent collectives) and builds
+    the per-rank result list.  ``wait`` is idempotent.
+    """
+
+    def __init__(self, finish: Callable[[], list[SparseGrad]]):
+        self._finish = finish
+        self._result: list[SparseGrad] | None = None
+
+    def is_complete(self) -> bool:
+        """Whether :meth:`wait` has run to completion."""
+        return self._result is not None
+
+    def wait(self) -> list[SparseGrad]:
+        """Complete the exchange; return the summed grad per rank."""
+        if self._result is None:
+            self._result = self._finish()
+        return self._result
 
 
 class ExchangeStrategy:
@@ -40,6 +78,12 @@ class ExchangeStrategy:
         self, comm: Communicator, grads: list[SparseGrad], tag: str = "embedding"
     ) -> list[SparseGrad]:
         """Synchronize per-rank grads; return the summed grad per rank."""
+        return self.iexchange(comm, grads, tag=tag).wait()
+
+    def iexchange(
+        self, comm: Communicator, grads: list[SparseGrad], tag: str = "embedding"
+    ) -> PendingSparseExchange:
+        """Start the exchange without blocking; issue what can be issued."""
         raise NotImplementedError
 
 
@@ -55,9 +99,18 @@ class AllGatherExchange(ExchangeStrategy):
     def __init__(self, codec: WireCodec | None = None):
         self.codec = codec
 
-    def exchange(
+    def iexchange(
         self, comm: Communicator, grads: list[SparseGrad], tag: str = "embedding"
-    ) -> list[SparseGrad]:
+    ) -> PendingSparseExchange:
+        """Issue the index allgather now; the value allgather at wait.
+
+        The value payload has no data dependency on the index gather,
+        but issuing both up front would hold *both* allgathers' Θ(G·K·D)
+        scratch live at once — worsening exactly the memory wall this
+        baseline is shown to hit.  Deferring the value gather keeps one
+        collective's scratch live at a time, matching the blocking
+        schedule's peak footprint byte-for-byte.
+        """
         if len(grads) != comm.world_size:
             raise ValueError(
                 f"got {len(grads)} gradients for world size {comm.world_size}"
@@ -66,23 +119,28 @@ class AllGatherExchange(ExchangeStrategy):
         if len(dims) != 1:
             raise ValueError(f"inconsistent gradient dims across ranks: {dims}")
 
-        gathered_idx = comm.allgather(
+        idx_handle = comm.iallgather(
             [g.indices.astype(np.int64) for g in grads], tag=f"{tag}:indices"
         )
-        if self.codec is not None:
-            wire = [self.codec.encode(g.values) for g in grads]
-            gathered_val = comm.allgather(wire, tag=f"{tag}:values")
-            dtype = grads[0].values.dtype
-            values = self.codec.decode(gathered_val[0], dtype)
-        else:
-            gathered_val = comm.allgather(
-                [g.values for g in grads], tag=f"{tag}:values"
-            )
-            values = gathered_val[0]
 
-        result = SparseGrad(indices=gathered_idx[0], values=values)
-        # Ranks share the simulator's memory; hand each an equal view.
-        return [result for _ in range(comm.world_size)]
+        def finish() -> list[SparseGrad]:
+            gathered_idx = idx_handle.wait()
+            if self.codec is not None:
+                wire = [self.codec.encode(g.values) for g in grads]
+                gathered_val = comm.iallgather(wire, tag=f"{tag}:values").wait()
+                values = self.codec.decode(
+                    gathered_val[0], grads[0].values.dtype
+                )
+            else:
+                gathered_val = comm.iallgather(
+                    [g.values for g in grads], tag=f"{tag}:values"
+                ).wait()
+                values = gathered_val[0]
+            result = SparseGrad(indices=gathered_idx[0], values=values)
+            # Ranks share the simulator's memory; hand each an equal view.
+            return [result for _ in range(comm.world_size)]
+
+        return PendingSparseExchange(finish)
 
 
 class UniqueExchange(ExchangeStrategy):
@@ -93,9 +151,14 @@ class UniqueExchange(ExchangeStrategy):
     def __init__(self, codec: WireCodec | None = None):
         self.codec = codec
 
-    def exchange(
+    def iexchange(
         self, comm: Communicator, grads: list[SparseGrad], tag: str = "embedding"
-    ) -> list[SparseGrad]:
-        result = unique_exchange(comm, grads, tag=tag, codec=self.codec)
-        sparse = result.as_sparse_grad()
-        return [sparse for _ in range(comm.world_size)]
+    ) -> PendingSparseExchange:
+        """Issue the index allgather now; the value allreduce at wait."""
+        pending = iunique_exchange(comm, grads, tag=tag, codec=self.codec)
+
+        def finish() -> list[SparseGrad]:
+            sparse = pending.wait().as_sparse_grad()
+            return [sparse for _ in range(comm.world_size)]
+
+        return PendingSparseExchange(finish)

@@ -31,7 +31,13 @@ from ..cluster.communicator import Communicator
 from ..nn.parameter import SparseGrad
 from .compression import WireCodec
 
-__all__ = ["UniqueExchangeResult", "unique_exchange", "local_unique_reduce"]
+__all__ = [
+    "PendingUniqueExchange",
+    "UniqueExchangeResult",
+    "iunique_exchange",
+    "local_unique_reduce",
+    "unique_exchange",
+]
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,123 @@ def local_unique_reduce(grad: SparseGrad) -> SparseGrad:
     return grad.coalesce()
 
 
+class PendingUniqueExchange:
+    """A unique exchange in flight, staged around its two collectives.
+
+    Created by :func:`iunique_exchange`, which runs steps 1-2 (local
+    unique + local reduce) eagerly and *issues* the step-3 index
+    ALLGATHER before returning — so the index traffic rides the comm
+    stream while the caller does other work (e.g. issuing dense gradient
+    buckets).  :meth:`wait` then completes the allgather, runs the
+    purely-local steps 4-5, issues and completes the step-6 value
+    ALLREDUCE, and returns the :class:`UniqueExchangeResult`.
+
+    The value allreduce cannot be issued earlier: its payload (the
+    aligned Ug x D matrices) depends on the gathered indices.  This
+    two-stage dependency is exactly why the paper's exchange overlaps
+    less perfectly than dense bucketed gradients.
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grads: list[SparseGrad],
+        local: list[SparseGrad],
+        index_handle,
+        tag: str,
+        codec: WireCodec | None,
+    ):
+        self._comm = comm
+        self._grads = grads
+        self._local = local
+        self._index_handle = index_handle
+        self._tag = tag
+        self._codec = codec
+        self._result: UniqueExchangeResult | None = None
+
+    def is_complete(self) -> bool:
+        """Whether :meth:`wait` has run to completion."""
+        return self._result is not None
+
+    def wait(self) -> UniqueExchangeResult:
+        """Finish the exchange: steps 3 (complete) through 6."""
+        if self._result is not None:
+            return self._result
+
+        # Step 3 completes: the gathered index vector is identical on
+        # every rank, so rank 0's copy serves all.
+        all_indices = self._index_handle.wait()[0]
+
+        # Step 4: global unique filter, totally ordered (ascending).
+        global_indices = np.unique(all_indices)
+        ug = int(global_indices.size)
+
+        # Step 5: local scatter Ĵ -> Î positions, zero-filling missing rows.
+        dim = self._grads[0].dim
+        dtype = self._grads[0].values.dtype
+        scattered: list[np.ndarray] = []
+        for g in self._local:
+            m = np.zeros((ug, dim), dtype=dtype)
+            pos = np.searchsorted(global_indices, g.indices)
+            # Every local type must be present globally by construction.
+            assert (global_indices[pos] == g.indices).all()
+            m[pos] = g.values
+            scattered.append(m)
+
+        # Step 6: allreduce the aligned Ug x D matrices (optionally in
+        # the codec's wire precision).
+        if self._codec is not None:
+            encoded = [self._codec.encode(m) for m in scattered]
+            reduced_wire = self._comm.iallreduce(
+                encoded, tag=f"{self._tag}:values"
+            ).wait()[0]
+            reduced = self._codec.decode(reduced_wire, dtype)
+        else:
+            reduced = self._comm.iallreduce(
+                scattered, tag=f"{self._tag}:values"
+            ).wait()[0]
+
+        self._result = UniqueExchangeResult(
+            global_indices=global_indices,
+            reduced_values=reduced,
+            local_unique_counts=tuple(g.indices.size for g in self._local),
+        )
+        return self._result
+
+
+def iunique_exchange(
+    comm: Communicator,
+    grads: list[SparseGrad],
+    tag: str = "embedding",
+    codec: WireCodec | None = None,
+) -> PendingUniqueExchange:
+    """Start a unique exchange without blocking on its collectives.
+
+    Runs steps 1-2 locally and issues the step-3 index allgather; the
+    rest (steps 4-6) runs when :meth:`PendingUniqueExchange.wait` is
+    called.  Parameters are as for :func:`unique_exchange`, which is
+    equivalent to ``iunique_exchange(...).wait()``.
+    """
+    if len(grads) != comm.world_size:
+        raise ValueError(
+            f"got {len(grads)} gradients for world size {comm.world_size}"
+        )
+    dims = {g.dim for g in grads}
+    if len(dims) != 1:
+        raise ValueError(f"inconsistent gradient dims across ranks: {dims}")
+
+    # Steps 1-2: local unique + local reduce (per rank, on device).
+    local = [local_unique_reduce(g) for g in grads]
+
+    # Step 3 issues: allgather the raw K-length index vectors.  The
+    # paper gathers token-level J (not Ĵ) — cost Θ(G·K) — so we do the
+    # same.
+    index_handle = comm.iallgather(
+        [g.indices.astype(np.int64) for g in grads], tag=f"{tag}:indices"
+    )
+    return PendingUniqueExchange(comm, grads, local, index_handle, tag, codec)
+
+
 def unique_exchange(
     comm: Communicator,
     grads: list[SparseGrad],
@@ -100,55 +223,13 @@ def unique_exchange(
     UniqueExchangeResult
         The globally-reduced update; identical content for all ranks (a
         single object is returned since the simulator shares memory).
+
+    Notes
+    -----
+    Step 7 (application) belongs to the optimizer: with unique rows the
+    scatter-update is conflict-free.  This blocking form is exactly
+    ``iunique_exchange(...).wait()`` — the staged variant with no work
+    between issue and wait — so the two paths share one implementation
+    and stay bit-identical.
     """
-    if len(grads) != comm.world_size:
-        raise ValueError(
-            f"got {len(grads)} gradients for world size {comm.world_size}"
-        )
-    dims = {g.dim for g in grads}
-    if len(dims) != 1:
-        raise ValueError(f"inconsistent gradient dims across ranks: {dims}")
-
-    # Steps 1-2: local unique + local reduce (per rank, on device).
-    local = [local_unique_reduce(g) for g in grads]
-
-    # Step 3: allgather the raw K-length index vectors.  The paper
-    # gathers token-level J (not Ĵ) — cost Θ(G·K) — so we do the same.
-    gathered = comm.allgather(
-        [g.indices.astype(np.int64) for g in grads], tag=f"{tag}:indices"
-    )
-    all_indices = gathered[0]  # identical on every rank
-
-    # Step 4: global unique filter, totally ordered (ascending) — every
-    # rank computes this identically from the same gathered vector.
-    global_indices = np.unique(all_indices)
-    ug = int(global_indices.size)
-
-    # Step 5: local scatter Ĵ -> Î positions, zero-filling missing rows.
-    dim = grads[0].dim
-    dtype = grads[0].values.dtype
-    scattered: list[np.ndarray] = []
-    for g in local:
-        m = np.zeros((ug, dim), dtype=dtype)
-        pos = np.searchsorted(global_indices, g.indices)
-        # Every local type must be present globally by construction.
-        assert (global_indices[pos] == g.indices).all()
-        m[pos] = g.values
-        scattered.append(m)
-
-    # Step 6: allreduce the aligned Ug x D matrices (optionally in the
-    # codec's wire precision).
-    if codec is not None:
-        encoded = [codec.encode(m) for m in scattered]
-        reduced_wire = comm.allreduce(encoded, tag=f"{tag}:values")[0]
-        reduced = codec.decode(reduced_wire, dtype)
-    else:
-        reduced = comm.allreduce(scattered, tag=f"{tag}:values")[0]
-
-    # Step 7 (application) belongs to the optimizer: with unique rows the
-    # scatter-update is conflict-free.
-    return UniqueExchangeResult(
-        global_indices=global_indices,
-        reduced_values=reduced,
-        local_unique_counts=tuple(g.indices.size for g in local),
-    )
+    return iunique_exchange(comm, grads, tag=tag, codec=codec).wait()

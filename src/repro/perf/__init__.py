@@ -18,12 +18,18 @@ from .intensity import (
     word_lm_flops_per_iteration,
 )
 from .memory import FootprintBreakdown, char_lm_footprint, word_lm_footprint
-from .overlap import overlap_speedup, overlapped_time, perfect_overlap_bound
+from .overlap import (
+    overlap_speedup,
+    overlapped_time,
+    perfect_overlap_bound,
+    timeline_overlapped_time,
+)
 from .stragglers import (
     efficiency_ceiling,
     expected_max_gaussian,
     simulate_synchronous_step,
     straggler_slowdown,
+    timeline_synchronous_step,
 )
 from .model import (
     ALL_TECHNIQUES,
@@ -52,10 +58,12 @@ __all__ = [
     "overlapped_time",
     "overlap_speedup",
     "perfect_overlap_bound",
+    "timeline_overlapped_time",
     "expected_max_gaussian",
     "simulate_synchronous_step",
     "straggler_slowdown",
     "efficiency_ceiling",
+    "timeline_synchronous_step",
     "PAPER_PLATFORM",
     "PRIOR_WORK_PLATFORM",
     "FootprintBreakdown",

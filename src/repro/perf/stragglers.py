@@ -7,8 +7,12 @@ expected **maximum** of G draws, which grows like ``sigma * sqrt(2 ln G)``
 for Gaussian jitter — a first-principles source for part of the
 overhead term the performance model calibrates against Tables III/IV.
 
-Provides the asymptotic formula, an exact Monte-Carlo estimator, and
-the induced parallel-efficiency ceiling.
+Provides the asymptotic formula, an exact Monte-Carlo estimator, the
+induced parallel-efficiency ceiling, and a timeline-backed measurement
+(:func:`timeline_synchronous_step`) that *executes* synchronous steps on
+a :class:`~repro.cluster.timeline.Timeline` — so a straggler injected
+with :func:`repro.cluster.failures.inject_straggler` shifts a measured
+schedule, not just a formula.
 """
 
 from __future__ import annotations
@@ -17,11 +21,14 @@ import math
 
 import numpy as np
 
+from ..cluster.timeline import Timeline
+
 __all__ = [
+    "efficiency_ceiling",
     "expected_max_gaussian",
     "simulate_synchronous_step",
     "straggler_slowdown",
-    "efficiency_ceiling",
+    "timeline_synchronous_step",
 ]
 
 
@@ -58,6 +65,38 @@ def simulate_synchronous_step(
         raise ValueError("std must be non-negative")
     times = np.maximum(rng.normal(mean, std, size=(n_steps, world)), 0.0)
     return float(times.max(axis=1).mean())
+
+
+def timeline_synchronous_step(
+    timeline: Timeline,
+    compute_s: float,
+    comm_s: float = 0.0,
+    n_steps: int = 1,
+) -> float:
+    """Mean measured step time of synchronous steps run on a timeline.
+
+    Each step records ``compute_s`` of compute on every rank (scaled by
+    the timeline's per-rank compute scale — the straggler knob), then
+    schedules and drains one ``comm_s`` collective, so the step advances
+    at the pace of the slowest rank.  With a straggler of factor ``s``
+    injected via :func:`repro.cluster.failures.inject_straggler`, the
+    measured step time grows from ``compute_s + comm_s`` to
+    ``s * compute_s + comm_s`` — the direction (and, for deterministic
+    slowdowns, the magnitude) :func:`straggler_slowdown` predicts.
+    """
+    if compute_s < 0 or comm_s < 0:
+        raise ValueError("compute_s and comm_s must be non-negative")
+    if n_steps <= 0:
+        raise ValueError("n_steps must be positive")
+    start = timeline.mark()
+    for step in range(n_steps):
+        for rank in range(timeline.world_size):
+            timeline.record_compute(rank, compute_s, name=f"step{step}")
+        if comm_s > 0:
+            timeline.complete(
+                timeline.schedule_collective(comm_s, name=f"sync{step}")
+            )
+    return timeline.elapsed_since(start) / n_steps
 
 
 def straggler_slowdown(world: int, cv: float) -> float:

@@ -121,6 +121,17 @@ class TrainConfig:
         Model-init and sampling seeds (replicas share ``init_seed``).
     clip_norm:
         Optional global-norm gradient clip.
+    overlap:
+        Drive gradient sync on the overlapped (issue-all-then-drain)
+        schedule: backward compute is recorded layer-by-layer on the
+        simulated timeline with each layer's collective issued as its
+        gradient is produced.  Numerics are bit-identical to the
+        blocking schedule — only the simulated step time changes.
+    compute_seconds_per_step:
+        Simulated forward+backward compute time per rank per micro-step,
+        recorded on the communicator's timeline so overlap can actually
+        hide communication.  ``None`` (default) records no compute —
+        the pre-timeline behaviour.
     """
 
     world_size: int
@@ -137,8 +148,15 @@ class TrainConfig:
     accumulation_steps: int = 1
     loss_scale: float | str | None = None
     shuffle_seed: int | None = None
+    overlap: bool = False
+    compute_seconds_per_step: float | None = None
 
     def __post_init__(self) -> None:
+        if (
+            self.compute_seconds_per_step is not None
+            and self.compute_seconds_per_step <= 0
+        ):
+            raise ValueError("compute_seconds_per_step must be positive")
         if self.world_size <= 0:
             raise ValueError("world_size must be positive")
         if self.base_lr <= 0:

@@ -8,6 +8,17 @@ exchange strategy — and each rank applies the identical update locally.
 
 Every accuracy number produced here is *real* (actual gradient descent
 on actual Zipfian data); only memory/time accounting is simulated.
+
+When the config sets ``compute_seconds_per_step``, each step also
+records compute on the communicator's per-rank timeline, so simulated
+iteration time reflects compute *and* communication.  With
+``overlap=False`` the whole forward+backward is recorded before the
+(blocking) sync — serial compute-then-comm.  With ``overlap=True`` the
+trainer drives layer-by-layer backward-with-issue: forward (and the
+non-overlappable head of backward) is recorded up front, then each
+parameter's slice of backward compute is recorded immediately before
+its collective is issued, so communication hides behind the rest of
+backward exactly as DDP-style gradient hooks achieve on real hardware.
 """
 
 from __future__ import annotations
@@ -39,6 +50,11 @@ __all__ = [
     "assert_replicas_synchronized",
     "max_replica_divergence",
 ]
+
+# Backward's share of one fwd+bwd pass: backward costs roughly twice
+# forward (two matmuls per layer vs one), the split overlap schedules
+# conventionally assume.
+_BACKWARD_FRACTION = 2.0 / 3.0
 
 
 def max_replica_divergence(replicas: list[Module]) -> float:
@@ -141,9 +157,20 @@ class DistributedTrainer:
             if config.use_unique
             else AllGatherExchange(codec=config.codec)
         )
+        track_compute = config.compute_seconds_per_step is not None
         self.synchronizer = GradientSynchronizer(
-            self.comm, strategy=strategy, codec=config.codec, average=True
+            self.comm,
+            strategy=strategy,
+            codec=config.codec,
+            average=True,
+            overlap=config.overlap,
+            on_issue=(
+                self._record_backward_slice
+                if (config.overlap and track_compute)
+                else None
+            ),
         )
+        self._backward_slice_s = 0.0
         self.batcher = ShardedBatcher(
             train_tokens,
             config.batch,
@@ -182,6 +209,48 @@ class DistributedTrainer:
         """Validation NLL (nats/token) of the (synchronized) model."""
         return self.replicas[0].eval_nll(self.eval_batches)
 
+    def _record_backward_slice(self, name: str) -> None:
+        """Timeline hook: one parameter's backward compute, every rank.
+
+        Installed as the synchronizer's ``on_issue`` hook when overlap
+        and compute accounting are both enabled, so each layer's
+        gradient "costs" compute immediately before its collective is
+        issued.
+        """
+        timeline = self.comm.timeline
+        for rank in range(self.comm.world_size):
+            timeline.record_compute(
+                rank, self._backward_slice_s, name=f"bwd:{name}"
+            )
+
+    def _record_step_compute(self) -> None:
+        """Place this step's compute on the timeline (pre-sync part).
+
+        Blocking schedule: the whole forward+backward lands before the
+        sync.  Overlapped schedule: forward lands here; backward is
+        divided evenly among the parameters that will sync and recorded
+        slice-by-slice by :meth:`_record_backward_slice` as their
+        collectives are issued.
+        """
+        compute_s = self.config.compute_seconds_per_step
+        if compute_s is None:
+            return
+        total = compute_s * self.config.accumulation_steps
+        timeline = self.comm.timeline
+        head = total
+        if self.config.overlap:
+            n_sync = sum(
+                1
+                for _, p in self.replicas[0].named_parameters()
+                if p.grad is not None or p.sparse_grads
+            )
+            if n_sync > 0:
+                backward = total * _BACKWARD_FRACTION
+                self._backward_slice_s = backward / n_sync
+                head = total - backward
+        for rank in range(self.comm.world_size):
+            timeline.record_compute(rank, head, name="fwd-bwd")
+
     def train_step(self) -> float:
         """One synchronous optimizer step across all ranks.
 
@@ -203,6 +272,7 @@ class DistributedTrainer:
                     replica.step(batch, sample_rngs[rank], loss_scale=scale)
                 )
             self.data_step += 1
+        self._record_step_compute()
         with self.comm.ledger.scope("sync"):
             self.synchronizer.sync_replicas(self.replicas)
         if accum > 1:

@@ -140,3 +140,70 @@ class TestRepro006Print:
     def test_cli_module_exempt(self):
         src = "__all__ = []\nprint('table row')\n"
         assert ids_for(src, "cli.py", only="REPRO006") == []
+
+
+class TestRepro007DroppedHandle:
+    def test_bare_expression_issue_flagged(self):
+        src = "def f(comm, xs):\n    comm.iallreduce(xs)\n"
+        assert ids_for(src, only="REPRO007") == ["REPRO007"]
+
+    def test_assigned_but_never_used_flagged(self):
+        src = "def f(comm, xs):\n    h = comm.iallgather(xs)\n"
+        assert ids_for(src, only="REPRO007") == ["REPRO007"]
+
+    def test_module_level_drop_flagged(self):
+        src = "h = comm.ibroadcast(xs, root=0)\n"
+        assert ids_for(src, only="REPRO007") == ["REPRO007"]
+
+    def test_waited_handle_allowed(self):
+        src = "def f(comm, xs):\n    h = comm.iallreduce(xs)\n    h.wait()\n"
+        assert ids_for(src, only="REPRO007") == []
+
+    def test_inline_wait_allowed(self):
+        src = "def f(comm, xs):\n    return comm.iallreduce(xs).wait()\n"
+        assert ids_for(src, only="REPRO007") == []
+
+    def test_returned_handle_allowed(self):
+        """Returning the handle hands completion duty to the caller —
+        the issue/wait split the whole refactor exists to allow."""
+        src = "def issue(comm, xs):\n    return comm.iallreduce(xs)\n"
+        assert ids_for(src, only="REPRO007") == []
+
+    def test_appended_handle_allowed(self):
+        src = (
+            "def f(comm, buckets):\n"
+            "    handles = []\n"
+            "    for b in buckets:\n"
+            "        h = comm.iallreduce(b)\n"
+            "        handles.append(h)\n"
+            "    return handles\n"
+        )
+        assert ids_for(src, only="REPRO007") == []
+
+    def test_closure_use_counts_as_use(self):
+        src = (
+            "def f(comm, xs):\n"
+            "    h = comm.iallreduce(xs)\n"
+            "    def finish():\n"
+            "        return h.wait()\n"
+            "    return finish\n"
+        )
+        assert ids_for(src, only="REPRO007") == []
+
+    def test_drop_inside_branch_flagged(self):
+        src = (
+            "def f(comm, xs, fast):\n"
+            "    if fast:\n"
+            "        comm.ireduce_scatter(xs)\n"
+        )
+        assert ids_for(src, only="REPRO007") == ["REPRO007"]
+
+    def test_high_level_issue_helpers_covered(self):
+        src = "def f(comm, grads):\n    ibucketed_allreduce(comm, grads)\n"
+        assert ids_for(src, only="REPRO007") == ["REPRO007"]
+        src = "def f(s, comm, grads):\n    s.iexchange(comm, grads)\n"
+        assert ids_for(src, only="REPRO007") == ["REPRO007"]
+
+    def test_blocking_collectives_not_this_rules_business(self):
+        src = "def f(comm, xs):\n    comm.allreduce(xs)\n"
+        assert ids_for(src, only="REPRO007") == []

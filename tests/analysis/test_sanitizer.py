@@ -12,7 +12,10 @@ import pytest
 from repro.analysis import (
     CollectiveMismatchError,
     CompressionOverflowError,
+    DroppedHandleError,
+    IssueOrderError,
     SanitizedFp16Codec,
+    SanitizedWorkHandle,
     Sanitizer,
     SanitizerError,
     sanitize_codec,
@@ -171,6 +174,99 @@ class TestLedgerInvariants:
         san = make(require_scope=True)
         with pytest.raises(SanitizerError, match="barrier"):
             san.barrier()
+
+
+class TestAsyncHandles:
+    def test_issued_handles_are_wrapped_and_checked(self):
+        san = make()
+        arrays = [np.zeros((3,), np.float32), np.zeros((4,), np.float32)]
+        with pytest.raises(CollectiveMismatchError):
+            san.iallreduce(arrays)  # validation fires at issue, not wait
+        handle = san.iallreduce(per_rank(2, (3,)), tag="g")
+        assert isinstance(handle, SanitizedWorkHandle)
+        # Logged under the base op name so assert_same_sequence treats
+        # issue+wait and blocking runs as the same sequence.
+        assert san.op_log[-1].op == "allreduce"
+        handle.wait()
+
+    def test_waited_handle_passes_finish(self):
+        san = make()
+        san.iallreduce(per_rank(2, (2,)), tag="g").wait()
+        san.finish()
+
+    def test_dropped_handle_reported_at_finish(self):
+        """The async-engine fault the lint rule REPRO007 catches
+        statically, caught here at runtime: issue without wait."""
+        san = make()
+        san.iallreduce(per_rank(2, (2,)), tag="grads:lin")  # never waited
+        with pytest.raises(DroppedHandleError) as exc:
+            san.finish()
+        msg = str(exc.value)
+        assert "allreduce" in msg and "grads:lin" in msg
+        assert "REPRO007" in msg
+
+    def test_dropped_handle_checked_before_ledger_balance(self):
+        san = make()
+        san.ledger.push_scope("open")
+        san.iallreduce(per_rank(2, (2,)))
+        with pytest.raises(DroppedHandleError):
+            san.finish()
+
+    def test_all_async_ops_validated(self):
+        san = make()
+        bad = [np.zeros(3, np.float32), np.zeros(3, np.float64)]
+        for issue in (san.iallreduce, san.ireduce_scatter):
+            with pytest.raises(CollectiveMismatchError):
+                issue(bad)
+        with pytest.raises(CollectiveMismatchError):
+            san.ibroadcast(bad, root=0)
+        trailing_bad = [
+            np.zeros((2, 3), np.float32),
+            np.zeros((2, 4), np.float32),
+        ]
+        with pytest.raises(CollectiveMismatchError):
+            san.iallgather(trailing_bad)
+        for h in san.pending_work:
+            h.wait()
+
+
+class TestIssueOrder:
+    def test_uniform_order_passes(self):
+        san = make()
+        for rank in range(2):
+            san.declare_issue(rank, "iallreduce", tag="bucket0")
+            san.declare_issue(rank, "iallgather", tag="idx")
+        san.assert_uniform_issue_order()
+
+    def test_cross_rank_divergence_reported_with_position(self):
+        """Rank 1 issues its collectives in a different order — the
+        deadlock every real NCCL program fears."""
+        san = make()
+        san.declare_issue(0, "iallreduce", tag="bucket0")
+        san.declare_issue(0, "iallgather", tag="idx")
+        san.declare_issue(1, "iallgather", tag="idx")
+        san.declare_issue(1, "iallreduce", tag="bucket0")
+        with pytest.raises(IssueOrderError) as exc:
+            san.assert_uniform_issue_order()
+        msg = str(exc.value)
+        assert "position 0" in msg
+        assert "ranks 0 and 1" in msg
+        assert "iallreduce" in msg and "iallgather" in msg
+
+    def test_length_mismatch_reported(self):
+        san = make()
+        san.declare_issue(0, "iallreduce")
+        san.declare_issue(1, "iallreduce")
+        san.declare_issue(1, "iallreduce")
+        with pytest.raises(IssueOrderError, match="count"):
+            san.assert_uniform_issue_order()
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ValueError):
+            make().declare_issue(5, "iallreduce")
+
+    def test_no_declarations_passes(self):
+        make().assert_uniform_issue_order()
 
 
 class TestSequenceComparison:

@@ -5,7 +5,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Communicator
-from repro.core.bucketing import bucketed_allreduce, plan_buckets
+from repro.core.bucketing import (
+    bucketed_allreduce,
+    ibucketed_allreduce,
+    plan_buckets,
+)
 from repro.core.compression import Fp16Codec
 
 
@@ -30,6 +34,31 @@ class TestPlanBuckets:
 
     def test_empty_input(self):
         assert plan_buckets([], 100) == []
+
+    def test_single_oversized_tensor_is_one_bucket(self):
+        (bucket,) = plan_buckets([10_000], bucket_bytes=64)
+        assert bucket.tensor_indices == (0,)
+        assert bucket.nbytes == 10_000
+
+    def test_tensor_exactly_bucket_bytes_fills_one_bucket(self):
+        buckets = plan_buckets([100, 1], bucket_bytes=100)
+        assert [b.tensor_indices for b in buckets] == [(0,), (1,)]
+
+    def test_zero_byte_tensors_never_force_split(self):
+        buckets = plan_buckets([50, 0, 0, 50, 0], bucket_bytes=100)
+        assert [b.tensor_indices for b in buckets] == [(0, 1, 2, 3, 4)]
+        assert buckets[0].nbytes == 100
+
+    def test_all_zero_byte_tensors_fit_one_bucket(self):
+        buckets = plan_buckets([0, 0, 0], bucket_bytes=1)
+        assert [b.tensor_indices for b in buckets] == [(0, 1, 2)]
+        assert buckets[0].nbytes == 0
+
+    def test_zero_byte_tensor_after_full_bucket(self):
+        """A zero-byte tensor lands in the already-full bucket (adding it
+        cannot exceed the budget) rather than opening a new one."""
+        buckets = plan_buckets([100, 0], bucket_bytes=100)
+        assert [b.tensor_indices for b in buckets] == [(0, 1)]
 
     @given(
         sizes=st.lists(st.integers(0, 500), max_size=30),
@@ -121,3 +150,69 @@ class TestBucketedAllreduce:
             bucketed_allreduce(
                 comm(world), [[np.ones(3)], [np.ones(3), np.ones(3)]]
             )  # count mismatch
+
+
+class TestAsyncBucketedAllreduce:
+    def make_tensors(self, world, shapes, seed=0):
+        rng = np.random.default_rng(seed)
+        return [
+            [rng.standard_normal(s) for s in shapes] for _ in range(world)
+        ]
+
+    def test_matches_blocking_result(self):
+        world = 3
+        shapes = [(4,), (2, 3), (5,)]
+        tensors = self.make_tensors(world, shapes)
+        blocking = bucketed_allreduce(comm(world), tensors, bucket_bytes=64)
+        pending = ibucketed_allreduce(comm(world), tensors, bucket_bytes=64)
+        overlapped = pending.wait()
+        for r in range(world):
+            for i in range(len(shapes)):
+                np.testing.assert_array_equal(overlapped[r][i], blocking[r][i])
+
+    def test_all_buckets_issued_before_wait(self):
+        world = 2
+        tensors = self.make_tensors(world, [(8,)] * 4)
+        c = comm(world)
+        pending = ibucketed_allreduce(c, tensors, bucket_bytes=8 * 8)
+        assert len(pending.handles) == 4
+        assert len(c.pending_work) == 4
+        assert not pending.is_complete()
+        pending.wait()
+        assert pending.is_complete()
+        assert c.pending_work == ()
+
+    def test_buckets_serialize_on_link_in_issue_order(self):
+        world = 2
+        tensors = self.make_tensors(world, [(8,)] * 3)
+        c = comm(world)
+        pending = ibucketed_allreduce(c, tensors, bucket_bytes=8 * 8)
+        starts = [h.ticket.start for h in pending.handles]
+        ends = [h.ticket.end for h in pending.handles]
+        assert starts == sorted(starts)
+        assert starts[1:] == ends[:-1]
+        pending.wait()
+
+    def test_wait_is_idempotent(self):
+        world = 2
+        tensors = self.make_tensors(world, [(4,)])
+        pending = ibucketed_allreduce(comm(world), tensors)
+        assert pending.wait() is pending.wait()
+
+    def test_empty_tensor_list(self):
+        pending = ibucketed_allreduce(comm(2), [[], []])
+        assert pending.is_complete()
+        assert pending.wait() == [[], []]
+
+    def test_codec_round_trip(self):
+        world = 2
+        tensors = [
+            [t.astype(np.float32) for t in rank]
+            for rank in self.make_tensors(world, [(32,), (32,)])
+        ]
+        pending = ibucketed_allreduce(
+            comm(world), tensors, bucket_bytes=10**6, codec=Fp16Codec(512.0)
+        )
+        out = pending.wait()
+        expected = tensors[0][0] + tensors[1][0]
+        np.testing.assert_allclose(out[0][0], expected, atol=5e-3)

@@ -140,6 +140,67 @@ class TestSyncReplicas:
             < c_plain.ledger.total_wire_bytes_per_rank
         )
 
+    def test_overlap_numerics_identical_to_blocking(self):
+        """overlap=True changes scheduling only — grads stay bit-exact."""
+        world = 3
+        r_block = make_replicas(world)
+        r_over = make_replicas(world)
+        for r in range(world):
+            run_backward(r_block[r], np.array([[r, r + 1, 0]]), seed=r)
+            run_backward(r_over[r], np.array([[r, r + 1, 0]]), seed=r)
+        c_block = Communicator(world, track_memory=False)
+        c_over = Communicator(world, track_memory=False)
+        GradientSynchronizer(
+            c_block, strategy=UniqueExchange()
+        ).sync_replicas(r_block)
+        GradientSynchronizer(
+            c_over, strategy=UniqueExchange(), overlap=True
+        ).sync_replicas(r_over)
+        for mb, mo in zip(r_block, r_over):
+            np.testing.assert_array_equal(
+                mo.lin.weight.grad, mb.lin.weight.grad
+            )
+            gb = mb.emb.weight.merged_sparse_grad()
+            go = mo.emb.weight.merged_sparse_grad()
+            np.testing.assert_array_equal(go.indices, gb.indices)
+            np.testing.assert_array_equal(go.values, gb.values)
+        assert c_over.ledger.bytes_by_op() == c_block.ledger.bytes_by_op()
+
+    def test_overlap_preserves_ledger_scope_attribution(self):
+        """Deferred finish stages must still bill their parameter scope."""
+        world = 2
+        r_block = make_replicas(world)
+        r_over = make_replicas(world)
+        for r in range(world):
+            run_backward(r_block[r], np.array([[0, 1]]), seed=r)
+            run_backward(r_over[r], np.array([[0, 1]]), seed=r)
+        c_block = Communicator(world, track_memory=False)
+        c_over = Communicator(world, track_memory=False)
+        GradientSynchronizer(c_block).sync_replicas(r_block)
+        GradientSynchronizer(c_over, overlap=True).sync_replicas(r_over)
+        assert c_over.ledger.bytes_by_scope() == c_block.ledger.bytes_by_scope()
+
+    def test_overlap_issues_in_reverse_parameter_order(self):
+        """Backward produces grads last-layer-first; the overlapped path
+        issues in that order, reported via the on_issue hook."""
+        world = 2
+        replicas = make_replicas(world)
+        for r in range(world):
+            run_backward(replicas[r], np.array([[0, 1]]), seed=r)
+        issued = []
+        comm = Communicator(world, track_memory=False)
+        GradientSynchronizer(
+            comm, overlap=True, on_issue=issued.append
+        ).sync_replicas(replicas)
+        names = [n for n, _ in replicas[0].named_parameters()]
+        synced = [
+            n
+            for n, p in reversed(list(replicas[0].named_parameters()))
+            if p.grad is not None or p.sparse_grads
+        ]
+        assert issued == synced
+        assert issued == list(reversed([n for n in names if n in issued]))
+
     def test_replica_count_mismatch_rejected(self):
         comm = Communicator(3, track_memory=False)
         with pytest.raises(ValueError):

@@ -6,7 +6,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster import Communicator
 from repro.core.compression import Fp16Codec
-from repro.core.unique import local_unique_reduce, unique_exchange
+from repro.core.unique import (
+    iunique_exchange,
+    local_unique_reduce,
+    unique_exchange,
+)
 from repro.nn.parameter import SparseGrad
 
 
@@ -121,6 +125,49 @@ class TestExchangeCorrectness:
         np.testing.assert_allclose(
             result.as_sparse_grad().to_dense(vocab), expected, rtol=1e-9, atol=1e-12
         )
+
+
+class TestAsyncExchange:
+    def test_matches_blocking_result(self):
+        grads = random_grads(3, 20, 12, 4, seed=7)
+        blocking = unique_exchange(comm(3), grads)
+        pending = iunique_exchange(comm(3), grads)
+        overlapped = pending.wait()
+        np.testing.assert_array_equal(
+            overlapped.global_indices, blocking.global_indices
+        )
+        np.testing.assert_allclose(
+            overlapped.reduced_values, blocking.reduced_values, rtol=1e-12
+        )
+
+    def test_index_allgather_issued_eagerly(self):
+        c = comm(3)
+        pending = iunique_exchange(c, random_grads(3, 20, 8, 2, seed=8))
+        # Only the index allgather is in flight; the value allreduce is
+        # deferred to wait() so one scratch buffer is live at a time.
+        assert len(c.pending_work) == 1
+        assert c.pending_work[0].op == "allgather"
+        assert not pending.is_complete()
+        pending.wait()
+        assert pending.is_complete()
+        assert c.pending_work == ()
+
+    def test_wait_is_idempotent(self):
+        pending = iunique_exchange(comm(2), random_grads(2, 10, 6, 2, seed=9))
+        assert pending.wait() is pending.wait()
+
+    def test_blocking_is_issue_plus_wait(self):
+        """unique_exchange and iunique_exchange().wait() move identical
+        bytes under identical op tags."""
+        grads = random_grads(4, 30, 10, 3, seed=10)
+        c_block, c_async = comm(4), comm(4)
+        unique_exchange(c_block, grads)
+        iunique_exchange(c_async, grads).wait()
+        assert c_block.ledger.bytes_by_op() == c_async.ledger.bytes_by_op()
+
+    def test_validation_fires_at_issue(self):
+        with pytest.raises(ValueError):
+            iunique_exchange(comm(3), random_grads(2, 10, 5, 2))
 
 
 class TestExchangeCost:

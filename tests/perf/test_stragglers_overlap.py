@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.cluster import Timeline, inject_straggler
 from repro.perf import (
     ALL_TECHNIQUES,
     CHAR_LM_1B,
@@ -16,6 +17,8 @@ from repro.perf import (
     perfect_overlap_bound,
     simulate_synchronous_step,
     straggler_slowdown,
+    timeline_overlapped_time,
+    timeline_synchronous_step,
 )
 
 
@@ -100,3 +103,80 @@ class TestOverlap:
             overlapped_time(cost, -0.1)
         with pytest.raises(ValueError):
             overlapped_time(cost, 1.1)
+
+
+class TestTimelineOverlap:
+    """The analytic overlap model vs the scheduled two-stream timeline.
+
+    These are two independent derivations of the same quantity: the
+    closed form assumes max(C, (1-f)C + comm) + trailing; the timeline
+    actually schedules head compute, per-bucket collectives on a shared
+    link, tail compute, and a completion barrier.  They must agree."""
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_matches_analytic_model(self, fraction):
+        cost = PerfModel(WORD_LM_1B).iteration_cost(32, ALL_TECHNIQUES)
+        analytic = overlapped_time(cost, fraction)
+        scheduled = timeline_overlapped_time(cost, fraction)
+        assert scheduled == pytest.approx(analytic, rel=1e-9)
+
+    def test_compute_rich_model_agrees_too(self):
+        cost = PerfModel(CHAR_LM_1B).iteration_cost(64, ALL_TECHNIQUES)
+        for f in (0.0, 0.5, 1.0):
+            assert timeline_overlapped_time(cost, f) == pytest.approx(
+                overlapped_time(cost, f), rel=1e-9
+            )
+
+    def test_bucket_count_does_not_change_total(self):
+        """The link serializes buckets back-to-back, so splitting the
+        same comm volume into more buckets moves no extra time."""
+        cost = PerfModel(WORD_LM_1B).iteration_cost(32, ALL_TECHNIQUES)
+        times = {
+            timeline_overlapped_time(cost, 0.5, n_buckets=n)
+            for n in (1, 4, 16)
+        }
+        assert len({round(t, 12) for t in times}) == 1
+
+    def test_external_timeline_accumulates(self):
+        tl = Timeline(8)
+        cost = PerfModel(WORD_LM_1B).iteration_cost(32, ALL_TECHNIQUES)
+        t1 = timeline_overlapped_time(cost, 0.5, timeline=tl)
+        t2 = timeline_overlapped_time(cost, 0.5, timeline=tl)
+        assert t1 == pytest.approx(t2)
+        assert tl.makespan == pytest.approx(t1 + t2)
+
+    def test_straggler_shifts_timeline_as_predicted(self):
+        """A deliberate straggler injected into the timeline must move
+        the measured step in the direction (and by the amount) the
+        synchronous-step model predicts: slowest rank gates the step."""
+        clean = timeline_synchronous_step(Timeline(8), 1.0, 0.1, n_steps=3)
+        slowed = timeline_synchronous_step(
+            inject_straggler(Timeline(8), rank=3, slowdown=1.5),
+            1.0,
+            0.1,
+            n_steps=3,
+        )
+        assert clean == pytest.approx(1.1)
+        assert slowed == pytest.approx(1.5 * 1.0 + 0.1)
+        assert slowed > clean
+
+    def test_straggler_penalty_consistent_with_gaussian_model(self):
+        """expected_max_gaussian(G, mu, sigma) predicts the per-step
+        compute gate; a timeline whose slowest rank runs at that exact
+        multiple measures the same step time."""
+        world, mu, sigma = 16, 1.0, 0.1
+        predicted = expected_max_gaussian(world, mu, sigma)
+        tl = inject_straggler(Timeline(world), rank=0, slowdown=predicted / mu)
+        measured = timeline_synchronous_step(tl, mu, comm_s=0.0, n_steps=2)
+        assert measured == pytest.approx(predicted)
+
+    def test_validation(self):
+        cost = PerfModel(WORD_LM_1B).iteration_cost(32, ALL_TECHNIQUES)
+        with pytest.raises(ValueError):
+            timeline_overlapped_time(cost, 1.5)
+        with pytest.raises(ValueError):
+            timeline_overlapped_time(cost, 0.5, n_buckets=0)
+        with pytest.raises(ValueError):
+            timeline_overlapped_time(cost, 0.5, timeline=Timeline(4), world=8)
+        with pytest.raises(ValueError):
+            timeline_synchronous_step(Timeline(2), -1.0)

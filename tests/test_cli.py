@@ -15,6 +15,11 @@ class TestParser:
         assert args.model == "word"
         assert args.gpus == 4
         assert not args.baseline
+        assert not args.overlap
+
+    def test_overlap_flag_pair(self):
+        assert build_parser().parse_args(["train", "--overlap"]).overlap
+        assert not build_parser().parse_args(["train", "--no-overlap"]).overlap
 
     def test_invalid_choice_rejected(self):
         with pytest.raises(SystemExit):
@@ -83,3 +88,15 @@ class TestCommands:
         )
         assert rc == 0
         assert "allgather" in capsys.readouterr().out
+
+    def test_train_overlap_flag(self, capsys):
+        rc = main(
+            [
+                "train", "--gpus", "2", "--steps", "3", "--vocab", "80",
+                "--corpus-tokens", "5000", "--overlap",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overlapped" in out
+        assert "replica divergence: 0.0e+00" in out

@@ -180,7 +180,9 @@ class TestFuzz:
         codec = Fp16Codec(256.0) if use_codec else None
         base = AllGatherExchange(codec=codec).exchange(comm(world), grads)
         uniq = UniqueExchange(codec=codec).exchange(comm(world), grads)
-        atol = 2e-2 if use_codec else 1e-6
+        # fp32 accumulation order differs between the two strategies, so
+        # exact runs can drift by a few ulps above 1e-6.
+        atol = 2e-2 if use_codec else 1e-5
         np.testing.assert_allclose(
             base[0].to_dense(vocab), uniq[0].to_dense(vocab), atol=atol
         )
