@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke examples results clean
+.PHONY: install test test-chaos lint bench bench-smoke examples results clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Chaos suite: fault-plan replay, differential (faulted-vs-clean)
+# equivalence over 5 fixed seeds, the resilience benchmark smoke, and a
+# 90% line-coverage floor on the recovery loop (stdlib-only tracer).
+test-chaos:
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		tests/cluster/test_chaos.py tests/train/test_resilience.py
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_resilience_overhead.py --benchmark-only
+	PYTHONPATH=src $(PYTHON) tools/check_coverage.py \
+		--target src/repro/train/resilience.py --min-percent 90 \
+		tests/train/test_resilience.py
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src/repro

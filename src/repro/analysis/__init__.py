@@ -31,12 +31,14 @@ from .lint import (
 from .sanitizer import (
     CollectiveMismatchError,
     CompressionOverflowError,
+    DoubleApplyError,
     DroppedHandleError,
     IssueOrderError,
     SanitizedFp16Codec,
     SanitizedWorkHandle,
     Sanitizer,
     SanitizerError,
+    assert_clean_retry_state,
     sanitize_codec,
 )
 
@@ -53,8 +55,10 @@ __all__ = [
     "SanitizedWorkHandle",
     "CollectiveMismatchError",
     "CompressionOverflowError",
+    "DoubleApplyError",
     "DroppedHandleError",
     "IssueOrderError",
     "SanitizedFp16Codec",
+    "assert_clean_retry_state",
     "sanitize_codec",
 ]

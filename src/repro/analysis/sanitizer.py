@@ -59,6 +59,7 @@ from ..core.compression import FP16_MAX, Fp16Codec, IdentityCodec, WireCodec
 __all__ = [
     "CollectiveMismatchError",
     "CompressionOverflowError",
+    "DoubleApplyError",
     "DroppedHandleError",
     "IssueOrderError",
     "OpRecord",
@@ -66,6 +67,7 @@ __all__ = [
     "SanitizedWorkHandle",
     "Sanitizer",
     "SanitizerError",
+    "assert_clean_retry_state",
     "sanitize_codec",
 ]
 
@@ -101,6 +103,57 @@ class IssueOrderError(SanitizerError):
     collective); raised by
     :meth:`Sanitizer.assert_uniform_issue_order`.
     """
+
+
+class DoubleApplyError(SanitizerError):
+    """A fault-retry would double-apply a gradient.
+
+    The supervised recovery loop of :mod:`repro.train.resilience` rewinds
+    a faulted step and replays it from scratch.  The replay is only
+    equivalent to a clean first attempt if *nothing* from the aborted
+    attempt survives: a residual dense ``grad`` or queued sparse
+    gradient on any parameter would be *accumulated into* by the retried
+    backward pass, and the optimizer would apply the gradient twice —
+    silently, since replicas all double-apply together and stay
+    "synchronized".  Raised by :func:`assert_clean_retry_state`.
+    """
+
+
+def assert_clean_retry_state(replicas, comm=None) -> None:
+    """The no-double-apply invariant, checked before a fault retry.
+
+    Raises :class:`DoubleApplyError` if any replica still holds gradient
+    state (a dense ``grad`` or queued ``sparse_grads``) from the aborted
+    attempt, or — when ``comm`` is given — if async work is still in
+    flight (an un-awaited handle from the aborted step would complete
+    into the retried one, merging two attempts' accounting).
+    """
+    for rank, replica in enumerate(replicas):
+        for name, p in replica.named_parameters():
+            if p.grad is not None:
+                raise DoubleApplyError(
+                    f"retry with residual state: rank {rank} parameter "
+                    f"{name!r} still holds a dense gradient from the "
+                    "aborted attempt — the replayed backward would "
+                    "accumulate into it and the step would apply the "
+                    "gradient twice"
+                )
+            if p.sparse_grads:
+                raise DoubleApplyError(
+                    f"retry with residual state: rank {rank} parameter "
+                    f"{name!r} still queues {len(p.sparse_grads)} sparse "
+                    "gradient(s) from the aborted attempt — the retried "
+                    "exchange would ship and apply them twice"
+                )
+    if comm is not None and comm.pending_work:
+        ops = ", ".join(
+            f"{h.op}[tag={h.tag!r}]" for h in list(comm.pending_work)[:5]
+        )
+        raise DoubleApplyError(
+            f"retry with {len(comm.pending_work)} async collective(s) "
+            f"still in flight ({ops}) — the aborted attempt must be "
+            "drained (comm.wait_all()) before the step is replayed"
+        )
 
 
 @dataclass(frozen=True)

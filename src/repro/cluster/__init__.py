@@ -22,8 +22,13 @@ from .collectives import (
 )
 from .communicator import Communicator, WorkHandle
 from .failures import (
+    ChaosCommunicator,
     FailingCommunicator,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
     RankFailureError,
+    TransientLinkError,
     degrade_fabric,
     inject_straggler,
 )
@@ -71,6 +76,11 @@ __all__ = [
     "LedgerScopeError",
     "FailingCommunicator",
     "RankFailureError",
+    "TransientLinkError",
+    "ChaosCommunicator",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
     "degrade_fabric",
     "inject_straggler",
     "hierarchical_allreduce",

@@ -17,12 +17,26 @@ story matters.  This module provides:
   simulating a node crash mid-step.  Combined with
   :mod:`repro.train.checkpoint` this supports the standard
   checkpoint/restart recovery pattern, tested end-to-end in
-  ``tests/cluster/test_failures.py``.
+  ``tests/cluster/test_failures.py``;
+* the **fault taxonomy** consumed by the supervised recovery loop of
+  :mod:`repro.train.resilience`: :class:`TransientLinkError` (a flapping
+  link — the collective succeeds if retried) vs the permanent
+  :class:`RankFailureError` (the rank is gone; the world must shrink);
+* :class:`FaultPlan` / :class:`FaultEvent` — a declarative, seedable
+  schedule of faults keyed by global collective index, replayed
+  deterministically by :class:`ChaosCommunicator`.  The same plan object
+  drives the chaos tests and the differential (faulted-vs-clean)
+  equivalence checks.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
+import json
+import pathlib
+from dataclasses import dataclass, replace
+from enum import Enum
+
+import numpy as np
 
 from .communicator import Communicator
 from .interconnect import Interconnect, LinkSpec
@@ -32,7 +46,12 @@ __all__ = [
     "degrade_fabric",
     "inject_straggler",
     "RankFailureError",
+    "TransientLinkError",
     "FailingCommunicator",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "ChaosCommunicator",
 ]
 
 
@@ -143,4 +162,320 @@ class FailingCommunicator(Communicator):
     def ireduce_scatter(self, arrays, tag=""):
         """Failure-checked non-blocking reduce-scatter."""
         self._maybe_fail("reduce_scatter")
+        return super().ireduce_scatter(arrays, tag=tag)
+
+
+class TransientLinkError(RuntimeError):
+    """A link flapped during a collective; a retry may succeed.
+
+    The *transient* half of the fault taxonomy.  Unlike
+    :class:`RankFailureError` (the rank is gone for good), a transient
+    fault models a recoverable fabric hiccup: a flapping switch port, a
+    dropped RDMA completion, a timed-out NCCL kernel that a fresh
+    communicator round would complete.  :class:`ChaosCommunicator`
+    raises it at *issue* time, before any state is touched, so the
+    supervised loop in :mod:`repro.train.resilience` can rewind the step
+    and retry with backoff.
+    """
+
+    def __init__(self, rank: int, op: str, collective_index: int, attempt: int):
+        self.rank = rank
+        self.op = op
+        self.collective_index = collective_index
+        self.attempt = attempt
+        super().__init__(
+            f"transient link fault at rank {rank} during {op} "
+            f"(collective #{collective_index}, attempt {attempt})"
+        )
+
+
+class FaultKind(str, Enum):
+    """The fault taxonomy understood by :class:`FaultPlan`.
+
+    * ``TRANSIENT_LINK`` — recoverable fabric hiccup; the collective is
+      retried (raises :class:`TransientLinkError` ``retries`` times,
+      then succeeds).
+    * ``RANK_LOSS`` — permanent crash; raises
+      :class:`RankFailureError` once and the world must shrink.
+    * ``STRAGGLER`` — non-fatal slowdown; scales one rank's compute
+      stream on the timeline (no exception is raised).
+    """
+
+    TRANSIENT_LINK = "transient_link"
+    RANK_LOSS = "rank_loss"
+    STRAGGLER = "straggler"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault, keyed by the global collective issue index.
+
+    Parameters
+    ----------
+    kind:
+        Which member of the taxonomy fires.
+    collective_index:
+        The 0-based index (in issue order, counting only *successful*
+        issues) of the first collective at or after which the event
+        triggers.  Keying on issue order rather than wall/sim time makes
+        replay deterministic regardless of the cost model.
+    rank:
+        The afflicted rank.
+    retries:
+        ``TRANSIENT_LINK`` only — how many consecutive issue attempts
+        fail before the collective goes through.
+    slowdown:
+        ``STRAGGLER`` only — compute-stream scale factor (>= 1).
+    """
+
+    kind: FaultKind
+    collective_index: int
+    rank: int = 0
+    retries: int = 1
+    slowdown: float = 1.0
+
+    def __post_init__(self):
+        if self.collective_index < 0:
+            raise ValueError("collective_index must be non-negative")
+        if self.rank < 0:
+            raise ValueError("rank must be non-negative")
+        if self.kind is FaultKind.TRANSIENT_LINK and self.retries < 1:
+            raise ValueError("transient events need retries >= 1")
+        if self.kind is FaultKind.STRAGGLER and self.slowdown < 1.0:
+            raise ValueError("straggler slowdown must be >= 1")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (used by :class:`FaultPlan`)."""
+        return {
+            "kind": self.kind.value,
+            "collective_index": self.collective_index,
+            "rank": self.rank,
+            "retries": self.retries,
+            "slowdown": self.slowdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=FaultKind(data["kind"]),
+            collective_index=int(data["collective_index"]),
+            rank=int(data.get("rank", 0)),
+            retries=int(data.get("retries", 1)),
+            slowdown=float(data.get("slowdown", 1.0)),
+        )
+
+
+class FaultPlan:
+    """A declarative, replayable schedule of faults.
+
+    Events are kept sorted by ``collective_index``; the plan itself is
+    immutable at runtime — all mutable replay state (which events have
+    fired, remaining retries) lives in :class:`ChaosCommunicator`, so
+    one plan object can drive both arms of a differential test.
+
+    Plans round-trip through JSON (:meth:`save` / :meth:`load`) so the
+    CLI's ``train --resilient --fault-plan plan.json`` and the chaos
+    suite share the same format, and :meth:`random` draws a plan
+    deterministically from a seed for the randomized chaos tests.
+    """
+
+    def __init__(self, events: tuple[FaultEvent, ...] | list[FaultEvent] = (), seed: int = 0):
+        self.events = tuple(
+            sorted(events, key=lambda e: (e.collective_index, e.rank, e.kind.value))
+        )
+        self.seed = int(seed)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        world_size: int,
+        num_collectives: int,
+        n_transient: int = 2,
+        n_rank_loss: int = 0,
+        n_straggler: int = 0,
+        max_retries: int = 3,
+        max_slowdown: float = 3.0,
+    ) -> "FaultPlan":
+        """Draw a plan deterministically from ``seed``.
+
+        Transient and straggler events land uniformly over the first
+        ``num_collectives`` issues; a rank loss (at most one is
+        meaningful per plan arm) lands in the second half so there is
+        progress to recover.
+        """
+        if world_size < 1 or num_collectives < 1:
+            raise ValueError("world_size and num_collectives must be >= 1")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for _ in range(n_transient):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.TRANSIENT_LINK,
+                    collective_index=int(rng.integers(num_collectives)),
+                    rank=int(rng.integers(world_size)),
+                    retries=int(rng.integers(1, max_retries + 1)),
+                )
+            )
+        for _ in range(n_straggler):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.STRAGGLER,
+                    collective_index=int(rng.integers(num_collectives)),
+                    rank=int(rng.integers(world_size)),
+                    slowdown=float(1.0 + rng.random() * (max_slowdown - 1.0)),
+                )
+            )
+        for _ in range(n_rank_loss):
+            events.append(
+                FaultEvent(
+                    kind=FaultKind.RANK_LOSS,
+                    collective_index=int(
+                        rng.integers(num_collectives // 2, num_collectives)
+                    ),
+                    rank=int(rng.integers(world_size)),
+                )
+            )
+        return cls(events, seed=seed)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the whole plan."""
+        return {
+            "seed": self.seed,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            events=[FaultEvent.from_dict(e) for e in data.get("events", [])],
+            seed=int(data.get("seed", 0)),
+        )
+
+    def save(self, path: str | pathlib.Path) -> None:
+        """Write the plan as JSON to ``path``."""
+        pathlib.Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "FaultPlan":
+        """Read a plan previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))
+
+    def transient_events(self) -> tuple[FaultEvent, ...]:
+        """The ``TRANSIENT_LINK`` subset, in schedule order."""
+        return tuple(e for e in self.events if e.kind is FaultKind.TRANSIENT_LINK)
+
+    def permanent_events(self) -> tuple[FaultEvent, ...]:
+        """The ``RANK_LOSS`` subset, in schedule order."""
+        return tuple(e for e in self.events if e.kind is FaultKind.RANK_LOSS)
+
+    def only_transient(self) -> "FaultPlan":
+        """A copy of the plan with permanent rank losses stripped.
+
+        Used by the differential tests: a transient-only plan must leave
+        the final weights bit-identical to a fault-free run.
+        """
+        return FaultPlan(
+            [e for e in self.events if e.kind is not FaultKind.RANK_LOSS],
+            seed=self.seed,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = {}
+        for e in self.events:
+            kinds[e.kind.value] = kinds.get(e.kind.value, 0) + 1
+        return f"FaultPlan(seed={self.seed}, events={kinds})"
+
+
+class ChaosCommunicator(Communicator):
+    """A communicator that replays a :class:`FaultPlan` deterministically.
+
+    Before each collective *issues* (before any state mutation — the
+    same rollback-safe point :class:`FailingCommunicator` uses), the
+    plan is consulted:
+
+    * due ``STRAGGLER`` events scale the rank's compute stream once and
+      the issue proceeds;
+    * due ``TRANSIENT_LINK`` events with retries remaining decrement
+      their budget and raise :class:`TransientLinkError` **without**
+      advancing the collective counter, so the retried issue meets the
+      same event until its budget is exhausted;
+    * due ``RANK_LOSS`` events fire once and raise
+      :class:`RankFailureError`.
+
+    Every injection is appended to :attr:`injected` —
+    ``(collective_index, op, event)`` tuples — which the chaos tests use
+    to assert the plan actually fired.
+    """
+
+    def __init__(self, *args, plan: FaultPlan | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.plan = plan if plan is not None else FaultPlan()
+        self._collectives = 0
+        self._remaining = {
+            i: ev.retries
+            for i, ev in enumerate(self.plan.events)
+            if ev.kind is FaultKind.TRANSIENT_LINK
+        }
+        self._fired: set[int] = set()
+        self.injected: list[tuple[int, str, FaultEvent]] = []
+
+    @property
+    def collectives_issued(self) -> int:
+        """Number of successfully issued collectives so far."""
+        return self._collectives
+
+    def _consult(self, op: str) -> None:
+        for i, ev in enumerate(self.plan.events):
+            if i in self._fired:
+                continue
+            if ev.collective_index > self._collectives:
+                break  # events are sorted; nothing further is due yet
+            if ev.kind is FaultKind.STRAGGLER:
+                self._fired.add(i)
+                inject_straggler(self.timeline, ev.rank, ev.slowdown)
+                self.injected.append((self._collectives, op, ev))
+            elif ev.kind is FaultKind.TRANSIENT_LINK:
+                remaining = self._remaining[i]
+                if remaining <= 0:
+                    self._fired.add(i)
+                    continue
+                self._remaining[i] = remaining - 1
+                attempt = ev.retries - remaining + 1
+                self.injected.append((self._collectives, op, ev))
+                raise TransientLinkError(ev.rank, op, self._collectives, attempt)
+            else:  # FaultKind.RANK_LOSS
+                self._fired.add(i)
+                self.injected.append((self._collectives, op, ev))
+                raise RankFailureError(ev.rank, op, self._collectives)
+        self._collectives += 1
+
+    # Like FailingCommunicator, faults fire at *issue* time: a chaotic
+    # collective never charges scratch, never lands on the timeline, and
+    # never records a ledger event, so a supervised retry sees clean
+    # accounting.
+
+    def iallreduce(self, arrays, tag=""):
+        """Plan-checked non-blocking allreduce."""
+        self._consult("allreduce")
+        return super().iallreduce(arrays, tag=tag)
+
+    def iallgather(self, arrays, tag=""):
+        """Plan-checked non-blocking allgather."""
+        self._consult("allgather")
+        return super().iallgather(arrays, tag=tag)
+
+    def ibroadcast(self, arrays, root=0, tag=""):
+        """Plan-checked non-blocking broadcast."""
+        self._consult("broadcast")
+        return super().ibroadcast(arrays, root=root, tag=tag)
+
+    def ireduce_scatter(self, arrays, tag=""):
+        """Plan-checked non-blocking reduce-scatter."""
+        self._consult("reduce_scatter")
         return super().ireduce_scatter(arrays, tag=tag)

@@ -11,6 +11,7 @@ replicas without hidden state leaking between them.
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Iterator
 
 from .parameter import Parameter
@@ -82,6 +83,18 @@ class Module:
         for sub in self._modules.values():
             yield from sub.modules()
 
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Qualified (path, module) pairs, depth-first; the root is ``""``.
+
+        Paths join registration names with ``.`` (``"dropout"``,
+        ``"lstm.cell"``), mirroring :meth:`named_parameters` — they key
+        the per-module RNG streams in :meth:`rng_state`.
+        """
+        yield prefix, self
+        for name, sub in self._modules.items():
+            child = f"{prefix}.{name}" if prefix else name
+            yield from sub.named_modules(prefix=child)
+
     # -- state ------------------------------------------------------------
 
     def zero_grad(self) -> None:
@@ -122,6 +135,42 @@ class Module:
                     f"parameter shape {p.data.shape}"
                 )
             p.data = data.astype(p.data.dtype, copy=True)
+
+    def rng_state(self) -> dict:
+        """Bit-generator states of every stateful RNG stream in the tree.
+
+        A module owns a stateful stream when it stores a
+        ``numpy.random.Generator`` in a ``_rng`` attribute (the
+        convention :class:`~repro.nn.dropout.Dropout` follows).  Keys
+        are :meth:`named_modules` paths; values are the bit generators'
+        ``.state`` dicts.  Together with :meth:`state_dict` this makes a
+        replica's forward pass fully reproducible — the checkpoint-v2
+        format persists both.
+        """
+        states = {}
+        for path, mod in self.named_modules():
+            rng = getattr(mod, "_rng", None)
+            if rng is not None and hasattr(rng, "bit_generator"):
+                states[path] = copy.deepcopy(rng.bit_generator.state)
+        return states
+
+    def set_rng_state(self, states: dict) -> None:
+        """Restore streams captured by :meth:`rng_state`.
+
+        Unknown paths or paths without a stateful stream raise — a
+        checkpoint from a different architecture is an error, not a
+        silent partial restore.  Modules with streams *absent* from
+        ``states`` are left untouched (the backward-compat path for
+        version-1 checkpoints, which carried no RNG state).
+        """
+        mods = dict(self.named_modules())
+        for path, state in states.items():
+            if path not in mods:
+                raise ValueError(f"no module at path {path!r}")
+            rng = getattr(mods[path], "_rng", None)
+            if rng is None or not hasattr(rng, "bit_generator"):
+                raise ValueError(f"module at {path!r} has no RNG stream")
+            rng.bit_generator.state = copy.deepcopy(state)
 
     def num_parameters(self) -> int:
         """Total scalar parameter count (the paper's char model: 213M)."""

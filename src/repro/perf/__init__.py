@@ -2,6 +2,13 @@
 iteration/epoch time, speedup and efficiency arithmetic."""
 
 from .calibration import CalibrationResult, calibrate_workload
+from .checkpoint_overhead import (
+    checkpoint_cost_seconds,
+    daly_interval,
+    expected_overhead_fraction,
+    optimal_checkpoint_steps,
+    young_interval,
+)
 from .efficiency import (
     parallel_efficiency,
     scaling_speedup,
@@ -49,6 +56,11 @@ __all__ = [
     "Platform",
     "CalibrationResult",
     "calibrate_workload",
+    "checkpoint_cost_seconds",
+    "young_interval",
+    "daly_interval",
+    "expected_overhead_fraction",
+    "optimal_checkpoint_steps",
     "IntensityReport",
     "achieved_flops_per_gpu",
     "aggregate_achieved_flops",

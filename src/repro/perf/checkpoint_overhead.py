@@ -1,0 +1,121 @@
+"""Checkpoint-interval cost model: Young/Daly optimal cadence from MTBF.
+
+A long synchronous run (the paper's Hero run holds 192 GPUs for 34
+hours) must checkpoint: too rarely and a crash replays hours of work,
+too often and the serialized-write cost dominates.  The classic
+first-order answer is Young's interval ``sqrt(2 * C * M)`` for
+checkpoint cost ``C`` and mean time between failures ``M``; Daly's
+higher-order refinement tightens it when ``C`` is not small relative to
+``M``.  This module provides both, plus the expected-overhead fraction
+used to sanity-check the choice, and a convenience that converts the
+continuous-time optimum into a whole number of optimizer steps for
+:class:`repro.train.resilience.ResilientRunner`.
+
+All quantities are simulated seconds, consistent with the
+:class:`~repro.cluster.timeline.Timeline` clock — the recovery loop
+charges checkpoint writes and retry backoff to the timeline, never to
+wall clock.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "checkpoint_cost_seconds",
+    "young_interval",
+    "daly_interval",
+    "expected_overhead_fraction",
+    "optimal_checkpoint_steps",
+]
+
+
+def checkpoint_cost_seconds(
+    state_bytes: int, write_bandwidth: float = 1e9
+) -> float:
+    """Seconds to serialize ``state_bytes`` at ``write_bandwidth`` B/s.
+
+    The checkpoint is written synchronously from rank 0 (the simulator's
+    :func:`~repro.train.checkpoint.save_checkpoint` saves one replica),
+    so the cost is a single serialized stream, not a parallel one.
+    """
+    if state_bytes < 0:
+        raise ValueError("state_bytes must be non-negative")
+    if write_bandwidth <= 0:
+        raise ValueError("write_bandwidth must be positive")
+    return state_bytes / write_bandwidth
+
+
+def young_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Young's first-order optimal checkpoint interval ``sqrt(2*C*M)``.
+
+    Minimizes expected overhead ``C/tau + tau/(2M)`` over the interval
+    ``tau``; accurate when ``C << M``.
+    """
+    if checkpoint_cost_s <= 0:
+        raise ValueError("checkpoint_cost_s must be positive")
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def daly_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Daly's higher-order refinement of Young's interval.
+
+    ``tau = sqrt(2CM) * [1 + (1/3)sqrt(C/2M) + (1/9)(C/2M)] - C`` for
+    ``C < 2M``, saturating at ``tau = M`` when the checkpoint is so
+    expensive that the best strategy is one checkpoint per expected
+    failure.
+    """
+    if checkpoint_cost_s <= 0:
+        raise ValueError("checkpoint_cost_s must be positive")
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    if checkpoint_cost_s >= 2.0 * mtbf_s:
+        return mtbf_s
+    ratio = checkpoint_cost_s / (2.0 * mtbf_s)
+    tau = math.sqrt(2.0 * checkpoint_cost_s * mtbf_s) * (
+        1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0
+    ) - checkpoint_cost_s
+    return max(tau, checkpoint_cost_s)
+
+
+def expected_overhead_fraction(
+    interval_s: float, checkpoint_cost_s: float, mtbf_s: float
+) -> float:
+    """First-order expected overhead ``C/tau + tau/(2M)`` of a cadence.
+
+    The first term is time spent writing checkpoints; the second is the
+    expected rework replayed after a failure (half an interval on
+    average).  Minimized exactly at :func:`young_interval`.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    if checkpoint_cost_s < 0:
+        raise ValueError("checkpoint_cost_s must be non-negative")
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    return checkpoint_cost_s / interval_s + interval_s / (2.0 * mtbf_s)
+
+
+def optimal_checkpoint_steps(
+    step_time_s: float,
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    use_daly: bool = True,
+) -> int:
+    """The optimal interval expressed as a whole number of steps (>= 1).
+
+    Converts :func:`daly_interval` (or :func:`young_interval` when
+    ``use_daly`` is False) into units of optimizer steps for the
+    supervised recovery loop, rounding to the nearest step but never
+    below one — checkpointing more often than every step is meaningless.
+    """
+    if step_time_s <= 0:
+        raise ValueError("step_time_s must be positive")
+    tau = (
+        daly_interval(checkpoint_cost_s, mtbf_s)
+        if use_daly
+        else young_interval(checkpoint_cost_s, mtbf_s)
+    )
+    return max(1, round(tau / step_time_s))

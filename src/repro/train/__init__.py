@@ -12,6 +12,7 @@ from .config import (
     WordLMConfig,
 )
 from .ngram import NGramModel
+from .resilience import RecoveryEvent, ResilientRunner
 from .metrics import (
     accuracy_improvement,
     bits_per_char,
@@ -48,6 +49,8 @@ __all__ = [
     "DistributedTrainer",
     "EpochStats",
     "EvalPoint",
+    "RecoveryEvent",
+    "ResilientRunner",
     "assert_replicas_synchronized",
     "max_replica_divergence",
     "perplexity",

@@ -8,6 +8,24 @@ use.
 
 Format: a single ``.npz`` with namespaced arrays (``model/<param>``,
 ``optim/<key>``, ``meta/...``), portable and dependency-free.
+
+Version history
+---------------
+* **v1** — model + optimizer + counters + loss-scaler state.  Resume was
+  *not* bit-exact for models with stateful RNG streams (dropout): the
+  restarted run re-seeded the streams from scratch.
+* **v2** — adds ``rng/...`` arrays: the sampled-softmax seed assignment
+  (strategy + per-group seeds + rank->group map) and every replica's
+  per-module bit-generator states (PCG64, encoded as ``uint64`` limb
+  arrays so ``allow_pickle=False`` still loads them).  Resume is now
+  bit-exact.  v1 checkpoints still load (without RNG restore).
+
+Elastic restarts: ``load_checkpoint(..., elastic=True)`` accepts a
+trainer whose world is *smaller* than the checkpoint's — the recovery
+path of :class:`~repro.train.resilience.ResilientRunner` after a
+permanent rank loss.  Surviving ranks re-index densely (new rank ``r``
+adopts saved replica ``r``'s streams); the saved seed assignment is
+skipped because the shrunken trainer derives its own for the new world.
 """
 
 from __future__ import annotations
@@ -16,11 +34,57 @@ import pathlib
 
 import numpy as np
 
+from ..core.seeding import SeedAssignment, SeedStrategy
 from .trainer import DistributedTrainer
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+_MASK64 = (1 << 64) - 1
+
+
+def _encode_rng_state(state: dict) -> np.ndarray:
+    """Pack a PCG64 ``bit_generator.state`` dict into six uint64 limbs.
+
+    The 128-bit ``state`` and ``inc`` integers become two limbs each
+    (low, high), followed by the ``has_uint32``/``uinteger`` carry of a
+    buffered 32-bit draw — everything needed for an exact stream resume,
+    in a dtype ``np.savez``/``allow_pickle=False`` round-trips.
+    """
+    if state.get("bit_generator") != "PCG64":
+        raise ValueError(
+            f"only PCG64 streams are checkpointable, got "
+            f"{state.get('bit_generator')!r}"
+        )
+    inner = state["state"]
+    return np.array(
+        [
+            inner["state"] & _MASK64,
+            (inner["state"] >> 64) & _MASK64,
+            inner["inc"] & _MASK64,
+            (inner["inc"] >> 64) & _MASK64,
+            int(state.get("has_uint32", 0)),
+            int(state.get("uinteger", 0)),
+        ],
+        dtype=np.uint64,
+    )
+
+
+def _decode_rng_state(limbs: np.ndarray) -> dict:
+    """Inverse of :func:`_encode_rng_state`."""
+    if limbs.shape != (6,):
+        raise ValueError(f"expected 6 uint64 limbs, got shape {limbs.shape}")
+    vals = [int(v) for v in limbs]
+    return {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": vals[0] | (vals[1] << 64),
+            "inc": vals[2] | (vals[3] << 64),
+        },
+        "has_uint32": vals[4],
+        "uinteger": vals[5],
+    }
 
 
 def save_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> None:
@@ -52,24 +116,46 @@ def save_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> No
         if clean is not None:
             arrays["scaler/clean_steps"] = np.array(clean)
         arrays["scaler/skipped_steps"] = np.array(trainer.skipped_steps)
+    # v2: sampled-softmax seed assignment + per-replica module RNG
+    # streams, so a resumed run consumes *identical* randomness.
+    assignment = trainer.seed_assignment
+    arrays["rng/strategy"] = np.array(assignment.strategy.value)
+    arrays["rng/group_of_rank"] = np.asarray(assignment.group_of_rank)
+    arrays["rng/seed_of_group"] = np.asarray(assignment.seed_of_group)
+    for rank, replica in enumerate(trainer.replicas):
+        for mod_path, state in replica.rng_state().items():
+            arrays[f"rng/replica{rank}/{mod_path}"] = _encode_rng_state(state)
     np.savez(path, **arrays)
 
 
-def load_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> int:
+def load_checkpoint(
+    path: str | pathlib.Path,
+    trainer: DistributedTrainer,
+    elastic: bool = False,
+) -> int:
     """Restore every replica and optimizer from ``path``.
 
-    The trainer must be built with the same architecture and world size
-    (structural mismatches raise).  Returns the restored global step.
+    The trainer must be built with the same architecture; by default the
+    world size must match too.  With ``elastic=True`` a *smaller* world
+    is accepted (the post-rank-loss recovery path): surviving ranks
+    re-index densely, new rank ``r`` adopting saved replica ``r``'s RNG
+    streams, and the saved seed assignment is skipped because the
+    shrunken trainer derives its own.  Returns the restored global step.
     """
     with np.load(path, allow_pickle=False) as data:
         version = int(data["meta/version"])
-        if version != _FORMAT_VERSION:
+        if version not in (1, _FORMAT_VERSION):
             raise ValueError(f"unsupported checkpoint version {version}")
         world = int(data["meta/world_size"])
-        if world != trainer.config.world_size:
+        if not elastic and world != trainer.config.world_size:
             raise ValueError(
                 f"checkpoint was written at world size {world}, trainer "
                 f"has {trainer.config.world_size}"
+            )
+        if elastic and trainer.config.world_size > world:
+            raise ValueError(
+                f"elastic load cannot grow the world: checkpoint has "
+                f"{world} ranks, trainer wants {trainer.config.world_size}"
             )
         model_state = {
             key[len("model/"):]: data[key]
@@ -88,6 +174,19 @@ def load_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> in
         global_step = int(data["meta/global_step"])
         data_step = int(data["meta/data_step"])
         epochs_done = int(data["meta/epochs_done"])
+        rng_streams: dict[int, dict[str, dict]] = {}
+        has_rng = version >= 2
+        if has_rng:
+            for key in data.files:
+                if not key.startswith("rng/replica"):
+                    continue
+                rank_str, _, mod_path = key[len("rng/replica"):].partition("/")
+                rng_streams.setdefault(int(rank_str), {})[mod_path] = (
+                    _decode_rng_state(data[key])
+                )
+            strategy = SeedStrategy(str(data["rng/strategy"]))
+            group_of_rank = data["rng/group_of_rank"].copy()
+            seed_of_group = data["rng/seed_of_group"].copy()
 
     for replica in trainer.replicas:
         replica.load_state_dict(model_state)
@@ -96,6 +195,15 @@ def load_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> in
     trainer.global_step = global_step
     trainer.data_step = data_step
     trainer.epochs_done = epochs_done
+    if has_rng:
+        for rank, replica in enumerate(trainer.replicas):
+            replica.set_rng_state(rng_streams.get(rank, {}))
+        if not elastic:
+            trainer.seed_assignment = SeedAssignment(
+                strategy=strategy,
+                group_of_rank=group_of_rank,
+                seed_of_group=seed_of_group,
+            )
     with np.load(path, allow_pickle=False) as data:
         if "scaler/scale" in data.files:
             if trainer.scaler is None:

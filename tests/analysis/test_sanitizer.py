@@ -332,3 +332,70 @@ class TestTrainerIntegration:
         log = san.finish()
         assert len(log) > 0
         assert max_replica_divergence(trainer.replicas) == 0.0
+
+
+class TestNoDoubleApplyInvariant:
+    """The retry-safety invariant consumed by the recovery loop."""
+
+    @staticmethod
+    def replicas(world=2):
+        from repro.nn import Linear
+
+        return [
+            Linear(3, 3, np.random.default_rng(7)) for _ in range(world)
+        ]
+
+    def test_clean_replicas_pass(self):
+        from repro.analysis import assert_clean_retry_state
+
+        reps = self.replicas()
+        assert_clean_retry_state(reps)
+        assert_clean_retry_state(
+            reps, Communicator(2, track_memory=False)
+        )
+
+    def test_residual_dense_grad_reported_with_rank_and_name(self):
+        from repro.analysis import DoubleApplyError, assert_clean_retry_state
+
+        reps = self.replicas()
+        reps[1].weight.accumulate_grad(np.ones((3, 3)))
+        with pytest.raises(DoubleApplyError, match="rank 1") as exc:
+            assert_clean_retry_state(reps)
+        assert "weight" in str(exc.value)
+        assert "dense gradient" in str(exc.value)
+
+    def test_residual_sparse_grads_reported(self):
+        from repro.analysis import DoubleApplyError, assert_clean_retry_state
+        from repro.nn.parameter import SparseGrad
+
+        reps = self.replicas()
+        reps[0].weight.accumulate_sparse_grad(
+            SparseGrad(indices=np.array([0]), values=np.ones((1, 3)))
+        )
+        with pytest.raises(DoubleApplyError, match="sparse"):
+            assert_clean_retry_state(reps)
+
+    def test_in_flight_async_work_reported(self):
+        from repro.analysis import DoubleApplyError, assert_clean_retry_state
+
+        comm = Communicator(2, track_memory=False)
+        handle = comm.iallreduce(per_rank(2, (4,)), tag="grads")
+        with pytest.raises(DoubleApplyError, match="in flight") as exc:
+            assert_clean_retry_state(self.replicas(), comm)
+        assert "allreduce" in str(exc.value)
+        handle.wait()
+        assert_clean_retry_state(self.replicas(), comm)
+
+    def test_double_apply_is_a_sanitizer_error(self):
+        from repro.analysis import DoubleApplyError
+
+        assert issubclass(DoubleApplyError, SanitizerError)
+
+    def test_zero_grad_restores_cleanliness(self):
+        from repro.analysis import assert_clean_retry_state
+
+        reps = self.replicas()
+        reps[0].weight.accumulate_grad(np.ones((3, 3)))
+        for r in reps:
+            r.zero_grad()
+        assert_clean_retry_state(reps)

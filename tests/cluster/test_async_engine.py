@@ -172,3 +172,63 @@ class TestFailureInjection:
         )
         with pytest.raises(RankFailureError):
             comm.allgather(arrays_for(2))
+
+
+class TestHandleEdgeCases:
+    """Edge cases around handle lifetime and failures mid-issue."""
+
+    def test_double_wait_does_not_double_release(self):
+        comm = Communicator(2, device_spec=BIG_DEVICE)
+        handle = comm.iallreduce(arrays_for(2, (100,)))
+        first = handle.wait()
+        clock_after_first = list(comm.timeline.compute_clock)
+        second = handle.wait()
+        assert second is first
+        # Accounting ran exactly once: scratch stays released, the
+        # compute streams are not advanced a second time.
+        assert all(dev.bytes_in_use == 0 for dev in comm.devices)
+        assert comm.timeline.compute_clock == clock_after_first
+        assert comm.pending_work == ()
+
+    def test_wait_all_with_already_waited_handle(self):
+        comm = Communicator(2, track_memory=False)
+        done = comm.iallreduce(arrays_for(2))
+        still_pending = comm.iallgather(arrays_for(2))
+        done.wait()
+        # wait_all drains only what is actually pending.
+        assert comm.wait_all() == 1
+        assert still_pending.is_complete()
+        assert comm.wait_all() == 0
+
+    def test_wait_all_after_failed_issue(self):
+        """A mid-issue rank failure leaves earlier handles completable."""
+        comm = FailingCommunicator(
+            2, device_spec=BIG_DEVICE, fail_after=1, failing_rank=0
+        )
+        survivor = comm.iallreduce(arrays_for(2, (100,)))
+        with pytest.raises(RankFailureError):
+            comm.iallgather(arrays_for(2))
+        assert comm.pending_work == (survivor,)
+        assert comm.wait_all() == 1
+        assert survivor.is_complete()
+        assert comm.pending_work == ()
+
+    def test_failed_issue_releases_no_scratch_of_survivors(self):
+        """After a failure mid-issue, the pending survivor still holds its
+        scratch; draining it releases everything — verified through the
+        peak-footprint accounting the recovery loop relies on."""
+        comm = FailingCommunicator(
+            2, device_spec=BIG_DEVICE, fail_after=1, failing_rank=1
+        )
+        survivor = comm.iallreduce(arrays_for(2, (100,)))
+        with pytest.raises(RankFailureError):
+            comm.iallreduce(arrays_for(2, (100,)))
+        # Only the survivor's recv buffer is charged: the doomed
+        # collective died before touching any state.
+        assert comm.in_flight_scratch_bytes == 800
+        assert comm.peak_bytes_per_rank == 800
+        comm.wait_all()
+        assert comm.in_flight_scratch_bytes == 0
+        assert comm.reset_peaks() == 0
+        assert comm.peak_bytes_per_rank == 0
+        assert survivor.wait() is survivor.wait()

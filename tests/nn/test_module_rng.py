@@ -1,0 +1,85 @@
+"""Tests for module-tree traversal and stateful RNG stream snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Linear, Module
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(4, 4, np.random.default_rng(0))
+        self.dropout = Dropout(0.5, np.random.default_rng(1))
+
+
+class Deep(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = Net()
+        self.outer_dropout = Dropout(0.3, np.random.default_rng(2))
+
+
+class TestNamedModules:
+    def test_root_is_empty_path(self):
+        net = Net()
+        paths = [path for path, _ in net.named_modules()]
+        assert paths == ["", "linear", "dropout"]
+
+    def test_nested_paths_are_dot_joined(self):
+        deep = Deep()
+        paths = dict(deep.named_modules())
+        assert "inner.dropout" in paths
+        assert "inner.linear" in paths
+        assert "outer_dropout" in paths
+        assert paths["inner.dropout"] is deep.inner.dropout
+
+
+class TestRngState:
+    def test_only_stateful_modules_appear(self):
+        net = Net()
+        assert set(net.rng_state()) == {"dropout"}
+        assert set(Deep().rng_state()) == {"inner.dropout", "outer_dropout"}
+
+    def test_state_is_a_snapshot(self):
+        net = Net().train()
+        before = net.rng_state()
+        net.dropout.forward(np.ones((8, 8)))
+        after = net.rng_state()
+        assert before["dropout"] != after["dropout"]
+
+    def test_restore_replays_identical_masks(self):
+        net = Net().train()
+        snap = net.rng_state()
+        x = np.ones((16, 4))
+        first, _ = net.dropout.forward(x)
+        net.set_rng_state(snap)
+        replay, _ = net.dropout.forward(x)
+        np.testing.assert_array_equal(first, replay)
+
+    def test_restore_is_independent_of_saved_dict_mutation(self):
+        net = Net().train()
+        snap = net.rng_state()
+        net.set_rng_state(snap)
+        out1, _ = net.dropout.forward(np.ones((8, 4)))
+        # Mutating the snapshot afterwards must not affect the module.
+        snap["dropout"]["state"]["state"] = 0
+        net2 = Net().train()
+        net2.set_rng_state(net.rng_state())
+
+    def test_unknown_path_rejected(self):
+        net = Net()
+        with pytest.raises(ValueError, match="no module at path"):
+            net.set_rng_state({"missing": net.rng_state()["dropout"]})
+
+    def test_path_without_stream_rejected(self):
+        net = Net()
+        with pytest.raises(ValueError, match="no RNG stream"):
+            net.set_rng_state({"linear": net.rng_state()["dropout"]})
+
+    def test_absent_paths_left_untouched(self):
+        """The v1 backward-compat path: an empty state dict is a no-op."""
+        net = Net().train()
+        before = net.rng_state()
+        net.set_rng_state({})
+        assert net.rng_state() == before

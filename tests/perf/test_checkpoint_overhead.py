@@ -1,0 +1,118 @@
+"""Tests for the Young/Daly checkpoint-cadence cost model."""
+
+import numpy as np
+import pytest
+
+from repro.perf import (
+    checkpoint_cost_seconds,
+    daly_interval,
+    expected_overhead_fraction,
+    optimal_checkpoint_steps,
+    young_interval,
+)
+
+
+class TestCheckpointCost:
+    def test_bytes_over_bandwidth(self):
+        assert checkpoint_cost_seconds(10**9, 1e9) == pytest.approx(1.0)
+        assert checkpoint_cost_seconds(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            checkpoint_cost_seconds(-1)
+        with pytest.raises(ValueError):
+            checkpoint_cost_seconds(10, write_bandwidth=0.0)
+
+
+class TestYoungInterval:
+    def test_formula(self):
+        assert young_interval(2.0, 100.0) == pytest.approx(20.0)
+
+    def test_minimizes_overhead_fraction(self):
+        """Young's tau is the exact argmin of C/tau + tau/2M."""
+        C, M = 3.0, 700.0
+        tau_star = young_interval(C, M)
+        best = expected_overhead_fraction(tau_star, C, M)
+        for tau in np.linspace(tau_star * 0.2, tau_star * 5.0, 201):
+            assert expected_overhead_fraction(float(tau), C, M) >= (
+                best - 1e-12
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 10.0)
+        with pytest.raises(ValueError):
+            young_interval(1.0, 0.0)
+
+
+class TestDalyInterval:
+    def test_approaches_young_when_cost_is_small(self):
+        C, M = 1e-4, 3600.0
+        assert daly_interval(C, M) == pytest.approx(
+            young_interval(C, M), rel=1e-2
+        )
+
+    def test_shorter_than_young_for_moderate_cost(self):
+        # The -C correction dominates the higher-order terms here.
+        C, M = 10.0, 1000.0
+        assert daly_interval(C, M) < young_interval(C, M)
+
+    def test_saturates_at_mtbf_for_huge_cost(self):
+        assert daly_interval(5000.0, 100.0) == 100.0
+        assert daly_interval(200.0, 100.0) == 100.0
+
+    def test_never_below_checkpoint_cost(self):
+        assert daly_interval(150.0, 100.0) >= 150.0 or (
+            daly_interval(150.0, 100.0) == 100.0
+        )
+        # Just under the 2M saturation threshold the floor applies.
+        assert daly_interval(199.0, 100.0) >= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            daly_interval(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            daly_interval(1.0, -10.0)
+
+
+class TestOverheadFraction:
+    def test_components(self):
+        # tau=10, C=1, M=50: 1/10 write + 10/100 expected rework.
+        assert expected_overhead_fraction(10.0, 1.0, 50.0) == pytest.approx(
+            0.2
+        )
+
+    def test_zero_cost_leaves_only_rework(self):
+        assert expected_overhead_fraction(10.0, 0.0, 50.0) == pytest.approx(
+            0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_overhead_fraction(0.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            expected_overhead_fraction(1.0, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            expected_overhead_fraction(1.0, 1.0, 0.0)
+
+
+class TestOptimalSteps:
+    def test_rounds_interval_to_steps(self):
+        # Young: sqrt(2*2*100) = 20s; at 3s/step -> 7 steps.
+        assert optimal_checkpoint_steps(
+            3.0, 2.0, 100.0, use_daly=False
+        ) == 7
+
+    def test_floor_of_one_step(self):
+        assert optimal_checkpoint_steps(1e6, 1.0, 10.0) == 1
+
+    def test_daly_default_differs_from_young_when_cost_matters(self):
+        young_steps = optimal_checkpoint_steps(
+            1.0, 50.0, 1000.0, use_daly=False
+        )
+        daly_steps = optimal_checkpoint_steps(1.0, 50.0, 1000.0)
+        assert daly_steps < young_steps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_checkpoint_steps(0.0, 1.0, 10.0)

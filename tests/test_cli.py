@@ -100,3 +100,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "overlapped" in out
         assert "replica divergence: 0.0e+00" in out
+
+
+class TestResilientTraining:
+    def test_resilient_demo_plan_smoke(self, capsys, tmp_path):
+        rc = main(
+            [
+                "train", "--gpus", "3", "--steps", "8", "--vocab", "80",
+                "--corpus-tokens", "5000", "--resilient",
+                "--checkpoint", str(tmp_path / "ckpt.npz"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resilient word LM" in out
+        assert "scheduled fault(s)" in out
+        assert "retry" in out
+        # The demo plan loses rank 2 mid-run: the world shrinks.
+        assert "final world: 2" in out
+        assert "replica divergence: 0.0e+00" in out
+        assert "communicator generation(s)" in out
+        assert (tmp_path / "ckpt.npz").exists()
+
+    def test_fault_plan_file_implies_resilient(self, capsys, tmp_path):
+        from repro.cluster import FaultEvent, FaultKind, FaultPlan
+
+        plan_file = tmp_path / "plan.json"
+        FaultPlan(
+            [FaultEvent(FaultKind.TRANSIENT_LINK, collective_index=2,
+                        rank=1, retries=1)],
+            seed=5,
+        ).save(plan_file)
+        rc = main(
+            [
+                "train", "--gpus", "2", "--steps", "4", "--vocab", "80",
+                "--corpus-tokens", "5000",
+                "--fault-plan", str(plan_file),
+                "--checkpoint", str(tmp_path / "c.npz"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 scheduled fault(s)" in out
+        assert "final world: 2" in out  # transient only: no shrink
+        assert "1 retry charged" in out
+
+    def test_resilient_single_gpu_has_no_rank_loss(self, capsys, tmp_path):
+        rc = main(
+            [
+                "train", "--gpus", "1", "--steps", "4", "--vocab", "80",
+                "--corpus-tokens", "5000", "--resilient",
+                "--checkpoint", str(tmp_path / "one.npz"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final world: 1" in out
+
+    def test_resilient_rejects_sanitize(self, capsys):
+        rc = main(
+            [
+                "train", "--gpus", "2", "--steps", "3", "--vocab", "80",
+                "--corpus-tokens", "5000", "--resilient", "--sanitize",
+            ]
+        )
+        assert rc == 2
+        assert "mutually" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.resilient is False
+        assert args.fault_plan is None
+        assert args.checkpoint is None

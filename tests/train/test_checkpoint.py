@@ -242,3 +242,197 @@ class TestCheckpointRoundtrip:
         tr.replicas[1].embedding.weight.data[0, 0] += 1.0
         with pytest.raises(AssertionError):
             save_checkpoint(tmp_path / "bad.npz", tr)
+
+
+class TestRngLimbEncoding:
+    def test_roundtrip_exact_128_bit(self):
+        from repro.train.checkpoint import (
+            _decode_rng_state,
+            _encode_rng_state,
+        )
+
+        rng = np.random.default_rng(123)
+        rng.random(7)  # advance so has_uint32/uinteger may be set
+        rng.integers(0, 10)
+        state = rng.bit_generator.state
+        limbs = _encode_rng_state(state)
+        assert limbs.dtype == np.uint64 and limbs.shape == (6,)
+        decoded = _decode_rng_state(limbs)
+        assert decoded == state
+
+    def test_non_pcg64_rejected(self):
+        from repro.train.checkpoint import _encode_rng_state
+
+        with pytest.raises(ValueError, match="PCG64"):
+            _encode_rng_state({"bit_generator": "MT19937", "state": {}})
+
+    def test_wrong_shape_rejected(self):
+        from repro.train.checkpoint import _decode_rng_state
+
+        with pytest.raises(ValueError):
+            _decode_rng_state(np.zeros(5, dtype=np.uint64))
+
+
+def dropout_trainer(world=2):
+    """A char trainer whose steps consume per-replica dropout streams —
+    the case checkpoint v1 could not resume bit-exactly."""
+    cfg = TrainConfig(world_size=world, batch=BatchSpec(2, 6), base_lr=1e-3)
+    mcfg = CharLMConfig(vocab_size=VOCAB, embedding_dim=6, hidden_dim=8,
+                        depth=2, dropout=0.25)
+    return DistributedTrainer(
+        lambda rng, rank: CharLanguageModel(
+            mcfg, rng, dropout_rng=np.random.default_rng(rank)
+        ),
+        lambda params, lr: Adam(params, lr),
+        CORPUS.train, CORPUS.valid, cfg,
+    )
+
+
+class TestCheckpointV2:
+    def test_version_is_two(self, tmp_path):
+        tr = word_trainer()
+        ckpt = tmp_path / "v2.npz"
+        save_checkpoint(ckpt, tr)
+        with np.load(ckpt) as data:
+            assert int(data["meta/version"]) == 2
+            rng_keys = [k for k in data.files if k.startswith("rng/")]
+            assert "rng/strategy" in rng_keys
+            assert "rng/group_of_rank" in rng_keys
+            assert "rng/seed_of_group" in rng_keys
+
+    def test_dropout_resume_is_bit_identical(self, tmp_path):
+        """The v1 bug: resumed runs re-seeded dropout streams.  v2 must
+        continue a dropout model bit-exactly."""
+        straight = dropout_trainer()
+        victim = dropout_trainer()
+        for _ in range(3):
+            straight.train_step()
+            victim.train_step()
+        ckpt = tmp_path / "dropout.npz"
+        save_checkpoint(ckpt, victim)
+
+        fresh = dropout_trainer()
+        assert load_checkpoint(ckpt, fresh) == 3
+        for _ in range(2):
+            straight.train_step()
+            fresh.train_step()
+        for (n, a), (_, b) in zip(
+            straight.replicas[0].named_parameters(),
+            fresh.replicas[0].named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=n)
+
+    def test_per_replica_streams_saved_separately(self, tmp_path):
+        tr = dropout_trainer(world=3)
+        tr.train_step()
+        ckpt = tmp_path / "streams.npz"
+        save_checkpoint(ckpt, tr)
+        with np.load(ckpt) as data:
+            replica_keys = [
+                k for k in data.files if k.startswith("rng/replica")
+            ]
+        assert len(replica_keys) == 3  # one dropout stream per replica
+        assert {k.split("/")[1] for k in replica_keys} == {
+            "replica0", "replica1", "replica2"
+        }
+
+    def test_seed_assignment_restored(self, tmp_path):
+        tr = word_trainer()
+        for _ in range(2):
+            tr.train_step()
+        ckpt = tmp_path / "seeds.npz"
+        save_checkpoint(ckpt, tr)
+        fresh = word_trainer(seed_offset=42)
+        load_checkpoint(ckpt, fresh)
+        assert fresh.seed_assignment.strategy == tr.seed_assignment.strategy
+        np.testing.assert_array_equal(
+            fresh.seed_assignment.group_of_rank,
+            tr.seed_assignment.group_of_rank,
+        )
+        np.testing.assert_array_equal(
+            fresh.seed_assignment.seed_of_group,
+            tr.seed_assignment.seed_of_group,
+        )
+
+    def test_v1_checkpoint_still_loads(self, tmp_path):
+        """A version-1 file (no rng/ arrays) restores weights and
+        counters; RNG streams are simply left as built."""
+        tr = dropout_trainer()
+        for _ in range(2):
+            tr.train_step()
+        v2 = tmp_path / "modern.npz"
+        save_checkpoint(v2, tr)
+        with np.load(v2) as data:
+            arrays = {
+                k: data[k] for k in data.files if not k.startswith("rng/")
+            }
+        arrays["meta/version"] = np.array(1)
+        v1 = tmp_path / "legacy.npz"
+        np.savez(v1, **arrays)
+
+        fresh = dropout_trainer()
+        before_streams = [r.rng_state() for r in fresh.replicas]
+        assert load_checkpoint(v1, fresh) == 2
+        assert fresh.global_step == 2
+        for (n, a), (_, b) in zip(
+            tr.replicas[0].named_parameters(),
+            fresh.replicas[0].named_parameters(),
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=n)
+        # v1 carries no streams: the trainer keeps its own.
+        assert [r.rng_state() for r in fresh.replicas] == before_streams
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        tr = word_trainer()
+        ckpt = tmp_path / "future.npz"
+        save_checkpoint(ckpt, tr)
+        with np.load(ckpt) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["meta/version"] = np.array(99)
+        bad = tmp_path / "v99.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(ValueError, match="unsupported checkpoint"):
+            load_checkpoint(bad, word_trainer())
+
+
+class TestElasticLoad:
+    def test_shrunken_world_adopts_dense_reindexing(self, tmp_path):
+        tr = dropout_trainer(world=3)
+        for _ in range(2):
+            tr.train_step()
+        ckpt = tmp_path / "w3.npz"
+        save_checkpoint(ckpt, tr)
+
+        survivor = dropout_trainer(world=2)
+        assert load_checkpoint(ckpt, survivor, elastic=True) == 2
+        from repro.train import assert_replicas_synchronized
+
+        assert_replicas_synchronized(survivor.replicas, atol=0.0)
+        # New rank r adopted saved replica r's streams.
+        with np.load(ckpt) as data:
+            from repro.train.checkpoint import _decode_rng_state
+
+            saved = {
+                k: _decode_rng_state(data[k])
+                for k in data.files
+                if k.startswith("rng/replica")
+            }
+        for rank, replica in enumerate(survivor.replicas):
+            for mod_path, state in replica.rng_state().items():
+                assert state == saved[f"rng/replica{rank}/{mod_path}"]
+        survivor.train_step()  # the shrunken trainer keeps working
+
+    def test_elastic_growth_rejected(self, tmp_path):
+        tr = word_trainer(world=2)
+        ckpt = tmp_path / "w2.npz"
+        save_checkpoint(ckpt, tr)
+        with pytest.raises(ValueError, match="cannot grow"):
+            load_checkpoint(ckpt, word_trainer(world=4), elastic=True)
+
+    def test_elastic_same_world_is_plain_restore(self, tmp_path):
+        tr = word_trainer(world=2)
+        tr.train_step()
+        ckpt = tmp_path / "same.npz"
+        save_checkpoint(ckpt, tr)
+        fresh = word_trainer(world=2, seed_offset=9)
+        assert load_checkpoint(ckpt, fresh, elastic=True) == 1

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Line-coverage floor check with no third-party dependencies.
+
+The container has no ``coverage`` package, so this tool measures line
+coverage with the standard library alone:
+
+* **executable lines** come from compiling the target module and walking
+  every nested code object's ``co_lines()`` table (code objects whose
+  ``def`` line carries a ``pragma: no cover`` comment are excluded, the
+  same convention the coverage.py ecosystem uses);
+* **executed lines** are collected by a ``sys.settrace`` hook that only
+  descends into frames of the target file, keeping the overhead on the
+  rest of the suite negligible;
+* the tests run in-process via ``pytest.main`` so the trace hook sees
+  them.
+
+Exit status is non-zero when coverage falls below the floor, which is
+how ``make test-chaos`` and CI enforce the ISSUE's >= 90% requirement on
+the recovery loop.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_coverage.py \
+        --target src/repro/train/resilience.py \
+        --min-percent 90 \
+        tests/train/test_resilience.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import threading
+
+
+def executable_lines(path: pathlib.Path) -> set[int]:
+    """Line numbers that carry executable code in ``path``.
+
+    Walks the compiled module's code-object tree; a code object whose
+    first line contains ``pragma: no cover`` is skipped wholesale.
+    """
+    source = path.read_text()
+    source_lines = source.splitlines()
+    root = compile(source, str(path), "exec")
+    lines: set[int] = set()
+
+    def visit(code) -> None:
+        first = code.co_firstlineno
+        if 0 < first <= len(source_lines) and (
+            "pragma: no cover" in source_lines[first - 1]
+        ):
+            return
+        for _, _, lineno in code.co_lines():
+            if lineno is not None and lineno > 0:
+                lines.add(lineno)
+        for const in code.co_consts:
+            if hasattr(const, "co_lines"):
+                visit(const)
+
+    visit(root)
+    # The def/class statement of an excluded block still executes at
+    # import time; keep only lines that belong to retained code objects.
+    return lines
+
+
+def run_with_trace(target: pathlib.Path, pytest_args: list[str]) -> tuple[int, set[int]]:
+    """Run pytest in-process, recording executed lines of ``target``."""
+    import pytest
+
+    resolved = str(target.resolve())
+    executed: set[int] = set()
+
+    def local_trace(frame, event, arg):
+        if event == "line":
+            executed.add(frame.f_lineno)
+        return local_trace
+
+    def global_trace(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename == resolved:
+            return local_trace
+        return None
+
+    threading.settrace(global_trace)
+    sys.settrace(global_trace)
+    try:
+        rc = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    return int(rc), executed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--target", default="src/repro/train/resilience.py",
+        help="source file whose coverage is gated",
+    )
+    parser.add_argument(
+        "--min-percent", type=float, default=90.0,
+        help="fail below this line-coverage percentage",
+    )
+    parser.add_argument(
+        "tests", nargs="*", default=["tests/train/test_resilience.py"],
+        help="pytest arguments selecting the measuring suite",
+    )
+    args = parser.parse_args(argv)
+
+    target = pathlib.Path(args.target)
+    if not target.exists():
+        print(f"coverage: target {target} does not exist", file=sys.stderr)
+        return 2
+    want = executable_lines(target)
+    if not want:
+        print(f"coverage: {target} has no executable lines", file=sys.stderr)
+        return 2
+
+    rc, executed = run_with_trace(target, ["-q", *args.tests])
+    if rc != 0:
+        print(f"coverage: measuring suite failed (pytest rc={rc})",
+              file=sys.stderr)
+        return rc
+
+    covered = want & executed
+    missed = sorted(want - executed)
+    percent = 100.0 * len(covered) / len(want)
+    print(
+        f"coverage: {target} {len(covered)}/{len(want)} executable lines "
+        f"({percent:.1f}%), floor {args.min_percent:.0f}%"
+    )
+    if missed:
+        runs = []
+        start = prev = missed[0]
+        for line in missed[1:]:
+            if line == prev + 1:
+                prev = line
+                continue
+            runs.append((start, prev))
+            start = prev = line
+        runs.append((start, prev))
+        shown = ", ".join(
+            f"{a}" if a == b else f"{a}-{b}" for a, b in runs[:20]
+        )
+        print(f"coverage: missed lines: {shown}")
+    if percent < args.min_percent:
+        print(
+            f"coverage: FAIL — {percent:.1f}% is below the "
+            f"{args.min_percent:.0f}% floor",
+            file=sys.stderr,
+        )
+        return 1
+    print("coverage: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
