@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos lint bench bench-smoke examples results clean
+.PHONY: install test test-chaos lint bench bench-smoke bench-wire examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,12 @@ bench-smoke:
 	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
 		benchmarks/bench_ablation_overlap.py \
 		benchmarks/bench_ablation_stragglers.py --benchmark-only
+
+# Wire-compression smoke: measured byte-reduction + pipeline-model +
+# bit-exactness gates of the codec stack (see docs/COMPRESSION.md).
+bench-wire:
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_wire_compression.py --benchmark-only
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

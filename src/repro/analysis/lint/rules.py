@@ -1,4 +1,4 @@
-"""The project rule set, ``REPRO001``–``REPRO007``.
+"""The project rule set, ``REPRO001``–``REPRO008``.
 
 Each rule guards an invariant the paper's experiments depend on; the
 rationale strings say which section breaks when the rule is violated.
@@ -22,6 +22,7 @@ __all__ = [
     "ExportsDriftRule",
     "Float64IntoCommRule",
     "PrintInLibraryRule",
+    "UncodedCollectivePayloadRule",
 ]
 
 _NUMPY_ALIASES = {"np", "numpy"}
@@ -39,6 +40,7 @@ _ASYNC_COLLECTIVES = {
     "ibucketed_allreduce",
     "iunique_exchange",
     "iexchange",
+    "iencoded_allgather",
 }
 
 
@@ -543,3 +545,92 @@ class PrintInLibraryRule(Rule):
                     "print() in library code: record to the CostLedger, "
                     "return a string, or raise — the CLI owns stdout",
                 )
+
+
+@register
+class UncodedCollectivePayloadRule(Rule):
+    """REPRO008: orchestration-level payloads route through a WireCodec."""
+
+    rule_id = "REPRO008"
+    title = "collective payload bypasses the wire-codec stack"
+    rationale = (
+        "The compression ablations (paper §III-C) only measure what "
+        "crosses the wire if every orchestration-level payload passes "
+        "through repro.core.wire — a raw comm.allgather(grads) both "
+        "skips compression and books logical bytes as wire bytes, "
+        "corrupting the ledger's compression_factor. Route payloads via "
+        "a codec/wire policy (or declare payload_bytes for pre-encoded "
+        "frames). The comm substrate and the codec stack itself "
+        "(cluster/, core/, analysis/) move raw bytes by design."
+    )
+
+    #: Payload-carrying entry points.  Exempt: ``iencoded_allgather``
+    #: *is* the codec path, and barrier-like calls carry no payload.
+    _CALLEES = (_COLLECTIVES | _ASYNC_COLLECTIVES) - {"iencoded_allgather"}
+
+    #: Identifier fragments that signal codec-aware data flow.
+    _CODED_TOKENS = ("codec", "wire", "encoded", "frame")
+
+    def applies_to(self, path: Path) -> bool:
+        parts = set(path.parts)
+        return not parts & {"cluster", "core", "analysis"}
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._callee(node)
+            if callee is None:
+                continue
+            if self._codec_evidence(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"`{callee}(...)` payload bypasses the wire-codec stack: "
+                "pass codec=/wire=, encode the arrays first (declaring "
+                "payload_bytes=), or use iencoded_allgather — raw "
+                "payloads dodge §III-C compression and mis-book the "
+                "ledger's logical/wire byte split",
+            )
+
+    @classmethod
+    def _callee(cls, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            return None
+        return name if name in cls._CALLEES else None
+
+    @classmethod
+    def _codec_evidence(cls, call: ast.Call) -> bool:
+        """Any sign the payload went through (or carries) a codec.
+
+        Accepted evidence: a ``codec=``/``wire=`` keyword (the exchange
+        entry points), ``payload_bytes=`` (caller pre-encoded and is
+        declaring logical bytes), an ``.encode(...)`` call inside an
+        argument, or an identifier mentioning codec/wire/encoded/frame
+        anywhere in the arguments.
+        """
+        for kw in call.keywords:
+            if kw.arg in {"codec", "wire", "payload_bytes"}:
+                return True
+        for arg in call.args:
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "encode"
+                ):
+                    return True
+                if isinstance(sub, ast.Name):
+                    ident = sub.id.lower()
+                elif isinstance(sub, ast.Attribute):
+                    ident = sub.attr.lower()
+                else:
+                    continue
+                if any(tok in ident for tok in cls._CODED_TOKENS):
+                    return True
+        return False

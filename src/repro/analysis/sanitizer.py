@@ -43,7 +43,9 @@ down-cast boundary of :mod:`repro.core.compression`: where the stock
 codec deliberately saturates out-of-range values (the behaviour the
 accuracy experiments model), the sanitized codec *reports* them, with
 the flat indices, original values, and the largest compression-scaling
-factor that would have fit.
+factor that would have fit.  :class:`SanitizedWireCodec` does the same
+for the lossless integer codecs of :mod:`repro.core.wire`: every encode
+is roundtripped and compared bit-for-bit against the input.
 """
 
 from __future__ import annotations
@@ -64,6 +66,7 @@ __all__ = [
     "IssueOrderError",
     "OpRecord",
     "SanitizedFp16Codec",
+    "SanitizedWireCodec",
     "SanitizedWorkHandle",
     "Sanitizer",
     "SanitizerError",
@@ -358,16 +361,22 @@ class Sanitizer:
     # ------------------------------------------------------------------
 
     def allreduce(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> list[np.ndarray]:
         self._validate("allreduce", arrays, tag)
-        return self._comm.allreduce(arrays, tag=tag)
+        return self._comm.allreduce(arrays, tag=tag, payload_bytes=payload_bytes)
 
     def allgather(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> list[np.ndarray]:
         self._validate("allgather", arrays, tag, ragged_leading=True)
-        return self._comm.allgather(arrays, tag=tag)
+        return self._comm.allgather(arrays, tag=tag, payload_bytes=payload_bytes)
 
     def broadcast(
         self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""
@@ -393,18 +402,28 @@ class Sanitizer:
         return wrapped
 
     def iallreduce(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> SanitizedWorkHandle:
         """Validated non-blocking allreduce; the handle is tracked."""
         self._validate("allreduce", arrays, tag)
-        return self._issue_checked(self._comm.iallreduce(arrays, tag=tag))
+        return self._issue_checked(
+            self._comm.iallreduce(arrays, tag=tag, payload_bytes=payload_bytes)
+        )
 
     def iallgather(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> SanitizedWorkHandle:
         """Validated non-blocking allgather; the handle is tracked."""
         self._validate("allgather", arrays, tag, ragged_leading=True)
-        return self._issue_checked(self._comm.iallgather(arrays, tag=tag))
+        return self._issue_checked(
+            self._comm.iallgather(arrays, tag=tag, payload_bytes=payload_bytes)
+        )
 
     def ibroadcast(
         self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""
@@ -581,17 +600,103 @@ class SanitizedFp16Codec(Fp16Codec):
         return out
 
 
+class SanitizedWireCodec(WireCodec):
+    """Roundtrip-checking wrapper for *lossless* wire codecs.
+
+    The lossless integer codecs of :mod:`repro.core.wire` promise
+    bit-exact ``decode(encode(x)) == x``.  This wrapper enforces the
+    promise at encode time: every frame it produces is immediately
+    decoded back and compared bit-for-bit (values, dtype, and shape)
+    against the input, so a packing bug surfaces at the collective that
+    introduced it instead of as a silently corrupted index exchange.
+    Decode additionally checks the output dtype matches the request.
+
+    All metadata (``name``, ``lossless``, ``data_dependent``,
+    ``wire_dtype``, ``estimate_nbytes``) delegates to the wrapped codec,
+    so cost models and ledger scopes see the same identity.
+    """
+
+    def __init__(self, inner: WireCodec):
+        if not inner.lossless:
+            raise ValueError(
+                f"SanitizedWireCodec requires a lossless codec; "
+                f"{inner.name!r} is lossy — wrap it with its own "
+                "sanitizer (e.g. SanitizedFp16Codec) instead"
+            )
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        """The wrapped codec's name (ledger scopes stay comparable)."""
+        return self._inner.name
+
+    @property
+    def lossless(self) -> bool:  # type: ignore[override]
+        """Delegates to the wrapped codec (always True here)."""
+        return self._inner.lossless
+
+    @property
+    def data_dependent(self) -> bool:  # type: ignore[override]
+        """Delegates to the wrapped codec."""
+        return self._inner.data_dependent
+
+    def wire_dtype(self, dtype: np.dtype) -> np.dtype | None:
+        """Delegates to the wrapped codec."""
+        return self._inner.wire_dtype(dtype)
+
+    def estimate_nbytes(self, arr: np.ndarray, sample: int = 1024) -> int:
+        """Delegates to the wrapped codec's size estimator."""
+        return self._inner.estimate_nbytes(arr, sample=sample)
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        """Encode, then verify the frame decodes back bit-for-bit."""
+        frame = self._inner.encode(arr)
+        back = self._inner.decode(frame, arr.dtype)
+        if back.dtype != arr.dtype or back.shape != arr.shape:
+            raise CollectiveMismatchError(
+                f"{self.name} roundtrip changed the array signature: "
+                f"{arr.dtype}{arr.shape} -> {back.dtype}{back.shape}"
+            )
+        if not np.array_equal(back, arr):
+            bad = np.flatnonzero(back != arr)
+            raise CollectiveMismatchError(
+                f"{self.name} roundtrip is not bit-exact: {bad.size} "
+                f"element(s) differ; input {_describe(arr, bad)} vs "
+                f"decoded {_describe(back, bad)} — the codec violated "
+                "its lossless contract"
+            )
+        return frame
+
+    def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Decode and verify the output dtype matches the request."""
+        out = self._inner.decode(arr, dtype)
+        if out.dtype != np.dtype(dtype):
+            raise CollectiveMismatchError(
+                f"{self.name} decode returned dtype {out.dtype}, "
+                f"caller asked for {np.dtype(dtype)}"
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SanitizedWireCodec({self._inner!r})"
+
+
 def sanitize_codec(codec: WireCodec | None) -> WireCodec | None:
     """Return a checking variant of ``codec`` where one exists.
 
-    ``Fp16Codec`` gains overflow detection; the identity codec and
-    ``None`` (no compression) pass through unchanged, as does a codec
-    that is already sanitized.
+    ``Fp16Codec`` gains overflow detection; lossless codecs gain the
+    bit-exact roundtrip check of :class:`SanitizedWireCodec`; the
+    identity codec and ``None`` (no compression) pass through unchanged,
+    as does a codec that is already sanitized.
     """
-    if isinstance(codec, SanitizedFp16Codec) or codec is None:
+    if codec is None or isinstance(
+        codec, (SanitizedFp16Codec, SanitizedWireCodec)
+    ):
         return codec
     if isinstance(codec, Fp16Codec):
         return SanitizedFp16Codec(scale=codec.scale)
     if isinstance(codec, IdentityCodec):
         return codec
+    if codec.lossless:
+        return SanitizedWireCodec(codec)
     return codec

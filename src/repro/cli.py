@@ -51,6 +51,18 @@ def build_parser() -> argparse.ArgumentParser:
                          "paper's unique exchange")
     p_train.add_argument("--fp16", action="store_true",
                          help="enable FP16 compression-scaling on the wire")
+    p_train.add_argument("--wire-codec", default=None,
+                         choices=["auto", "fp16", "delta", "rle", "none"],
+                         help="wire-compression policy: 'fp16' compresses "
+                         "value traffic, 'delta'/'rle' losslessly compress "
+                         "the index allgather, 'auto' selects per message "
+                         "from the crossover cost model, 'none' is the "
+                         "explicit uncompressed baseline")
+    p_train.add_argument("--wire-chunk-bytes", type=int, default=None,
+                         metavar="N",
+                         help="chunk the compressed index gather into N-byte "
+                         "pieces so encode of chunk i+1 overlaps transmit "
+                         "of chunk i (requires --wire-codec)")
     p_train.add_argument("--seed-strategy", default="per_rank",
                          choices=[s.value for s in _seed_strategies()])
     p_train.add_argument("--seed", type=int, default=0)
@@ -172,6 +184,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         codec=codec,
         seed_strategy=SeedStrategy(args.seed_strategy),
         overlap=args.overlap,
+        wire_codec=args.wire_codec,
+        wire_chunk_bytes=args.wire_chunk_bytes,
+        wire_sanitize=args.sanitize,
     )
     if is_word:
         model_cfg = WordLMConfig(
@@ -212,6 +227,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"{args.model} LM | {args.gpus} simulated GPUs | vocab {args.vocab} "
           f"| exchange: {'allgather' if args.baseline else 'unique'}"
           f"{' + fp16' if args.fp16 else ''}"
+          f"{f' | wire: {args.wire_codec}' if args.wire_codec else ''}"
           f"{' | overlapped' if args.overlap else ''}"
           f"{' | sanitized' if args.sanitize else ''}")
     print(f"initial val ppl: {perplexity(trainer.evaluate()):.2f}")
@@ -223,6 +239,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"final val ppl: {perplexity(trainer.evaluate()):.2f}")
     print(f"wire MB/GPU: "
           f"{trainer.comm.ledger.total_wire_bytes_per_rank / 1e6:.2f}")
+    if args.wire_codec:
+        factor = trainer.comm.ledger.compression_factor(":indices")
+        print(f"index compression: {factor:.2f}x (measured, logical/wire)")
     print(f"replica divergence: {max_replica_divergence(trainer.replicas):.1e}")
     if args.sanitize:
         op_log = trainer.comm.finish()

@@ -190,6 +190,7 @@ class Communicator:
         wire_bytes_per_rank: int,
         time_s: float,
         tag: str,
+        payload_bytes_per_rank: int | None = None,
     ) -> WorkHandle:
         """Common issue path: charge scratch, schedule, record, enqueue."""
         scratch = ExitStack()
@@ -207,6 +208,7 @@ class Communicator:
             tag=tag,
             start_s=ticket.start,
             end_s=ticket.end,
+            payload_bytes_per_rank=payload_bytes_per_rank,
         )
         handle = WorkHandle(
             self, op, results, scratch, scratch_bytes, ticket, tag
@@ -219,7 +221,10 @@ class Communicator:
     # ------------------------------------------------------------------
 
     def iallreduce(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> WorkHandle:
         """Non-blocking sum-allreduce; ring algorithm cost model.
 
@@ -227,6 +232,10 @@ class Communicator:
         works in-place on shards, needing only a receive shard; we charge
         a conservative full-message receive buffer), held until
         ``wait()``.
+
+        ``payload_bytes`` is the optional pre-codec (logical) per-rank
+        payload size: codec layers pass it so the ledger can report the
+        measured compression factor alongside the encoded wire bytes.
         """
         self._check_ranks(arrays, "allreduce")
         nbytes = int(arrays[0].nbytes)
@@ -240,16 +249,28 @@ class Communicator:
                 self.world_size, nbytes, self._ring_link()
             ),
             tag=tag,
+            payload_bytes_per_rank=(
+                None
+                if payload_bytes is None
+                else coll.allreduce_wire_bytes(self.world_size, payload_bytes)
+            ),
         )
 
     def iallgather(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> WorkHandle:
         """Non-blocking allgather (allgatherv).
 
         Scratch: every rank must hold the **full gathered result** — the
         ``Θ(G·K·D)`` footprint that limits the baseline — until
         ``wait()``.
+
+        ``payload_bytes`` is the optional pre-codec (logical) max
+        per-rank contribution, recorded for measured-compression
+        reporting (see :meth:`iallreduce`).
         """
         self._check_ranks(arrays, "allgather")
         per_rank_bytes = [int(np.atleast_1d(a).nbytes) for a in arrays]
@@ -267,6 +288,11 @@ class Communicator:
                 self.world_size, max_contrib, self._ring_link()
             ),
             tag=tag,
+            payload_bytes_per_rank=(
+                None
+                if payload_bytes is None
+                else coll.allgather_wire_bytes(self.world_size, payload_bytes)
+            ),
         )
 
     def ibroadcast(
@@ -315,16 +341,22 @@ class Communicator:
     # ------------------------------------------------------------------
 
     def allreduce(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> list[np.ndarray]:
         """Sum-allreduce across ranks (ring algorithm cost model)."""
-        return self.iallreduce(arrays, tag=tag).wait()
+        return self.iallreduce(arrays, tag=tag, payload_bytes=payload_bytes).wait()
 
     def allgather(
-        self, arrays: Sequence[np.ndarray], tag: str = ""
+        self,
+        arrays: Sequence[np.ndarray],
+        tag: str = "",
+        payload_bytes: int | None = None,
     ) -> list[np.ndarray]:
         """Allgather (allgatherv) across ranks."""
-        return self.iallgather(arrays, tag=tag).wait()
+        return self.iallgather(arrays, tag=tag, payload_bytes=payload_bytes).wait()
 
     def broadcast(
         self, arrays: Sequence[np.ndarray], root: int = 0, tag: str = ""

@@ -144,15 +144,15 @@ class FailingCommunicator(Communicator):
     # the collective — so both the blocking calls (issue + wait) and the
     # async ``i*`` API observe it before any state is touched.
 
-    def iallreduce(self, arrays, tag=""):
+    def iallreduce(self, arrays, tag="", **kwargs):
         """Failure-checked non-blocking allreduce."""
         self._maybe_fail("allreduce")
-        return super().iallreduce(arrays, tag=tag)
+        return super().iallreduce(arrays, tag=tag, **kwargs)
 
-    def iallgather(self, arrays, tag=""):
+    def iallgather(self, arrays, tag="", **kwargs):
         """Failure-checked non-blocking allgather."""
         self._maybe_fail("allgather")
-        return super().iallgather(arrays, tag=tag)
+        return super().iallgather(arrays, tag=tag, **kwargs)
 
     def ibroadcast(self, arrays, root=0, tag=""):
         """Failure-checked non-blocking broadcast."""
@@ -460,15 +460,15 @@ class ChaosCommunicator(Communicator):
     # never records a ledger event, so a supervised retry sees clean
     # accounting.
 
-    def iallreduce(self, arrays, tag=""):
+    def iallreduce(self, arrays, tag="", **kwargs):
         """Plan-checked non-blocking allreduce."""
         self._consult("allreduce")
-        return super().iallreduce(arrays, tag=tag)
+        return super().iallreduce(arrays, tag=tag, **kwargs)
 
-    def iallgather(self, arrays, tag=""):
+    def iallgather(self, arrays, tag="", **kwargs):
         """Plan-checked non-blocking allgather."""
         self._consult("allgather")
-        return super().iallgather(arrays, tag=tag)
+        return super().iallgather(arrays, tag=tag, **kwargs)
 
     def ibroadcast(self, arrays, root=0, tag=""):
         """Plan-checked non-blocking broadcast."""

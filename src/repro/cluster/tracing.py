@@ -54,11 +54,25 @@ class CommEvent:
     scope: str = ""
     start_s: float = -1.0
     end_s: float = -1.0
+    payload_bytes_per_rank: int = -1
 
     @property
     def has_schedule(self) -> bool:
         """Whether this event was placed on a timeline."""
         return self.start_s >= 0.0 and self.end_s >= 0.0
+
+    @property
+    def logical_bytes_per_rank(self) -> int:
+        """Pre-codec payload bytes; equals wire bytes when not recorded.
+
+        A codec-encoded collective charges its *encoded* size as
+        ``wire_bytes_per_rank`` (that is what crosses the link) and
+        reports the original payload here, so the measured compression
+        factor is ``logical / wire``.
+        """
+        if self.payload_bytes_per_rank >= 0:
+            return self.payload_bytes_per_rank
+        return self.wire_bytes_per_rank
 
 
 @dataclass
@@ -77,11 +91,14 @@ class CostLedger:
         tag: str = "",
         start_s: float = -1.0,
         end_s: float = -1.0,
+        payload_bytes_per_rank: int | None = None,
     ) -> CommEvent:
         if wire_bytes_per_rank < 0:
             raise ValueError("wire_bytes_per_rank must be non-negative")
         if time_s < 0:
             raise ValueError("time_s must be non-negative")
+        if payload_bytes_per_rank is not None and payload_bytes_per_rank < 0:
+            raise ValueError("payload_bytes_per_rank must be non-negative")
         event = CommEvent(
             op=op,
             world=world,
@@ -91,6 +108,9 @@ class CostLedger:
             scope=self.current_scope,
             start_s=start_s,
             end_s=end_s,
+            payload_bytes_per_rank=(
+                -1 if payload_bytes_per_rank is None else payload_bytes_per_rank
+            ),
         )
         self.events.append(event)
         return event
@@ -185,6 +205,24 @@ class CostLedger:
         for e in self.events:
             out[e.scope] += e.time_s
         return dict(out)
+
+    def compression_factor(self, tag_contains: str = "") -> float:
+        """Measured byte reduction, ``logical / wire``, over matching events.
+
+        Filters to events whose tag contains ``tag_contains`` (all
+        events by default).  1.0 means nothing was compressed — events
+        recorded without an explicit payload count as uncompressed.
+        This is the *measured*, data-dependent figure, as opposed to a
+        codec's nominal :func:`~repro.core.compression.wire_bytes_ratio`.
+        """
+        wire = logical = 0
+        for e in self.events:
+            if tag_contains in e.tag:
+                wire += e.wire_bytes_per_rank
+                logical += e.logical_bytes_per_rank
+        if wire == 0:
+            return 1.0
+        return logical / wire
 
     def reset(self) -> None:
         """Drop all events (scope stack is preserved)."""

@@ -3,7 +3,9 @@
 Uniqueness (III-A) turns the Θ(G·K·D) embedding-gradient ALLGATHER into
 Θ(G·K + Ug·D); seeding (III-B) restores sampled-softmax overlap so the
 output embedding enjoys the same reduction; compression (III-C) halves
-wire volume with FP16 + compression-scaling.
+wire volume with FP16 + compression-scaling.  The :mod:`repro.core.wire`
+package generalizes III-C into a pluggable codec stack, adding lossless
+delta-bitpack/run-length frame codecs for the Θ(G·K) index gather.
 """
 
 from .bucketing import Bucket, bucketed_allreduce, plan_buckets
@@ -34,6 +36,19 @@ from .seeding import (
 )
 from .sparse_exchange import AllGatherExchange, ExchangeStrategy, UniqueExchange
 from .unique import UniqueExchangeResult, local_unique_reduce, unique_exchange
+from .wire import (
+    AdaptiveCodecSelector,
+    CodecPipeline,
+    DeltaBitpackCodec,
+    LosslessIntCodec,
+    RunLengthCodec,
+    WirePolicy,
+    available_codecs,
+    decode_frames,
+    iencoded_allgather,
+    make_codec,
+    register_codec,
+)
 
 __all__ = [
     "Bucket",
@@ -70,4 +85,15 @@ __all__ = [
     "UniqueExchangeResult",
     "unique_exchange",
     "local_unique_reduce",
+    "AdaptiveCodecSelector",
+    "CodecPipeline",
+    "DeltaBitpackCodec",
+    "LosslessIntCodec",
+    "RunLengthCodec",
+    "WirePolicy",
+    "available_codecs",
+    "decode_frames",
+    "iencoded_allgather",
+    "make_codec",
+    "register_codec",
 ]

@@ -28,6 +28,15 @@ _FP16_MAX = FP16_MAX
 class WireCodec:
     """Interface: encode an array for the wire, decode on receipt."""
 
+    #: True when ``decode(encode(x))`` is bit-exact for every valid
+    #: input (the lossless integer codecs of :mod:`repro.core.wire`).
+    lossless: bool = False
+
+    #: True when the encoded size depends on the payload's *values*
+    #: rather than only its dtype/shape — such codecs have no constant
+    #: wire ratio and :func:`wire_bytes_ratio` needs a sample.
+    data_dependent: bool = False
+
     def encode(self, arr: np.ndarray) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
@@ -37,6 +46,14 @@ class WireCodec:
     @property
     def name(self) -> str:
         return type(self).__name__
+
+    def wire_dtype(self, dtype: np.dtype) -> np.dtype | None:
+        """Dtype of ``encode`` output for a ``dtype`` input; None if unknown.
+
+        Lets :class:`repro.core.wire.registry.CodecPipeline` chain
+        decodes without materializing intermediate arrays first.
+        """
+        return None
 
 
 @dataclass(frozen=True)
@@ -48,6 +65,15 @@ class IdentityCodec(WireCodec):
 
     def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
         return arr.astype(dtype, copy=False)
+
+    @property
+    def name(self) -> str:
+        """Stable short name for registries and cost tables."""
+        return "identity"
+
+    def wire_dtype(self, dtype: np.dtype) -> np.dtype | None:
+        """Pass-through: the wire dtype is the input dtype."""
+        return np.dtype(dtype)
 
 
 @dataclass(frozen=True)
@@ -81,11 +107,42 @@ class Fp16Codec(WireCodec):
             raise ValueError("expected an FP16 wire tensor")
         return (arr.astype(dtype) / self.scale).astype(dtype, copy=False)
 
+    @property
+    def name(self) -> str:
+        """Stable short name for registries and cost tables."""
+        return "fp16"
 
-def wire_bytes_ratio(codec: WireCodec, dtype: np.dtype = np.dtype(np.float32)) -> float:
-    """Wire-bytes fraction relative to sending raw ``dtype`` tensors.
+    def wire_dtype(self, dtype: np.dtype) -> np.dtype | None:
+        """Everything leaves as FP16."""
+        return np.dtype(np.float16)
 
-    0.5 for FP16 over FP32 — the paper's "reduces communication by 50%".
+
+def wire_bytes_ratio(
+    codec: WireCodec,
+    dtype: np.dtype = np.dtype(np.float32),
+    sample: np.ndarray | None = None,
+) -> float:
+    """Wire-bytes fraction relative to sending raw tensors.
+
+    For dtype-determined codecs (identity, FP16) the ratio is a constant
+    of the formats — 0.5 for FP16 over FP32, the paper's "reduces
+    communication by 50%" — and a 1-element probe suffices.
+
+    For *data-dependent* codecs (the lossless integer codecs of
+    :mod:`repro.core.wire`) there is no constant: a sorted Zipf index
+    vector may shrink 8x while adversarial data hits the raw-fallback
+    bound.  Pass a representative ``sample`` and the **measured** ratio
+    ``encode(sample).nbytes / sample.nbytes`` is returned; calling
+    without one raises instead of reporting a fictitious constant.
     """
+    if sample is not None:
+        if sample.size == 0:
+            raise ValueError("sample must be non-empty to measure a ratio")
+        return codec.encode(sample).nbytes / sample.nbytes
+    if getattr(codec, "data_dependent", False):
+        raise ValueError(
+            f"codec {codec.name!r} has a data-dependent wire ratio; pass "
+            "a representative sample array to measure it"
+        )
     probe = np.zeros(1, dtype=dtype)
     return codec.encode(probe).itemsize / probe.itemsize

@@ -37,6 +37,7 @@ from ..nn.module import Module
 from ..nn.parameter import Parameter, SparseGrad
 from .compression import WireCodec
 from .sparse_exchange import AllGatherExchange, ExchangeStrategy
+from .wire.policy import WirePolicy
 
 __all__ = ["GradientSynchronizer", "concat_token_grads"]
 
@@ -71,6 +72,11 @@ class GradientSynchronizer:
         "enable the paper's technique" is an explicit, visible choice).
     codec:
         Optional wire codec also applied to dense allreduce traffic.
+    wire:
+        Optional :class:`~repro.core.wire.policy.WirePolicy`.  When
+        ``codec`` is None its value codec (fixed or adaptively selected
+        per message) covers the dense allreduces; the sparse strategies
+        carry their own reference to the same policy for index traffic.
     average:
         Divide the summed gradient by world size (mean-of-means).  On by
         default; turn off for sum semantics.
@@ -95,10 +101,12 @@ class GradientSynchronizer:
         average: bool = True,
         overlap: bool = False,
         on_issue: Callable[[str], None] | None = None,
+        wire: WirePolicy | None = None,
     ):
         self.comm = comm
         self.strategy = strategy if strategy is not None else AllGatherExchange()
         self.codec = codec
+        self.wire = wire
         self.average = average
         self.overlap = overlap
         self.on_issue = on_issue
@@ -112,16 +120,21 @@ class GradientSynchronizer:
             if p.grad is None:
                 raise ValueError(f"{tag}: rank missing dense grad")
             grads.append(p.grad)
-        if self.codec is not None:
-            wire = [self.codec.encode(g) for g in grads]
-            handle = self.comm.iallreduce(wire, tag=tag)
+        codec = self.codec
+        if codec is None and self.wire is not None:
+            codec = self.wire.resolve_value_codec(grads, self.comm)
+        if codec is not None:
+            encoded = [codec.encode(g) for g in grads]
+            handle = self.comm.iallreduce(
+                encoded, tag=tag, payload_bytes=grads[0].nbytes
+            )
         else:
             handle = self.comm.iallreduce(grads, tag=tag)
 
         def finish() -> None:
             reduced = handle.wait()[0]
-            if self.codec is not None:
-                reduced = self.codec.decode(reduced, grads[0].dtype)
+            if codec is not None:
+                reduced = codec.decode(reduced, grads[0].dtype)
             if self.average:
                 reduced = reduced / self.comm.world_size
             for p in params:

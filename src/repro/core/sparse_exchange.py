@@ -15,7 +15,10 @@ invariant).
   to :func:`repro.core.unique.unique_exchange`: Θ(G·K + Ug·D).
 
 Either can carry a :class:`~repro.core.compression.WireCodec` to apply
-the Section III-C FP16 compression to the value traffic.
+the Section III-C FP16 compression to the value traffic, and/or a
+:class:`~repro.core.wire.policy.WirePolicy` routing the index gather
+through the lossless frame codecs of :mod:`repro.core.wire` (so the
+Θ(G·K) index traffic is charged at its *encoded* size).
 
 Each strategy also exposes :meth:`ExchangeStrategy.iexchange`, the
 non-blocking form used by the overlapped synchronizer: it *issues* every
@@ -35,6 +38,8 @@ from ..cluster.communicator import Communicator
 from ..nn.parameter import SparseGrad
 from .compression import WireCodec
 from .unique import iunique_exchange
+from .wire.policy import WirePolicy
+from .wire.transfer import iencoded_allgather
 
 __all__ = [
     "AllGatherExchange",
@@ -96,8 +101,13 @@ class AllGatherExchange(ExchangeStrategy):
 
     name = "allgather"
 
-    def __init__(self, codec: WireCodec | None = None):
+    def __init__(
+        self,
+        codec: WireCodec | None = None,
+        wire: WirePolicy | None = None,
+    ):
         self.codec = codec
+        self.wire = wire
 
     def iexchange(
         self, comm: Communicator, grads: list[SparseGrad], tag: str = "embedding"
@@ -119,18 +129,44 @@ class AllGatherExchange(ExchangeStrategy):
         if len(dims) != 1:
             raise ValueError(f"inconsistent gradient dims across ranks: {dims}")
 
-        idx_handle = comm.iallgather(
-            [g.indices.astype(np.int64) for g in grads], tag=f"{tag}:indices"
+        index_vectors = [g.indices.astype(np.int64) for g in grads]
+        # The baseline pairs index order with value rows, so the index
+        # vectors must cross the wire unsorted (sorted_payload=False
+        # makes the adaptive estimate honest about that).
+        index_codec = (
+            None
+            if self.wire is None
+            else self.wire.resolve_index_codec(
+                index_vectors, comm, sorted_payload=False
+            )
         )
+        if index_codec is not None:
+            idx_handle = iencoded_allgather(
+                comm,
+                index_vectors,
+                index_codec,
+                tag=f"{tag}:indices",
+                chunk_bytes=self.wire.chunk_bytes,
+                charge_compute=self.wire.charge_codec_compute,
+            )
+        else:
+            idx_handle = comm.iallgather(index_vectors, tag=f"{tag}:indices")
 
         def finish() -> list[SparseGrad]:
             gathered_idx = idx_handle.wait()
-            if self.codec is not None:
-                wire = [self.codec.encode(g.values) for g in grads]
-                gathered_val = comm.iallgather(wire, tag=f"{tag}:values").wait()
-                values = self.codec.decode(
-                    gathered_val[0], grads[0].values.dtype
+            codec = self.codec
+            if codec is None and self.wire is not None:
+                codec = self.wire.resolve_value_codec(
+                    [g.values for g in grads], comm
                 )
+            if codec is not None:
+                encoded = [codec.encode(g.values) for g in grads]
+                gathered_val = comm.iallgather(
+                    encoded,
+                    tag=f"{tag}:values",
+                    payload_bytes=max(g.values.nbytes for g in grads),
+                ).wait()
+                values = codec.decode(gathered_val[0], grads[0].values.dtype)
             else:
                 gathered_val = comm.iallgather(
                     [g.values for g in grads], tag=f"{tag}:values"
@@ -148,14 +184,21 @@ class UniqueExchange(ExchangeStrategy):
 
     name = "unique"
 
-    def __init__(self, codec: WireCodec | None = None):
+    def __init__(
+        self,
+        codec: WireCodec | None = None,
+        wire: WirePolicy | None = None,
+    ):
         self.codec = codec
+        self.wire = wire
 
     def iexchange(
         self, comm: Communicator, grads: list[SparseGrad], tag: str = "embedding"
     ) -> PendingSparseExchange:
         """Issue the index allgather now; the value allreduce at wait."""
-        pending = iunique_exchange(comm, grads, tag=tag, codec=self.codec)
+        pending = iunique_exchange(
+            comm, grads, tag=tag, codec=self.codec, wire=self.wire
+        )
 
         def finish() -> list[SparseGrad]:
             sparse = pending.wait().as_sparse_grad()

@@ -30,6 +30,8 @@ import numpy as np
 from ..cluster.communicator import Communicator
 from ..nn.parameter import SparseGrad
 from .compression import WireCodec
+from .wire.policy import WirePolicy
+from .wire.transfer import iencoded_allgather
 
 __all__ = [
     "PendingUniqueExchange",
@@ -103,6 +105,7 @@ class PendingUniqueExchange:
         index_handle,
         tag: str,
         codec: WireCodec | None,
+        wire: WirePolicy | None = None,
     ):
         self._comm = comm
         self._grads = grads
@@ -110,6 +113,7 @@ class PendingUniqueExchange:
         self._index_handle = index_handle
         self._tag = tag
         self._codec = codec
+        self._wire = wire
         self._result: UniqueExchangeResult | None = None
 
     def is_complete(self) -> bool:
@@ -142,13 +146,19 @@ class PendingUniqueExchange:
             scattered.append(m)
 
         # Step 6: allreduce the aligned Ug x D matrices (optionally in
-        # the codec's wire precision).
-        if self._codec is not None:
-            encoded = [self._codec.encode(m) for m in scattered]
+        # the codec's wire precision).  An explicit codec wins; else the
+        # wire policy may resolve one per message (``auto``).
+        codec = self._codec
+        if codec is None and self._wire is not None:
+            codec = self._wire.resolve_value_codec(scattered, self._comm)
+        if codec is not None:
+            encoded = [codec.encode(m) for m in scattered]
             reduced_wire = self._comm.iallreduce(
-                encoded, tag=f"{self._tag}:values"
+                encoded,
+                tag=f"{self._tag}:values",
+                payload_bytes=scattered[0].nbytes,
             ).wait()[0]
-            reduced = self._codec.decode(reduced_wire, dtype)
+            reduced = codec.decode(reduced_wire, dtype)
         else:
             reduced = self._comm.iallreduce(
                 scattered, tag=f"{self._tag}:values"
@@ -167,6 +177,7 @@ def iunique_exchange(
     grads: list[SparseGrad],
     tag: str = "embedding",
     codec: WireCodec | None = None,
+    wire: WirePolicy | None = None,
 ) -> PendingUniqueExchange:
     """Start a unique exchange without blocking on its collectives.
 
@@ -174,6 +185,14 @@ def iunique_exchange(
     rest (steps 4-6) runs when :meth:`PendingUniqueExchange.wait` is
     called.  Parameters are as for :func:`unique_exchange`, which is
     equivalent to ``iunique_exchange(...).wait()``.
+
+    When ``wire`` carries (or adaptively selects) an index codec, the
+    step-3 vectors are sorted per rank and shipped as lossless frames
+    through :func:`~repro.core.wire.transfer.iencoded_allgather` — the
+    step-4 ``np.unique`` is order-insensitive, so pre-sorting is free
+    semantically and is exactly what makes consecutive deltas small.
+    The ledger then charges the *encoded* bytes for the Θ(G·K) gather
+    instead of ``8·K`` per rank.
     """
     if len(grads) != comm.world_size:
         raise ValueError(
@@ -189,10 +208,26 @@ def iunique_exchange(
     # Step 3 issues: allgather the raw K-length index vectors.  The
     # paper gathers token-level J (not Ĵ) — cost Θ(G·K) — so we do the
     # same.
-    index_handle = comm.iallgather(
-        [g.indices.astype(np.int64) for g in grads], tag=f"{tag}:indices"
+    index_vectors = [g.indices.astype(np.int64) for g in grads]
+    index_codec = (
+        None
+        if wire is None
+        else wire.resolve_index_codec(index_vectors, comm, sorted_payload=True)
     )
-    return PendingUniqueExchange(comm, grads, local, index_handle, tag, codec)
+    if index_codec is not None:
+        index_handle = iencoded_allgather(
+            comm,
+            [np.sort(v) for v in index_vectors],
+            index_codec,
+            tag=f"{tag}:indices",
+            chunk_bytes=wire.chunk_bytes,
+            charge_compute=wire.charge_codec_compute,
+        )
+    else:
+        index_handle = comm.iallgather(index_vectors, tag=f"{tag}:indices")
+    return PendingUniqueExchange(
+        comm, grads, local, index_handle, tag, codec, wire=wire
+    )
 
 
 def unique_exchange(
@@ -200,6 +235,7 @@ def unique_exchange(
     grads: list[SparseGrad],
     tag: str = "embedding",
     codec: WireCodec | None = None,
+    wire: WirePolicy | None = None,
 ) -> UniqueExchangeResult:
     """Run the full 7-step exchange over per-rank sparse gradients.
 
@@ -216,7 +252,13 @@ def unique_exchange(
         Optional wire codec (Section III-C compression): the aligned
         value matrices are encoded before the ALLREDUCE — summation then
         happens on-wire in the encoded precision, as NCCL's FP16
-        allreduce does — and decoded after.  Index traffic stays int64.
+        allreduce does — and decoded after.  Index traffic stays int64
+        unless ``wire`` routes it through a lossless frame codec.
+    wire:
+        Optional :class:`~repro.core.wire.policy.WirePolicy` governing
+        both collectives: its index codec (fixed or adaptively selected)
+        compresses the step-3 gather, and its value codec fills in when
+        ``codec`` is None.
 
     Returns
     -------
@@ -232,4 +274,4 @@ def unique_exchange(
     between issue and wait — so the two paths share one implementation
     and stay bit-identical.
     """
-    return iunique_exchange(comm, grads, tag=tag, codec=codec).wait()
+    return iunique_exchange(comm, grads, tag=tag, codec=codec, wire=wire).wait()

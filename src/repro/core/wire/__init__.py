@@ -1,0 +1,63 @@
+"""Pluggable wire-compression stack for the simulated comm layer.
+
+Generalizes the single §III-C :class:`~repro.core.compression.Fp16Codec`
+into a registry of codecs with distinct roles:
+
+* :mod:`~repro.core.wire.codecs` — lossless, self-delimiting integer
+  frame codecs (delta-bitpack, run-length) for the uniqueness
+  exchange's Θ(G·K) index ALLGATHER;
+* :mod:`~repro.core.wire.registry` — name -> codec factories and the
+  composable :class:`CodecPipeline`;
+* :mod:`~repro.core.wire.cost` — per-codec throughput constants and the
+  compression crossover inequality;
+* :mod:`~repro.core.wire.adaptive` — per-message codec selection from
+  size, dtype, and a sampled compressibility estimate;
+* :mod:`~repro.core.wire.transfer` — the chunked encoded allgather that
+  pipelines encode/transmit/decode on the two-stream timeline;
+* :mod:`~repro.core.wire.policy` — the :class:`WirePolicy` object the
+  trainer/CLI hand down (``--wire-codec``, ``--wire-chunk-bytes``).
+
+See ``docs/COMPRESSION.md`` for the codec zoo and the cost model.
+"""
+
+from .adaptive import AdaptiveCodecSelector
+from .codecs import (
+    DELTA_BLOCK,
+    FRAME_HEADER_BYTES,
+    DeltaBitpackCodec,
+    LosslessIntCodec,
+    RunLengthCodec,
+    decode_frames,
+)
+from .cost import (
+    DEFAULT_CODEC_THROUGHPUTS,
+    CodecThroughput,
+    codec_throughput,
+    compressed_transfer_seconds,
+    compression_wins,
+)
+from .policy import WirePolicy
+from .registry import CodecPipeline, available_codecs, make_codec, register_codec
+from .transfer import PendingEncodedGather, iencoded_allgather
+
+__all__ = [
+    "AdaptiveCodecSelector",
+    "CodecPipeline",
+    "CodecThroughput",
+    "DEFAULT_CODEC_THROUGHPUTS",
+    "DELTA_BLOCK",
+    "DeltaBitpackCodec",
+    "FRAME_HEADER_BYTES",
+    "LosslessIntCodec",
+    "PendingEncodedGather",
+    "RunLengthCodec",
+    "WirePolicy",
+    "available_codecs",
+    "codec_throughput",
+    "compressed_transfer_seconds",
+    "compression_wins",
+    "decode_frames",
+    "iencoded_allgather",
+    "make_codec",
+    "register_codec",
+]

@@ -1,0 +1,387 @@
+"""Lossless integer codecs for the index ALLGATHER wire format.
+
+The paper's §III-C compression halves *value* traffic with FP16, but the
+Θ(G·K) index ALLGATHER of the uniqueness exchange (§III-A) still ships
+raw int64 word indices.  Sorted unique Zipf indices are extremely
+compressible: consecutive deltas are tiny (most fit in a few bits) and
+dense index ranges collapse into runs.  The codecs here exploit exactly
+that, with **bit-exact** roundtrip guarantees — ``decode(encode(x))``
+equals ``x`` bit for bit, for any 1-D int32/int64 input, sorted or not.
+
+Frame format
+------------
+Every ``encode`` produces a *self-delimiting* uint8 frame::
+
+    byte 0      frame kind (1 = raw, 2 = delta-bitpack, 3 = run-length)
+    byte 1      dtype code (0 = int32, 1 = int64)
+    bytes 2-9   element count n (u64, little-endian)
+    payload     kind-specific, parseable given the header
+
+Self-delimitation is what makes the codecs compose with allgatherv
+semantics: the collective concatenates per-rank frames into one uint8
+buffer, and :func:`decode_frames` walks the frames back out — so the
+decoded result is exactly the rank-order concatenation of the original
+per-rank vectors, with per-rank boundaries preserved.
+
+Payloads
+--------
+* **raw** — the input bytes verbatim (little-endian).  Every codec falls
+  back to a raw frame when its encoding would not beat it, which yields
+  the hard bound ``encoded_nbytes <= raw_nbytes + FRAME_HEADER_BYTES``.
+* **delta-bitpack** — block size as 4 bytes, first value as 8 bytes,
+  then the zigzag-encoded deltas of consecutive elements, bit-packed in
+  blocks whose width is chosen from each block's largest delta.  The
+  block size rides in the payload so frames decode regardless of which
+  ``DeltaBitpackCodec(block=...)`` produced them.  Deltas are taken in
+  modular uint64 arithmetic, so unsorted inputs and maximal-span int64
+  pairs (``[int64.min, int64.max]``) roundtrip exactly.
+* **run-length** — ``(start, length)`` pairs for maximal runs of
+  consecutive ``+1`` increments; ideal for dense index ranges.
+
+Neither codec sorts: both are order-preserving, and the *caller* decides
+whether sorting is safe (the unique exchange sorts before encoding
+because ``np.unique`` downstream is order-insensitive; the baseline
+allgather must not, since index order pairs with value rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compression import WireCodec
+
+__all__ = [
+    "DELTA_BLOCK",
+    "FRAME_HEADER_BYTES",
+    "DeltaBitpackCodec",
+    "LosslessIntCodec",
+    "RunLengthCodec",
+    "decode_frames",
+]
+
+#: Bytes of the per-frame header (kind + dtype code + element count).
+FRAME_HEADER_BYTES = 10
+
+#: Deltas per bit-packing block; each block stores one width byte.
+#: Small blocks adapt the width to Zipf's skew — a sorted word-LM index
+#: vector packs its dense head at a few bits while the sparse tail's
+#: huge deltas stay confined to their own blocks.  128 roughly doubles
+#: the measured reduction on 1B-Word-shaped payloads vs 1024, at less
+#: than 1% width-byte overhead.
+DELTA_BLOCK = 128
+
+_KIND_RAW = 1
+_KIND_DELTA = 2
+_KIND_RLE = 3
+
+_DTYPE_CODES = {np.dtype(np.int32): 0, np.dtype(np.int64): 1}
+_CODE_DTYPES = {code: dt for dt, code in _DTYPE_CODES.items()}
+
+_U64_ONE = np.uint64(1)
+_U64_ZERO = np.uint64(0)
+_U64_ALL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _check_input(arr: np.ndarray) -> np.dtype:
+    """Validate a codec input; return its dtype."""
+    if not isinstance(arr, np.ndarray):
+        raise ValueError(f"codec input must be an ndarray, got {type(arr).__name__}")
+    if arr.ndim != 1:
+        raise ValueError(f"index codecs take 1-D arrays, got shape {arr.shape}")
+    if arr.dtype not in _DTYPE_CODES:
+        raise ValueError(
+            f"index codecs take int32/int64 arrays, got {arr.dtype}"
+        )
+    return arr.dtype
+
+
+def _header(kind: int, dtype: np.dtype, n: int) -> bytes:
+    return bytes([kind, _DTYPE_CODES[dtype]]) + int(n).to_bytes(8, "little")
+
+
+def _zigzag(signed: np.ndarray) -> np.ndarray:
+    """Map int64 to uint64 so small-magnitude values get small codes."""
+    u = signed.view(np.uint64)
+    mask = np.where(signed < 0, _U64_ALL, _U64_ZERO)
+    return (u << _U64_ONE) ^ mask
+
+
+def _unzigzag(zz: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_zigzag`; returns the uint64 bit pattern."""
+    mask = _U64_ZERO - (zz & _U64_ONE)
+    return (zz >> _U64_ONE) ^ mask
+
+
+def _pack_low_bits(vals: np.ndarray, width: int) -> np.ndarray:
+    """Pack the low ``width`` bits of each uint64 into a byte stream."""
+    bits = np.unpackbits(
+        vals.astype(">u8", copy=False).view(np.uint8).reshape(-1, 8), axis=1
+    )
+    return np.packbits(bits[:, 64 - width:])
+
+
+def _unpack_low_bits(buf: np.ndarray, n: int, width: int) -> np.ndarray:
+    """Inverse of :func:`_pack_low_bits` for ``n`` packed values."""
+    if width == 0:
+        return np.zeros(n, dtype=np.uint64)
+    bits = np.unpackbits(buf, count=n * width).reshape(n, width)
+    full = np.zeros((n, 64), dtype=np.uint8)
+    full[:, 64 - width:] = bits
+    return np.packbits(full.reshape(-1)).view(">u8").astype(np.uint64)
+
+
+def _modular_deltas(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(int64 view of the values, zigzagged modular consecutive deltas)."""
+    v = np.ascontiguousarray(arr.astype(np.int64, copy=False))
+    u = v.view(np.uint64)
+    du = u[1:] - u[:-1]  # wraps mod 2**64: exact for any int64 span
+    return v, _zigzag(du.view(np.int64))
+
+
+def _frame_bytes(kind: int, dtype: np.dtype, n: int, payload: bytes) -> np.ndarray:
+    return np.frombuffer(_header(kind, dtype, n) + payload, dtype=np.uint8)
+
+
+def _raw_frame(arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    payload = np.ascontiguousarray(arr, dtype=dtype.newbyteorder("<")).tobytes()
+    return _frame_bytes(_KIND_RAW, dtype, arr.size, payload)
+
+
+class LosslessIntCodec(WireCodec):
+    """Base class for the self-delimiting lossless integer codecs.
+
+    Subclasses implement ``encode``; ``decode`` is shared because every
+    frame carries its own kind byte — a buffer may even mix frames from
+    different codecs (as a chunked or mixed-codec gather produces).
+    """
+
+    #: Roundtrip is bit-exact; the sanitizer can verify it cheaply.
+    lossless = True
+    #: Encoded size depends on the data, not just the dtype.
+    data_dependent = True
+
+    def decode(self, arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Decode a (possibly multi-frame) uint8 buffer back to indices."""
+        return decode_frames(arr, dtype)
+
+    def wire_dtype(self, dtype: np.dtype) -> np.dtype:
+        """Frames are always byte streams."""
+        return np.dtype(np.uint8)
+
+
+class DeltaBitpackCodec(LosslessIntCodec):
+    """Sort-free delta + per-block bit-packing (the unique-index codec).
+
+    Encodes consecutive differences (zigzagged, modular-uint64) with a
+    per-block bit width chosen from the block's largest delta, so sorted
+    Zipf index vectors — whose deltas are overwhelmingly tiny — pack
+    into a few bits per index instead of 64.  Falls back to a raw frame
+    whenever packing would not beat the input bytes.
+
+    Parameters
+    ----------
+    block:
+        Deltas per packing block (one width byte each).  Smaller blocks
+        adapt faster to mixed-magnitude deltas at one byte per block of
+        overhead.
+    """
+
+    def __init__(self, block: int = DELTA_BLOCK):
+        if block <= 0:
+            raise ValueError("block must be positive")
+        self.block = int(block)
+
+    @property
+    def name(self) -> str:
+        """Short stable name used in registries and ledger scopes."""
+        return "delta"
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        """Encode one index vector into a self-delimiting uint8 frame."""
+        dtype = _check_input(arr)
+        n = arr.size
+        if n == 0:
+            return _frame_bytes(_KIND_DELTA, dtype, 0, b"")
+        v, zz = _modular_deltas(arr)
+        chunks: list[bytes] = [
+            int(self.block).to_bytes(4, "little"),
+            np.array([v[0]], dtype="<i8").tobytes(),
+        ]
+        for start in range(0, zz.size, self.block):
+            blk = zz[start:start + self.block]
+            width = int(blk.max()).bit_length()
+            chunks.append(bytes([width]))
+            if width:
+                chunks.append(_pack_low_bits(blk, width).tobytes())
+        payload = b"".join(chunks)
+        if len(payload) >= arr.nbytes:
+            return _raw_frame(arr, dtype)
+        return _frame_bytes(_KIND_DELTA, dtype, n, payload)
+
+    def estimate_nbytes(self, arr: np.ndarray, sample: int = 1024) -> int:
+        """Cheap encoded-size estimate from a strided sorted sample.
+
+        Used by the adaptive selector's crossover model.  Sampling every
+        ``stride``-th element of the sorted input multiplies typical
+        deltas by ``stride``, so the estimate is conservative (it
+        over-states the encoded size); the hard raw-fallback bound caps
+        it either way.
+        """
+        _check_input(arr)
+        if arr.size <= 1:
+            return FRAME_HEADER_BYTES + arr.nbytes
+        stride = max(1, arr.size // sample)
+        probe = np.sort(arr[::stride])
+        est = self.encode(probe).size / probe.size * arr.size
+        return int(min(est, FRAME_HEADER_BYTES + arr.nbytes))
+
+
+class RunLengthCodec(LosslessIntCodec):
+    """Run-length codec for contiguous index ranges.
+
+    Encodes maximal runs of consecutive ``+1`` increments as
+    ``(start, length)`` pairs — 16 bytes per run regardless of run
+    length, so dense index ranges (e.g. a saturated vocabulary head)
+    collapse to almost nothing.  Falls back to a raw frame when the
+    input is run-poor.
+    """
+
+    @property
+    def name(self) -> str:
+        """Short stable name used in registries and ledger scopes."""
+        return "rle"
+
+    def encode(self, arr: np.ndarray) -> np.ndarray:
+        """Encode one index vector into a self-delimiting uint8 frame."""
+        dtype = _check_input(arr)
+        n = arr.size
+        if n == 0:
+            return _frame_bytes(_KIND_RLE, dtype, 0, b"")
+        v = np.ascontiguousarray(arr.astype(np.int64, copy=False))
+        u = v.view(np.uint64)
+        breaks = np.flatnonzero((u[1:] - u[:-1]) != _U64_ONE)
+        run_starts = np.concatenate(([0], breaks + 1))
+        run_lengths = np.diff(np.concatenate((run_starts, [n])))
+        n_runs = run_starts.size
+        payload_size = 8 + 16 * n_runs
+        if payload_size >= arr.nbytes:
+            return _raw_frame(arr, dtype)
+        payload = (
+            int(n_runs).to_bytes(8, "little")
+            + v[run_starts].astype("<i8", copy=False).tobytes()
+            + run_lengths.astype("<u8").tobytes()
+        )
+        return _frame_bytes(_KIND_RLE, dtype, n, payload)
+
+    def estimate_nbytes(self, arr: np.ndarray, sample: int = 1024) -> int:
+        """Cheap encoded-size estimate from a contiguous prefix slice.
+
+        A strided sample would destroy runs, so the run density is
+        measured on ``arr[:sample]`` and extrapolated.
+        """
+        _check_input(arr)
+        if arr.size <= 1:
+            return FRAME_HEADER_BYTES + arr.nbytes
+        probe = np.sort(arr[: int(sample)])
+        est = self.encode(probe).size / probe.size * arr.size
+        return int(min(est, FRAME_HEADER_BYTES + arr.nbytes))
+
+
+def _decode_delta_payload(
+    raw: bytes, offset: int, n: int
+) -> tuple[np.ndarray, int]:
+    """Decode a delta-bitpack payload; return (uint64 values, new offset)."""
+    block = int.from_bytes(raw[offset:offset + 4], "little")
+    offset += 4
+    if block <= 0:
+        raise ValueError(f"corrupt delta frame: block size {block}")
+    first = np.frombuffer(raw, dtype="<i8", count=1, offset=offset)
+    offset += 8
+    deltas = np.empty(n - 1, dtype=np.uint64)
+    done = 0
+    while done < n - 1:
+        blk_n = min(block, n - 1 - done)
+        width = raw[offset]
+        offset += 1
+        nbytes = (blk_n * width + 7) // 8
+        packed = np.frombuffer(raw, dtype=np.uint8, count=nbytes, offset=offset)
+        offset += nbytes
+        deltas[done:done + blk_n] = _unpack_low_bits(packed, blk_n, width)
+        done += blk_n
+    u = np.empty(n, dtype=np.uint64)
+    u[0] = first.astype(np.int64)[0:1].view(np.uint64)[0]
+    if n > 1:
+        np.cumsum(_unzigzag(deltas), out=u[1:])
+        u[1:] += u[0]
+    return u, offset
+
+
+def _decode_rle_payload(raw: bytes, offset: int, n: int) -> tuple[np.ndarray, int]:
+    """Decode a run-length payload; return (uint64 values, new offset)."""
+    n_runs = int.from_bytes(raw[offset:offset + 8], "little")
+    offset += 8
+    starts = np.frombuffer(raw, dtype="<i8", count=n_runs, offset=offset)
+    offset += 8 * n_runs
+    lengths = np.frombuffer(raw, dtype="<u8", count=n_runs, offset=offset)
+    offset += 8 * n_runs
+    su = starts.astype(np.int64).view(np.uint64)
+    lu = lengths.astype(np.uint64)
+    steps = np.ones(n, dtype=np.uint64)
+    steps[0] = su[0]
+    if n_runs > 1:
+        firsts = np.cumsum(lu)[:-1].astype(np.intp)
+        steps[firsts] = su[1:] - (su[:-1] + lu[:-1] - _U64_ONE)
+    return np.cumsum(steps), offset
+
+
+def decode_frames(arr: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Decode a concatenation of frames back into one index vector.
+
+    ``arr`` is the uint8 buffer an allgather of per-rank frames yields;
+    the result is the rank-order concatenation of the original vectors.
+    ``dtype`` must match the dtype recorded in every frame — a mismatch
+    means the caller lost track of what was encoded, which is an error,
+    not a cast.
+    """
+    if arr.dtype != np.uint8:
+        raise ValueError(f"expected a uint8 frame buffer, got {arr.dtype}")
+    want = np.dtype(dtype)
+    if want not in _DTYPE_CODES:
+        raise ValueError(f"frames hold int32/int64 indices, not {want}")
+    raw = arr.tobytes()
+    parts: list[np.ndarray] = []
+    offset = 0
+    while offset < len(raw):
+        if offset + FRAME_HEADER_BYTES > len(raw):
+            raise ValueError("truncated frame header")
+        kind = raw[offset]
+        frame_dtype = _CODE_DTYPES.get(raw[offset + 1])
+        if frame_dtype is None:
+            raise ValueError(f"unknown frame dtype code {raw[offset + 1]}")
+        if frame_dtype != want:
+            raise ValueError(
+                f"frame holds {frame_dtype} but decode asked for {want}"
+            )
+        n = int.from_bytes(raw[offset + 2:offset + 10], "little")
+        offset += FRAME_HEADER_BYTES
+        if n == 0:
+            parts.append(np.zeros(0, dtype=want))
+            continue
+        if kind == _KIND_RAW:
+            count_bytes = n * want.itemsize
+            vals = np.frombuffer(
+                raw, dtype=want.newbyteorder("<"), count=n, offset=offset
+            ).astype(want, copy=False)
+            offset += count_bytes
+        elif kind == _KIND_DELTA:
+            u, offset = _decode_delta_payload(raw, offset, n)
+            vals = u.view(np.int64).astype(want, copy=False)
+        elif kind == _KIND_RLE:
+            u, offset = _decode_rle_payload(raw, offset, n)
+            vals = u.view(np.int64).astype(want, copy=False)
+        else:
+            raise ValueError(f"unknown frame kind {kind}")
+        parts.append(np.ascontiguousarray(vals))
+    if not parts:
+        return np.zeros(0, dtype=want)
+    return np.concatenate(parts)

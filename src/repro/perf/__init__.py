@@ -2,6 +2,13 @@
 iteration/epoch time, speedup and efficiency arithmetic."""
 
 from .calibration import CalibrationResult, calibrate_workload
+from .codec_model import (
+    CodecThroughput,
+    calibrate_codec_throughput,
+    pipelined_transfer_time,
+    serial_transfer_time,
+    timeline_pipelined_transfer,
+)
 from .checkpoint_overhead import (
     checkpoint_cost_seconds,
     daly_interval,
@@ -56,6 +63,11 @@ __all__ = [
     "Platform",
     "CalibrationResult",
     "calibrate_workload",
+    "CodecThroughput",
+    "calibrate_codec_throughput",
+    "pipelined_transfer_time",
+    "serial_transfer_time",
+    "timeline_pipelined_transfer",
     "checkpoint_cost_seconds",
     "young_interval",
     "daly_interval",

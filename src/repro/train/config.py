@@ -132,6 +132,20 @@ class TrainConfig:
         recorded on the communicator's timeline so overlap can actually
         hide communication.  ``None`` (default) records no compute —
         the pre-timeline behaviour.
+    wire_codec:
+        Wire-compression spec handed to
+        :meth:`repro.core.wire.policy.WirePolicy.from_spec` (``"auto"``,
+        ``"fp16"``, ``"delta"``, ``"rle"``, ``"fp16+delta"``, ...,
+        ``"none"``).  ``None`` (default) builds no policy at all — the
+        pre-wire behaviour, bit-and-ledger-identical to the seed.
+        Independent of ``codec``, which (if set) still wins for value
+        traffic.
+    wire_chunk_bytes:
+        Chunk granularity for the pipelined index gather (logical bytes
+        per rank); requires ``wire_codec``.
+    wire_sanitize:
+        Wrap the policy's codecs with the runtime sanitizer's checking
+        variants (bit-exact roundtrip / FP16 overflow detection).
     """
 
     world_size: int
@@ -150,6 +164,9 @@ class TrainConfig:
     shuffle_seed: int | None = None
     overlap: bool = False
     compute_seconds_per_step: float | None = None
+    wire_codec: str | None = None
+    wire_chunk_bytes: int | None = None
+    wire_sanitize: bool = False
 
     def __post_init__(self) -> None:
         if (
@@ -171,6 +188,17 @@ class TrainConfig:
             )
         if isinstance(self.loss_scale, (int, float)) and self.loss_scale < 1:
             raise ValueError("static loss_scale must be >= 1")
+        if self.wire_chunk_bytes is not None:
+            if self.wire_chunk_bytes <= 0:
+                raise ValueError("wire_chunk_bytes must be positive")
+            if self.wire_codec is None:
+                raise ValueError("wire_chunk_bytes requires wire_codec")
+        if self.wire_codec is not None:
+            # Validate the spec eagerly: a typo should fail at config
+            # construction, not three epochs into a run.
+            from ..core.wire.policy import WirePolicy
+
+            WirePolicy.from_spec(self.wire_codec, self.wire_chunk_bytes)
 
     @property
     def num_nodes(self) -> int:

@@ -32,6 +32,7 @@ from ..cluster.communicator import Communicator
 from ..core.embedding_sync import GradientSynchronizer
 from ..core.seeding import assign_seeds
 from ..core.sparse_exchange import AllGatherExchange, UniqueExchange
+from ..core.wire.policy import WirePolicy
 from ..data.batching import Batch, ShardedBatcher, make_eval_batches
 from ..nn.module import Module
 from ..optim.loss_scaler import (
@@ -152,16 +153,27 @@ class DistributedTrainer:
             model_factory(np.random.default_rng(config.init_seed), rank)
             for rank in range(config.world_size)
         ]
+        wire = None
+        if config.wire_codec is not None:
+            wire = WirePolicy.from_spec(
+                config.wire_codec, config.wire_chunk_bytes
+            )
+            if config.wire_sanitize:
+                wire = wire.sanitized()
+            if wire.is_inert:
+                wire = None  # "none": keep the pre-wire code paths
+        self.wire = wire
         strategy = (
-            UniqueExchange(codec=config.codec)
+            UniqueExchange(codec=config.codec, wire=wire)
             if config.use_unique
-            else AllGatherExchange(codec=config.codec)
+            else AllGatherExchange(codec=config.codec, wire=wire)
         )
         track_compute = config.compute_seconds_per_step is not None
         self.synchronizer = GradientSynchronizer(
             self.comm,
             strategy=strategy,
             codec=config.codec,
+            wire=wire,
             average=True,
             overlap=config.overlap,
             on_issue=(

@@ -207,3 +207,63 @@ class TestRepro007DroppedHandle:
     def test_blocking_collectives_not_this_rules_business(self):
         src = "def f(comm, xs):\n    comm.allreduce(xs)\n"
         assert ids_for(src, only="REPRO007") == []
+
+
+class TestRepro008UncodedPayload:
+    def test_raw_payload_in_orchestration_flagged(self):
+        src = "def f(comm, grads):\n    h = comm.iallgather(grads)\n    h.wait()\n"
+        assert ids_for(src, "train/loop.py", only="REPRO008") == ["REPRO008"]
+
+    def test_bare_name_entry_point_flagged(self):
+        src = "def f(comm, grads):\n    h = iexchange(comm, grads)\n    h.wait()\n"
+        assert ids_for(src, "train/loop.py", only="REPRO008") == ["REPRO008"]
+
+    def test_wire_policy_kwarg_allowed(self):
+        src = (
+            "def f(comm, grads, wire):\n"
+            "    h = iunique_exchange(comm, grads, wire=wire)\n"
+            "    h.wait()\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO008") == []
+
+    def test_codec_kwarg_allowed(self):
+        src = "def f(comm, g, c):\n    h = comm.iallreduce(g, codec=c)\n    h.wait()\n"
+        assert ids_for(src, "train/loop.py", only="REPRO008") == []
+
+    def test_pre_encoded_with_payload_bytes_allowed(self):
+        src = (
+            "def f(comm, enc, g):\n"
+            "    h = comm.iallreduce(enc, tag='t', payload_bytes=g.nbytes)\n"
+            "    h.wait()\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO008") == []
+
+    def test_inline_encode_allowed(self):
+        src = (
+            "def f(comm, c, grads):\n"
+            "    h = comm.iallreduce([c.encode(g) for g in grads], tag='t')\n"
+            "    h.wait()\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO008") == []
+
+    def test_codec_suggestive_identifier_allowed(self):
+        src = (
+            "def f(comm, encoded_frames):\n"
+            "    h = comm.iallgather(encoded_frames, tag='t')\n"
+            "    h.wait()\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO008") == []
+
+    def test_iencoded_allgather_is_the_codec_path(self):
+        src = (
+            "def f(comm, arrays, c):\n"
+            "    h = iencoded_allgather(comm, arrays, c)\n"
+            "    h.wait()\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO008") == []
+
+    def test_comm_substrate_exempt(self):
+        src = "def f(comm, grads):\n    h = comm.iallgather(grads)\n    h.wait()\n"
+        for exempt in ("cluster/communicator.py", "core/unique.py",
+                       "analysis/sanitizer.py"):
+            assert ids_for(src, exempt, only="REPRO008") == []

@@ -399,3 +399,100 @@ class TestNoDoubleApplyInvariant:
         for r in reps:
             r.zero_grad()
         assert_clean_retry_state(reps)
+
+
+class TestSanitizedWireCodec:
+    """Roundtrip enforcement for the lossless wire codecs."""
+
+    def test_clean_codec_passes_through(self):
+        from repro.analysis.sanitizer import SanitizedWireCodec
+        from repro.core.wire import DeltaBitpackCodec
+
+        wrapped = SanitizedWireCodec(DeltaBitpackCodec())
+        vec = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        frame = wrapped.encode(vec)
+        np.testing.assert_array_equal(wrapped.decode(frame, np.int64), vec)
+        assert wrapped.name == "delta"
+        assert wrapped.lossless and wrapped.data_dependent
+
+    def test_corrupted_codec_caught_at_encode(self):
+        from repro.analysis.sanitizer import SanitizedWireCodec
+        from repro.core.wire import DeltaBitpackCodec
+
+        class BitFlipCodec(DeltaBitpackCodec):
+            def encode(self, arr):
+                frame = super().encode(arr)
+                frame = frame.copy()
+                frame[-1] ^= 0x40  # corrupt the packed deltas
+                return frame
+
+        wrapped = SanitizedWireCodec(BitFlipCodec())
+        with pytest.raises(CollectiveMismatchError, match="bit-exact"):
+            wrapped.encode(np.arange(4096, dtype=np.int64))
+
+    def test_signature_change_caught_at_encode(self):
+        from repro.analysis.sanitizer import SanitizedWireCodec
+        from repro.core.wire import DeltaBitpackCodec
+
+        class TruncatingCodec(DeltaBitpackCodec):
+            def encode(self, arr):
+                return super().encode(arr[:-1])
+
+        wrapped = SanitizedWireCodec(TruncatingCodec())
+        with pytest.raises(CollectiveMismatchError, match="signature"):
+            wrapped.encode(np.arange(100, dtype=np.int64))
+
+    def test_lossy_codec_rejected_at_construction(self):
+        from repro.analysis.sanitizer import SanitizedWireCodec
+
+        with pytest.raises(ValueError, match="lossless"):
+            SanitizedWireCodec(Fp16Codec())
+
+    def test_decode_dtype_check(self):
+        from repro.analysis.sanitizer import SanitizedWireCodec
+        from repro.core.wire import RunLengthCodec
+
+        wrapped = SanitizedWireCodec(RunLengthCodec())
+        frame = wrapped.encode(np.arange(64, dtype=np.int64))
+        with pytest.raises((CollectiveMismatchError, ValueError)):
+            wrapped.decode(frame, np.int32)
+
+    def test_sanitize_codec_dispatch(self):
+        from repro.analysis.sanitizer import SanitizedWireCodec, sanitize_codec
+        from repro.core.wire import DeltaBitpackCodec
+
+        assert sanitize_codec(None) is None
+        lossless = sanitize_codec(DeltaBitpackCodec())
+        assert isinstance(lossless, SanitizedWireCodec)
+        # Idempotent: wrapping a wrapped codec is a no-op.
+        assert sanitize_codec(lossless) is lossless
+        fp16 = sanitize_codec(Fp16Codec(scale=256.0))
+        assert isinstance(fp16, SanitizedFp16Codec)
+        assert fp16.scale == 256.0
+        ident = IdentityCodec()
+        assert sanitize_codec(ident) is ident
+
+    def test_sanitized_policy_runs_a_training_exchange(self):
+        """End-to-end: a sanitized wire policy on the unique exchange
+        behaves identically to the unsanitized one."""
+        from repro.core.sparse_exchange import UniqueExchange
+        from repro.core.wire import WirePolicy
+        from repro.nn.parameter import SparseGrad
+
+        rng = np.random.default_rng(0)
+        grads = [
+            SparseGrad(
+                indices=rng.integers(0, 5000, 512),
+                values=rng.standard_normal((512, 4)),
+            )
+            for _ in range(4)
+        ]
+        plain = UniqueExchange(
+            wire=WirePolicy.from_spec("delta")
+        ).exchange(Communicator(4, track_memory=False), grads)
+        checked = UniqueExchange(
+            wire=WirePolicy.from_spec("delta").sanitized()
+        ).exchange(Communicator(4, track_memory=False), grads)
+        for p, c in zip(plain, checked):
+            np.testing.assert_array_equal(p.indices, c.indices)
+            np.testing.assert_array_equal(p.values, c.values)

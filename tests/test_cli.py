@@ -172,3 +172,50 @@ class TestResilientTraining:
         assert args.resilient is False
         assert args.fault_plan is None
         assert args.checkpoint is None
+
+
+class TestWireCodecFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.wire_codec is None
+        assert args.wire_chunk_bytes is None
+
+    def test_spec_choices(self):
+        for spec in ("auto", "fp16", "delta", "rle", "none"):
+            assert (
+                build_parser()
+                .parse_args(["train", "--wire-codec", spec])
+                .wire_codec
+                == spec
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--wire-codec", "gzip"])
+
+    def test_train_with_delta_reports_measured_compression(self, capsys):
+        rc = main(
+            [
+                "train", "--model", "word", "--gpus", "2", "--steps", "6",
+                "--vocab", "80", "--corpus-tokens", "5000",
+                "--wire-codec", "delta",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wire: delta" in out
+        assert "index compression:" in out
+        factor = float(
+            out.split("index compression:")[1].split("x")[0].strip()
+        )
+        assert factor > 1.0
+        assert "replica divergence: 0.0e+00" in out
+
+    def test_train_with_chunked_auto(self, capsys):
+        rc = main(
+            [
+                "train", "--model", "word", "--gpus", "2", "--steps", "4",
+                "--vocab", "80", "--corpus-tokens", "5000",
+                "--wire-codec", "auto", "--wire-chunk-bytes", "2048",
+            ]
+        )
+        assert rc == 0
+        assert "index compression:" in capsys.readouterr().out
