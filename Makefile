@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos lint bench bench-smoke bench-wire examples results clean
+.PHONY: install test test-chaos test-telemetry lint bench bench-smoke bench-wire examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,16 @@ test-chaos:
 	PYTHONPATH=src $(PYTHON) tools/check_coverage.py \
 		--target src/repro/train/resilience.py --min-percent 90 \
 		tests/train/test_resilience.py
+
+# Telemetry suite: registry/exporter semantics, merged-trace validity
+# (per-rank pid/tid tracks, no negative or overlapping timestamps), the
+# exporter-agreement CLI check, and the trace-accounting regressions.
+test-telemetry:
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/telemetry tests/cluster/test_trace_export.py \
+		tests/cluster/test_tracing.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/test_cli.py -k "telemetry or trace"
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src/repro

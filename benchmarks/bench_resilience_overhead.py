@@ -105,7 +105,7 @@ def chaos_plan():
     )
 
 
-def test_resilience_overhead(benchmark, report, tmp_path):
+def test_resilience_overhead(benchmark, report, tmp_path, bench_metrics):
     cadence = format_table(
         ["C (s)", "MTBF (s)", "Young tau (s)", "Daly tau (s)",
          "overhead @ Young", "steps @ 60 s/step"],
@@ -140,6 +140,31 @@ def test_resilience_overhead(benchmark, report, tmp_path):
         f"{chaotic.trainer.config.world_size} after the rank loss."
     )
     report("resilience_overhead", cadence + footer)
+
+    sim_gauge = bench_metrics.gauge(
+        "repro_bench_simulated_seconds",
+        "Total simulated run time by arm", labelnames=("arm",),
+    )
+    sim_gauge.set(t_clean, arm="clean")
+    sim_gauge.set(t_chaos, arm="chaos")
+    bench_metrics.gauge(
+        "repro_bench_fault_overhead_fraction",
+        "Chaos-arm simulated slowdown over the fault-free arm",
+    ).set(t_chaos / t_clean - 1.0)
+    bench_metrics.gauge(
+        "repro_bench_backoff_seconds", "Rank-0 retry backoff charged"
+    ).set(backoff_s)
+    bench_metrics.counter(
+        "repro_bench_recovery_events_total",
+        "Recovery events in the chaos arm", labelnames=("kind",),
+    )
+    for event in chaotic.events:
+        bench_metrics.get("repro_bench_recovery_events_total").inc(
+            kind=event.kind
+        )
+    bench_metrics.gauge(
+        "repro_bench_final_world_size", "World size after the rank loss"
+    ).set(chaotic.trainer.config.world_size)
 
     # Acceptance gates.
     # Young's tau is the exact argmin of the first-order overhead.

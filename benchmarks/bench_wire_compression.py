@@ -33,6 +33,7 @@ from repro.data import BatchSpec, ONE_BILLION_WORD, ZipfMandelbrot, make_corpus
 from repro.optim import SGD
 from repro.perf import (
     CodecThroughput,
+    calibrate_codec_throughput,
     pipelined_transfer_time,
     timeline_pipelined_transfer,
 )
@@ -182,10 +183,29 @@ def run_all():
     return sweep_rows, paper_factor, pipe_rows, worst_rel, exact, train_factor
 
 
-def test_wire_compression(benchmark, report):
+def test_wire_compression(benchmark, report, bench_metrics):
     (sweep_rows, paper_factor, pipe_rows, worst_rel, exact, train_factor) = (
         benchmark.pedantic(run_all, rounds=1, iterations=1)
     )
+
+    factor_gauge = bench_metrics.gauge(
+        "repro_bench_compression_factor",
+        "Measured logical/wire reduction", labelnames=("setting",),
+    )
+    factor_gauge.set(paper_factor, setting="paper_g128")
+    factor_gauge.set(train_factor, setting="training")
+    bench_metrics.gauge(
+        "repro_bench_pipeline_rel_err",
+        "Worst analytic-vs-timeline relative error",
+    ).set(worst_rel)
+    bench_metrics.gauge(
+        "repro_bench_bit_exact", "1 when delta training matched baseline"
+    ).set(int(exact))
+    # Host-measured codec throughput, published via the perf-layer hook.
+    for codec in (DeltaBitpackCodec(), RunLengthCodec()):
+        calibrate_codec_throughput(
+            codec, nbytes=1 << 20, repeats=2, registry=bench_metrics
+        )
 
     sweep = format_table(
         ["GPUs", "tokens/rank", "mean K", "logical KiB", "wire KiB",

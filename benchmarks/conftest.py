@@ -27,6 +27,30 @@ def report(results_dir):
 
 
 @pytest.fixture
+def bench_metrics(results_dir, request):
+    """A telemetry registry persisted as ``BENCH_<name>.json`` at teardown.
+
+    Benchmarks publish their headline figures (gates, measured factors,
+    calibrated throughputs) as gauges/counters; whatever ends up in the
+    registry is exported with :func:`repro.telemetry.to_json` so result
+    files share the exact-value format of ``train --telemetry-dir``.
+    """
+    import json
+
+    from repro.telemetry import MetricsRegistry, to_json
+
+    registry = MetricsRegistry()
+    yield registry
+    if not len(registry):
+        return
+    name = request.node.name
+    if name.startswith("test_"):
+        name = name[len("test_"):]
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(to_json(registry), indent=2) + "\n")
+
+
+@pytest.fixture
 def save_structured(results_dir):
     """Persist a table as CSV + JSON next to the text reports."""
 

@@ -16,10 +16,25 @@ simulated multi-GPU cluster:
 * :mod:`repro.train` — word/char LM assemblies and the SPMD trainer;
 * :mod:`repro.perf` — the analytic model behind Tables III-V;
 * :mod:`repro.analysis` — correctness tooling: the REPRO lint rules and
-  the runtime collective/compression sanitizer.
+  the runtime collective/compression sanitizer;
+* :mod:`repro.telemetry` — the unified observability layer: metrics
+  registry, Prometheus/JSON exporters, merged multi-generation chrome
+  traces, and per-step JSONL sessions.
 """
 
-from . import analysis, cluster, core, data, nn, optim, perf, report, sim, train
+from . import (
+    analysis,
+    cluster,
+    core,
+    data,
+    nn,
+    optim,
+    perf,
+    report,
+    sim,
+    telemetry,
+    train,
+)
 
 __version__ = "1.0.0"
 
@@ -33,6 +48,7 @@ __all__ = [
     "perf",
     "report",
     "sim",
+    "telemetry",
     "train",
     "__version__",
 ]

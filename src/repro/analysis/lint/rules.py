@@ -1,4 +1,4 @@
-"""The project rule set, ``REPRO001``–``REPRO008``.
+"""The project rule set, ``REPRO001``–``REPRO009``.
 
 Each rule guards an invariant the paper's experiments depend on; the
 rationale strings say which section breaks when the rule is violated.
@@ -22,6 +22,7 @@ __all__ = [
     "ExportsDriftRule",
     "Float64IntoCommRule",
     "PrintInLibraryRule",
+    "TelemetryBypassRule",
     "UncodedCollectivePayloadRule",
 ]
 
@@ -545,6 +546,97 @@ class PrintInLibraryRule(Rule):
                     "print() in library code: record to the CostLedger, "
                     "return a string, or raise — the CLI owns stdout",
                 )
+
+
+@register
+class TelemetryBypassRule(Rule):
+    """REPRO009: library code reports through the metrics registry."""
+
+    rule_id = "REPRO009"
+    title = "reporting bypasses the telemetry registry"
+    rationale = (
+        "The unified telemetry layer only gives one consistent answer "
+        "(Prometheus text == JSON == ledger totals, exactly) if every "
+        "number flows through a MetricsRegistry. Raw sys.stdout/stderr "
+        "writes sidestep the structured JSONL stream, poking a metric's "
+        "._series internals dodges label validation and the exporters' "
+        "canonical ordering, and a Counter/Gauge/Histogram constructed "
+        "outside a registry is invisible to every exporter. Ask the "
+        "registry (registry.counter(...).inc()) instead."
+    )
+
+    #: Metric classes that must be minted by a MetricsRegistry.
+    _METRIC_CLASSES = frozenset({"Counter", "Gauge", "Histogram"})
+
+    def applies_to(self, path: Path) -> bool:
+        # The telemetry package owns the internals; the CLI owns stdout.
+        return "telemetry" not in path.parts and path.name != "cli.py"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        metric_names = self._telemetry_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                chain = (
+                    _attr_chain(node.func)
+                    if isinstance(node.func, ast.Attribute)
+                    else None
+                )
+                if chain in ("sys.stdout.write", "sys.stderr.write"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`{chain}(...)` in library code: emit through a "
+                        "TelemetrySession (record_step/record_event) or "
+                        "return the text — raw stream writes bypass the "
+                        "structured JSONL telemetry the exporters audit",
+                    )
+                elif self._bare_metric_ctor(node, metric_names, chain):
+                    name = chain or node.func.id  # type: ignore[union-attr]
+                    yield self.finding(
+                        module,
+                        node,
+                        f"`{name}(...)` constructed outside a registry: "
+                        "metrics minted by hand never reach the exporters "
+                        "— use registry.counter/gauge/histogram so the "
+                        "family is collected and name-collision checked",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == "_series"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "`._series` touched outside repro.telemetry: the "
+                    "per-label-set state is private — read via .value() "
+                    "or export via to_json/to_prometheus_text",
+                )
+
+    @classmethod
+    def _telemetry_imports(cls, tree: ast.Module) -> set[str]:
+        """Local names bound to telemetry metric classes by imports."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            module = node.module or ""
+            if "telemetry" not in module:
+                continue
+            for alias in node.names:
+                if alias.name in cls._METRIC_CLASSES:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    @classmethod
+    def _bare_metric_ctor(
+        cls, node: ast.Call, metric_names: set[str], chain: str | None
+    ) -> bool:
+        if isinstance(node.func, ast.Name):
+            return node.func.id in metric_names
+        if chain is not None:
+            root, _, last = chain.rpartition(".")
+            return last in cls._METRIC_CLASSES and "telemetry" in root
+        return False
 
 
 @register

@@ -7,6 +7,7 @@ Subcommands::
     python -m repro.cli perf     [--table 3|4|5]
     python -m repro.cli example  # the Section III-A worked example
     python -m repro.cli lint     [paths ... --rules REPRO001,REPRO006]
+    python -m repro.cli trace    TELEMETRY_DIR [--out trace.json]
 
 Every command prints the same rows the corresponding paper table or
 figure reports; heavy lifting is delegated to the library so the CLI is
@@ -88,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--checkpoint", default=None, metavar="FILE",
                          help="checkpoint path for --resilient runs "
                          "(default: a temporary file)")
+    p_train.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                         help="stream per-step JSONL, Prometheus/JSON "
+                         "metric exports, and merged chrome traces into "
+                         "DIR (see docs/OBSERVABILITY.md); inspect with "
+                         "the 'trace' subcommand")
 
     p_perf = sub.add_parser("perf", help="paper-scale time/memory tables")
     p_perf.add_argument("--table", type=int, default=3, choices=[3, 4, 5])
@@ -113,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all registered rules)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="describe the registered rules and exit")
+
+    p_trace = sub.add_parser(
+        "trace", help="merge and validate the traces of a telemetry dir"
+    )
+    p_trace.add_argument("telemetry_dir", metavar="TELEMETRY_DIR",
+                         help="directory written by train --telemetry-dir")
+    p_trace.add_argument("--out", default=None, metavar="FILE",
+                         help="merged chrome trace output path "
+                         "(default: TELEMETRY_DIR/trace.json)")
     return parser
 
 
@@ -215,14 +230,22 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 corpus.train, corpus.valid, run_cfg, comm=run_comm,
             )
 
+    session = None
+    if args.telemetry_dir is not None:
+        from repro.telemetry import TelemetrySession
+
+        session = TelemetrySession(args.telemetry_dir)
+
     if args.resilient or args.fault_plan is not None:
         if args.sanitize:
             print("error: --resilient and --sanitize are mutually "
                   "exclusive", file=sys.stderr)
             return 2
-        return _run_resilient(args, cfg, make_trainer)
+        return _run_resilient(args, cfg, make_trainer, session)
 
     trainer = make_trainer(cfg, comm)
+    if session is not None:
+        session.adopt_trainer(trainer)
 
     print(f"{args.model} LM | {args.gpus} simulated GPUs | vocab {args.vocab} "
           f"| exchange: {'allgather' if args.baseline else 'unique'}"
@@ -246,10 +269,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.sanitize:
         op_log = trainer.comm.finish()
         print(f"sanitizer: {len(op_log)} collectives checked, 0 violations")
+    if session is not None:
+        summary = session.finalize()
+        print(f"telemetry: {summary['steps']} steps, "
+              f"{summary['trace']['events']} trace events -> "
+              f"{args.telemetry_dir}")
     return 0
 
 
-def _run_resilient(args: argparse.Namespace, cfg, make_trainer) -> int:
+def _run_resilient(args: argparse.Namespace, cfg, make_trainer,
+                   session=None) -> int:
     """The ``train --resilient`` path: supervised recovery over a fault plan."""
     import tempfile
 
@@ -281,6 +310,7 @@ def _run_resilient(args: argparse.Namespace, cfg, make_trainer) -> int:
     runner = ResilientRunner(
         make_trainer, cfg, checkpoint, comm=comm,
         checkpoint_every=max(1, args.steps // 4),
+        telemetry=session,
     )
     print(f"resilient {args.model} LM | {args.gpus} simulated GPUs | "
           f"{len(plan)} scheduled fault(s) | checkpoint: {checkpoint}")
@@ -295,6 +325,12 @@ def _run_resilient(args: argparse.Namespace, cfg, make_trainer) -> int:
     print(f"simulated time: {runner.total_simulated_time():.4f}s "
           f"across {len(runner.timelines)} communicator generation(s), "
           f"{retries} retr{'y' if retries == 1 else 'ies'} charged")
+    if session is not None:
+        summary = session.finalize()
+        print(f"telemetry: {summary['steps']} steps, "
+              f"{summary['events']} recovery events, "
+              f"{summary['trace']['events']} trace events -> "
+              f"{args.telemetry_dir}")
     return 0
 
 
@@ -443,6 +479,86 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Merge, validate, and cross-check the exports of a telemetry dir.
+
+    Re-merges the generation parts into one chrome trace, validates its
+    structure (distinct pid/tid tracks, no negative timestamps, no
+    same-track overlaps), and verifies that the Prometheus text export,
+    the JSON export, and the ledger totals recomputed from the trace
+    parts agree **exactly** — any drift between the three is a
+    telemetry bug, not measurement noise.
+    """
+    import json
+
+    from repro.telemetry import (
+        TraceValidationError,
+        flatten_samples,
+        merged_trace,
+        parse_prometheus_text,
+        parts_from_json,
+        run_totals_from_parts,
+        validate_chrome_trace,
+        write_trace,
+    )
+
+    directory = Path(args.telemetry_dir)
+    parts_file = directory / "trace_parts.json"
+    if not parts_file.exists():
+        print(f"error: {parts_file} not found (was the run started with "
+              f"train --telemetry-dir?)", file=sys.stderr)
+        return 2
+    with open(parts_file) as f:
+        parts = parts_from_json(json.load(f))
+    trace = merged_trace(parts)
+    try:
+        summary = validate_chrome_trace(trace)
+    except TraceValidationError as exc:
+        print(f"error: invalid merged trace: {exc}", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out is not None else directory / "trace.json"
+    write_trace(out, trace)
+    print(f"merged trace: {summary['events']} events on "
+          f"{summary['tracks']} tracks ({len(summary['pids'])} pids, "
+          f"generations {summary['generations']}) -> {out}")
+
+    prom_file = directory / "metrics.prom"
+    json_file = directory / "metrics.json"
+    if not (prom_file.exists() and json_file.exists()):
+        print("exports: not found, skipping agreement check")
+        return 0
+    with open(json_file) as f:
+        json_flat = flatten_samples(json.load(f))
+    prom_flat = flatten_samples(parse_prometheus_text(prom_file.read_text()))
+    # Prometheus exposition carries no help-only families; compare the
+    # sample sets, which must match key-for-key and value-for-value.
+    if prom_flat != json_flat:
+        diff = set(prom_flat.items()) ^ set(json_flat.items())
+        print(f"error: Prometheus and JSON exports disagree on "
+              f"{len(diff)} sample(s)", file=sys.stderr)
+        return 1
+    totals = run_totals_from_parts(parts)
+    checks = {
+        "repro_run_wire_bytes_per_rank": totals["wire_bytes_per_rank"],
+        "repro_run_compression_factor": totals["compression_factor"],
+        "repro_run_comm_time_seconds": totals["comm_time_s"],
+        "repro_run_simulated_time_seconds": totals["simulated_time_s"],
+    }
+    for name, expected in checks.items():
+        exported = json_flat.get((name, (), "value"))
+        if exported != expected:
+            print(f"error: {name} export {exported!r} != ledger total "
+                  f"{expected!r}", file=sys.stderr)
+            return 1
+    print(f"exports: prometheus == json ({len(json_flat)} samples), "
+          f"ledger totals agree exactly "
+          f"(wire {totals['wire_bytes_per_rank']} B/rank, "
+          f"compression {totals['compression_factor']:.3f}x, "
+          f"comm {totals['comm_time_s']:.4f}s, "
+          f"simulated {totals['simulated_time_s']:.4f}s)")
+    return 0
+
+
 _COMMANDS = {
     "zipf": _cmd_zipf,
     "train": _cmd_train,
@@ -450,6 +566,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "example": _cmd_example,
     "lint": _cmd_lint,
+    "trace": _cmd_trace,
 }
 
 

@@ -62,8 +62,15 @@ from .timeline import (
     CollectiveTicket,
     Timeline,
     TimelineEvent,
+    events_to_chrome,
 )
-from .tracing import CommEvent, CostLedger, LedgerScopeError, LedgerSnapshot
+from .tracing import (
+    CommEvent,
+    CostLedger,
+    LedgerResetError,
+    LedgerScopeError,
+    LedgerSnapshot,
+)
 
 __all__ = [
     "Communicator",
@@ -73,6 +80,8 @@ __all__ = [
     "CollectiveTicket",
     "COMPUTE_STREAM",
     "COMM_STREAM",
+    "events_to_chrome",
+    "LedgerResetError",
     "LedgerScopeError",
     "FailingCommunicator",
     "RankFailureError",

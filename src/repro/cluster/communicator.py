@@ -139,6 +139,16 @@ class Communicator:
         Optional shared event timeline; a fresh one is created if
         omitted.  All collectives — blocking and non-blocking — are
         scheduled onto it.
+
+    Notes
+    -----
+    The ``metrics`` attribute is ``None`` by default; a
+    :class:`~repro.telemetry.TelemetrySession` sets it to its
+    :class:`~repro.telemetry.MetricsRegistry` via ``track()``, after
+    which every issued collective also increments the
+    ``repro_collectives_total`` / ``repro_collective_wire_bytes_total``
+    counter families (labelled by op) and the wire layer records its
+    per-codec histograms.
     """
 
     def __init__(
@@ -166,6 +176,8 @@ class Communicator:
             SimulatedDevice(device_id=r, spec=device_spec) for r in range(world_size)
         ]
         self._pending: set[WorkHandle] = set()
+        #: Optional telemetry registry (set by TelemetrySession.track).
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -210,6 +222,17 @@ class Communicator:
             end_s=ticket.end,
             payload_bytes_per_rank=payload_bytes_per_rank,
         )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_collectives_total",
+                "Collectives issued, by op",
+                labelnames=("op",),
+            ).inc(op=op)
+            self.metrics.counter(
+                "repro_collective_wire_bytes_total",
+                "Per-rank wire bytes issued, by op",
+                labelnames=("op",),
+            ).inc(wire_bytes_per_rank, op=op)
         handle = WorkHandle(
             self, op, results, scratch, scratch_bytes, ticket, tag
         )

@@ -44,6 +44,7 @@ __all__ = [
     "CollectiveTicket",
     "Timeline",
     "TimelineEvent",
+    "events_to_chrome",
 ]
 
 #: Stream names used in events and chrome traces.
@@ -240,27 +241,25 @@ class Timeline:
     # export
     # ------------------------------------------------------------------
 
-    def to_chrome_trace(self) -> list[dict]:
+    def to_chrome_trace(
+        self,
+        pid_base: int = 0,
+        time_offset_s: float = 0.0,
+        generation: int | None = None,
+    ) -> list[dict]:
         """Export the schedule in Chrome trace-event format.
 
         One ``pid`` per rank, one ``tid`` per stream, so the two-stream
         structure renders as paired tracks in ``chrome://tracing``.
+        ``pid_base``/``time_offset_s``/``generation`` support the merged
+        multi-generation exporter in :mod:`repro.telemetry.spans`.
         """
-        trace = []
-        for e in self.events:
-            trace.append(
-                {
-                    "name": e.name,
-                    "cat": e.stream,
-                    "ph": "X",
-                    "ts": e.start * 1e6,
-                    "dur": e.duration * 1e6,
-                    "pid": e.rank,
-                    "tid": 0 if e.stream == COMPUTE_STREAM else 1,
-                    "args": {"stream": e.stream},
-                }
-            )
-        return trace
+        return events_to_chrome(
+            self.events,
+            pid_base=pid_base,
+            time_offset_s=time_offset_s,
+            generation=generation,
+        )
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:
@@ -273,3 +272,35 @@ class Timeline:
             f"Timeline(world_size={self.world_size}, "
             f"events={len(self.events)}, makespan={self.makespan:.3e}s)"
         )
+
+
+def events_to_chrome(
+    events: Sequence[TimelineEvent],
+    pid_base: int = 0,
+    time_offset_s: float = 0.0,
+    generation: int | None = None,
+) -> list[dict]:
+    """Render timeline events as Chrome ``X`` blocks (pid=rank, tid=stream).
+
+    Module-level so the merged exporter in :mod:`repro.telemetry.spans`
+    can render events deserialised from a trace-parts file without
+    reconstructing a live :class:`Timeline`.
+    """
+    trace = []
+    for e in events:
+        args: dict = {"stream": e.stream}
+        if generation is not None:
+            args["generation"] = generation
+        trace.append(
+            {
+                "name": e.name,
+                "cat": e.stream,
+                "ph": "X",
+                "ts": (e.start + time_offset_s) * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": pid_base + e.rank,
+                "tid": 0 if e.stream == COMPUTE_STREAM else 1,
+                "args": args,
+            }
+        )
+    return trace

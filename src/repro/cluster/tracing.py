@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "CommEvent",
     "CostLedger",
+    "LedgerResetError",
     "LedgerScopeError",
     "LedgerSnapshot",
 ]
@@ -33,6 +34,17 @@ class LedgerScopeError(RuntimeError):
     stack means every subsequent event would be charged to the wrong
     phase, which is exactly the kind of bookkeeping bug the analysis
     tooling exists to catch.
+    """
+
+
+class LedgerResetError(RuntimeError):
+    """A snapshot from before a :meth:`CostLedger.reset` was diffed.
+
+    ``delta_since`` across a reset used to return *negative* totals
+    (the post-reset ledger holds fewer events than the snapshot), which
+    silently corrupted per-step byte/time deltas.  Each reset bumps the
+    ledger's generation; mixing snapshots across generations now raises
+    instead.
     """
 
 
@@ -81,6 +93,7 @@ class CostLedger:
 
     events: list[CommEvent] = field(default_factory=list)
     _scope_stack: list[str] = field(default_factory=list)
+    _generation: int = 0
 
     def record(
         self,
@@ -224,9 +237,20 @@ class CostLedger:
             return 1.0
         return logical / wire
 
+    @property
+    def generation(self) -> int:
+        """Number of :meth:`reset` calls so far; stamps every snapshot."""
+        return self._generation
+
     def reset(self) -> None:
-        """Drop all events (scope stack is preserved)."""
+        """Drop all events (scope stack is preserved).
+
+        Bumps the ledger generation so snapshots taken before the reset
+        cannot be diffed against post-reset totals (see
+        :class:`LedgerResetError`).
+        """
         self.events.clear()
+        self._generation += 1
 
     def snapshot(self) -> "LedgerSnapshot":
         """Immutable point-in-time totals, for before/after deltas."""
@@ -234,54 +258,124 @@ class CostLedger:
             n_events=len(self.events),
             wire_bytes_per_rank=self.total_wire_bytes_per_rank,
             time_s=self.total_time_s,
+            generation=self._generation,
         )
 
     def delta_since(self, snap: "LedgerSnapshot") -> "LedgerSnapshot":
-        """Totals accumulated since ``snap`` was taken."""
+        """Totals accumulated since ``snap`` was taken.
+
+        Raises
+        ------
+        LedgerResetError
+            If the ledger was :meth:`reset` after ``snap`` was taken —
+            the difference would be meaningless (typically negative).
+        """
+        if snap.generation != self._generation:
+            raise LedgerResetError(
+                f"snapshot from ledger generation {snap.generation} diffed "
+                f"against generation {self._generation}: the ledger was "
+                f"reset() in between, so the delta is undefined"
+            )
         return LedgerSnapshot(
             n_events=len(self.events) - snap.n_events,
             wire_bytes_per_rank=self.total_wire_bytes_per_rank
             - snap.wire_bytes_per_rank,
             time_s=self.total_time_s - snap.time_s,
+            generation=self._generation,
         )
 
 
-    def to_chrome_trace(self) -> list[dict]:
+    def to_chrome_trace(
+        self,
+        pid_base: int = 0,
+        tid: int = 0,
+        time_offset_s: float = 0.0,
+        metadata: bool = True,
+        generation: int | None = None,
+    ) -> list[dict]:
         """Export events in Chrome trace-event format (``chrome://tracing``).
 
+        Each collective involves every rank of its recorded world, so
+        each event emits one ``X`` block *per participating rank* at
+        ``pid = pid_base + rank`` — matching the one-pid-per-rank
+        convention of :meth:`Timeline.to_chrome_trace` instead of the
+        old behaviour of collapsing all ranks onto ``pid=0/tid=0``.
+
         Events that were placed on a timeline keep their scheduled
-        issue/complete interval (overlapped collectives render as
-        overlapping blocks); unscheduled events are laid end-to-end on a
-        fallback clock, preserving the old single-track view.  Every
-        block is tagged with op, scope, and per-rank wire bytes, so a
-        run's communication profile can be inspected visually.
+        issue/complete interval; unscheduled events are laid end-to-end
+        on a *per-rank* fallback clock that never rewinds past a
+        scheduled block, so mixed traces stay monotone per track.
+
+        Parameters
+        ----------
+        pid_base:
+            Added to every rank's pid (lets a merged multi-generation
+            trace give each generation its own pid block).
+        tid:
+            Thread id used for every ledger track (the merged exporter
+            in :mod:`repro.telemetry.spans` places ledger events on
+            their own tid beside the compute/comm streams).
+        time_offset_s:
+            Added to every timestamp, in simulated seconds.
+        metadata:
+            Whether to emit ``process_name`` / ``thread_name`` ``M``
+            metadata events naming each track.
+        generation:
+            If given, stamped into every event's ``args`` and the track
+            names (resilience generation of the recording communicator).
         """
-        trace = []
-        clock_us = 0.0
+        trace: list[dict] = []
+        clocks: dict[int, float] = defaultdict(float)
+        seen_ranks: set[int] = set()
         for i, e in enumerate(self.events):
-            duration_us = e.time_s * 1e6
-            if e.has_schedule:
-                ts = e.start_s * 1e6
-                duration_us = (e.end_s - e.start_s) * 1e6
-            else:
-                ts = clock_us
-                clock_us += duration_us
-            trace.append(
-                {
-                    "name": f"{e.op}" + (f" [{e.tag}]" if e.tag else ""),
-                    "cat": e.scope or "comm",
-                    "ph": "X",
-                    "ts": ts,
-                    "dur": duration_us,
-                    "pid": 0,
-                    "tid": 0,
-                    "args": {
-                        "world": e.world,
-                        "wire_bytes_per_rank": e.wire_bytes_per_rank,
-                        "seq": i,
-                    },
+            duration_s = e.time_s
+            for r in range(e.world):
+                if e.has_schedule:
+                    start = e.start_s
+                    duration_s = e.end_s - e.start_s
+                    clocks[r] = max(clocks[r], e.end_s)
+                else:
+                    start = clocks[r]
+                    clocks[r] = start + duration_s
+                seen_ranks.add(r)
+                args: dict = {
+                    "world": e.world,
+                    "rank": r,
+                    "wire_bytes_per_rank": e.wire_bytes_per_rank,
+                    "seq": i,
                 }
-            )
+                if generation is not None:
+                    args["generation"] = generation
+                trace.append(
+                    {
+                        "name": f"{e.op}" + (f" [{e.tag}]" if e.tag else ""),
+                        "cat": e.scope or "comm",
+                        "ph": "X",
+                        "ts": (start + time_offset_s) * 1e6,
+                        "dur": duration_s * 1e6,
+                        "pid": pid_base + r,
+                        "tid": tid,
+                        "args": args,
+                    }
+                )
+        if metadata:
+            prefix = f"gen{generation} " if generation is not None else ""
+            meta: list[dict] = []
+            for r in sorted(seen_ranks):
+                margs: dict = {"name": f"{prefix}rank {r}"}
+                targs: dict = {"name": "ledger"}
+                if generation is not None:
+                    margs["generation"] = generation
+                    targs["generation"] = generation
+                meta.append(
+                    {"name": "process_name", "ph": "M",
+                     "pid": pid_base + r, "tid": tid, "args": margs}
+                )
+                meta.append(
+                    {"name": "thread_name", "ph": "M",
+                     "pid": pid_base + r, "tid": tid, "args": targs}
+                )
+            trace = meta + trace
         return trace
 
     def write_chrome_trace(self, path) -> None:
@@ -294,11 +388,17 @@ class CostLedger:
 
 @dataclass(frozen=True)
 class LedgerSnapshot:
-    """Frozen totals of a :class:`CostLedger` at one instant."""
+    """Frozen totals of a :class:`CostLedger` at one instant.
+
+    ``generation`` records how many times the ledger had been
+    :meth:`~CostLedger.reset` when the snapshot was taken; diffing
+    snapshots across a reset raises :class:`LedgerResetError`.
+    """
 
     n_events: int
     wire_bytes_per_rank: int
     time_s: float
+    generation: int = 0
 
 
 class _LedgerScope:

@@ -38,7 +38,7 @@ from .cost import (
 )
 from .policy import WirePolicy
 from .registry import CodecPipeline, available_codecs, make_codec, register_codec
-from .transfer import PendingEncodedGather, iencoded_allgather
+from .transfer import PendingEncodedGather, iencoded_allgather, wire_instruments
 
 __all__ = [
     "AdaptiveCodecSelector",
@@ -58,6 +58,7 @@ __all__ = [
     "compression_wins",
     "decode_frames",
     "iencoded_allgather",
+    "wire_instruments",
     "make_codec",
     "register_codec",
 ]

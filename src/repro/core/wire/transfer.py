@@ -33,7 +33,55 @@ import numpy as np
 from .codecs import decode_frames
 from .cost import CodecThroughput, codec_throughput
 
-__all__ = ["PendingEncodedGather", "iencoded_allgather"]
+__all__ = ["PendingEncodedGather", "iencoded_allgather", "wire_instruments"]
+
+
+def wire_instruments(metrics, codec_name: str):
+    """Per-codec wire instruments from a telemetry registry (or ``None``).
+
+    Returns a dict of bound metric handles — encode/decode/transfer
+    seconds histograms and encode/decode/frame byte counters, all
+    labelled ``codec=<name>`` — or ``None`` when the communicator
+    carries no registry.  The histograms feed
+    :func:`repro.perf.codec_model.throughput_from_metrics`, which
+    recovers effective bytes-per-second from what actually ran.
+    """
+    if metrics is None:
+        return None
+    label = {"codec": codec_name}
+    return {
+        "encode_s": metrics.histogram(
+            "repro_wire_encode_seconds",
+            "Per-rank codec encode seconds, by chunk",
+            labelnames=("codec",),
+        ),
+        "decode_s": metrics.histogram(
+            "repro_wire_decode_seconds",
+            "Per-rank codec decode seconds, by chunk",
+            labelnames=("codec",),
+        ),
+        "transfer_s": metrics.histogram(
+            "repro_wire_transfer_seconds",
+            "On-wire seconds of each encoded chunk collective",
+            labelnames=("codec",),
+        ),
+        "encode_bytes": metrics.counter(
+            "repro_wire_encode_bytes_total",
+            "Logical bytes pushed through codec encode",
+            labelnames=("codec",),
+        ),
+        "decode_bytes": metrics.counter(
+            "repro_wire_decode_bytes_total",
+            "Logical bytes recovered by codec decode",
+            labelnames=("codec",),
+        ),
+        "frame_bytes": metrics.counter(
+            "repro_wire_frame_bytes_total",
+            "Encoded frame bytes put on the wire",
+            labelnames=("codec",),
+        ),
+        "labels": label,
+    }
 
 
 class PendingEncodedGather:
@@ -53,12 +101,14 @@ class PendingEncodedGather:
         chunk_sizes: list[list[int]],
         dtype: np.dtype,
         throughput: CodecThroughput | None,
+        instruments: dict | None = None,
     ):
         self._comm = comm
         self._handles = handles
         self._chunk_sizes = chunk_sizes
         self._dtype = np.dtype(dtype)
         self._throughput = throughput
+        self._instruments = instruments
         self._result: list[np.ndarray] | None = None
 
     def is_complete(self) -> bool:
@@ -71,16 +121,19 @@ class PendingEncodedGather:
             return self._result
         world = self._comm.world_size
         per_rank: list[list[np.ndarray]] = [[] for _ in range(world)]
+        ins = self._instruments
         for handle, sizes in zip(self._handles, self._chunk_sizes):
             buf = handle.wait()[0]
             if self._throughput is not None:
-                decode_s = self._throughput.decode_seconds(
-                    sum(sizes) * self._dtype.itemsize
-                )
+                decoded_bytes = sum(sizes) * self._dtype.itemsize
+                decode_s = self._throughput.decode_seconds(decoded_bytes)
                 for rank in range(world):
                     self._comm.timeline.record_compute(
                         rank, decode_s, name="codec:decode"
                     )
+                    if ins is not None:
+                        ins["decode_s"].observe(decode_s, **ins["labels"])
+                        ins["decode_bytes"].inc(decoded_bytes, **ins["labels"])
             decoded = decode_frames(buf, self._dtype)
             bounds = np.cumsum(sizes)[:-1]
             for rank, part in enumerate(np.split(decoded, bounds)):
@@ -153,6 +206,7 @@ def iencoded_allgather(
         else None
     )
 
+    ins = wire_instruments(getattr(comm, "metrics", None), codec.name)
     handles = []
     chunk_sizes: list[list[int]] = []
     with comm.ledger.scope(f"wire-{codec.name}"):
@@ -162,18 +216,30 @@ def iencoded_allgather(
             sizes = [int(ch.size) for ch in chunks]
             if tp is not None:
                 for rank, ch in enumerate(chunks):
+                    encode_s = tp.encode_seconds(ch.size * itemsize)
                     comm.timeline.record_compute(
-                        rank,
-                        tp.encode_seconds(ch.size * itemsize),
-                        name="codec:encode",
+                        rank, encode_s, name="codec:encode"
                     )
+                    if ins is not None:
+                        ins["encode_s"].observe(encode_s, **ins["labels"])
+                        ins["encode_bytes"].inc(
+                            ch.size * itemsize, **ins["labels"]
+                        )
             frames = [codec.encode(ch) for ch in chunks]
-            handles.append(
-                comm.iallgather(
-                    frames,
-                    tag=f"{tag}[{c}]" if n_chunks > 1 else tag,
-                    payload_bytes=max(sizes) * itemsize,
-                )
+            handle = comm.iallgather(
+                frames,
+                tag=f"{tag}[{c}]" if n_chunks > 1 else tag,
+                payload_bytes=max(sizes) * itemsize,
             )
+            if ins is not None:
+                ins["frame_bytes"].inc(
+                    sum(len(f) for f in frames), **ins["labels"]
+                )
+                ticket = getattr(handle, "ticket", None)
+                if ticket is not None:
+                    ins["transfer_s"].observe(
+                        ticket.end - ticket.start, **ins["labels"]
+                    )
+            handles.append(handle)
             chunk_sizes.append(sizes)
-    return PendingEncodedGather(comm, handles, chunk_sizes, dtype, tp)
+    return PendingEncodedGather(comm, handles, chunk_sizes, dtype, tp, ins)

@@ -6,6 +6,7 @@ from .loss_scaler import (
     DynamicLossScaler,
     StaticLossScaler,
     grads_are_finite,
+    is_power_of_two,
 )
 from .lr_schedule import EpochDecaySchedule, scaled_base_lr
 from .mixed_precision import MasterWeightOptimizer
@@ -20,5 +21,6 @@ __all__ = [
     "StaticLossScaler",
     "DynamicLossScaler",
     "grads_are_finite",
+    "is_power_of_two",
     "PAPER_SCALE_FACTORS",
 ]

@@ -22,10 +22,27 @@ import numpy as np
 
 from ..nn.parameter import Parameter
 
-__all__ = ["StaticLossScaler", "DynamicLossScaler", "grads_are_finite"]
+__all__ = [
+    "StaticLossScaler",
+    "DynamicLossScaler",
+    "grads_are_finite",
+    "is_power_of_two",
+]
 
 #: Scale factors evaluated in the paper.
 PAPER_SCALE_FACTORS = (256.0, 512.0, 1024.0)
+
+
+def is_power_of_two(value: float) -> bool:
+    """True iff ``value`` is exactly ``2**k`` for some integer ``k``.
+
+    Works on any finite positive float (including sub-1 reciprocals like
+    0.5): a float is a power of two exactly when its mantissa is 0.5.
+    """
+    if value <= 0 or not np.isfinite(value):
+        return False
+    mantissa, _ = np.frexp(value)
+    return float(mantissa) == 0.5
 
 
 def grads_are_finite(params: list[Parameter]) -> bool:
@@ -90,6 +107,22 @@ class DynamicLossScaler(StaticLossScaler):
             raise ValueError("growth_interval must be positive")
         if not min_scale <= initial_scale <= max_scale:
             raise ValueError("initial_scale outside [min_scale, max_scale]")
+        # Clamping against a non-power-of-two bound would silently move
+        # the scale off the power-of-two grid the class promises (an
+        # off-grid scale changes rounding in fp16 grad quantisation), so
+        # every knob that can touch the scale must preserve the grid.
+        for label, value in (
+            ("initial_scale", initial_scale),
+            ("growth_factor", growth_factor),
+            ("backoff_factor", backoff_factor),
+            ("min_scale", min_scale),
+            ("max_scale", max_scale),
+        ):
+            if not is_power_of_two(value):
+                raise ValueError(
+                    f"{label} must be a power of two to keep the loss "
+                    f"scale on the power-of-two grid, got {value!r}"
+                )
         self.growth_factor = growth_factor
         self.backoff_factor = backoff_factor
         self.growth_interval = growth_interval

@@ -7,6 +7,7 @@ from .codec_model import (
     calibrate_codec_throughput,
     pipelined_transfer_time,
     serial_transfer_time,
+    throughput_from_metrics,
     timeline_pipelined_transfer,
 )
 from .checkpoint_overhead import (
@@ -67,6 +68,7 @@ __all__ = [
     "calibrate_codec_throughput",
     "pipelined_transfer_time",
     "serial_transfer_time",
+    "throughput_from_metrics",
     "timeline_pipelined_transfer",
     "checkpoint_cost_seconds",
     "young_interval",

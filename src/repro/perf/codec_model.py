@@ -49,8 +49,45 @@ __all__ = [
     "calibrate_codec_throughput",
     "pipelined_transfer_time",
     "serial_transfer_time",
+    "throughput_from_metrics",
     "timeline_pipelined_transfer",
 ]
+
+
+def throughput_from_metrics(registry, codec_name: str) -> CodecThroughput:
+    """Recover a codec's effective throughput from run telemetry.
+
+    Divides the ``repro_wire_encode_bytes_total`` /
+    ``repro_wire_decode_bytes_total`` counters by the summed
+    ``repro_wire_*_seconds`` histograms that the wire layer
+    (:func:`repro.core.wire.transfer.iencoded_allgather`) records for
+    ``codec_name`` — i.e. the *measured* bytes-per-second of what
+    actually ran, the profile-driven input ZipCCL-style codec selection
+    wants instead of a modelled constant.
+
+    Raises :class:`ValueError` when the run recorded no encode or
+    decode activity for the codec.
+    """
+    encode_bytes = registry.get("repro_wire_encode_bytes_total").value(
+        codec=codec_name
+    )
+    decode_bytes = registry.get("repro_wire_decode_bytes_total").value(
+        codec=codec_name
+    )
+    encode_s = registry.get("repro_wire_encode_seconds").value(
+        codec=codec_name
+    ).sum
+    decode_s = registry.get("repro_wire_decode_seconds").value(
+        codec=codec_name
+    ).sum
+    if encode_s <= 0 or decode_s <= 0:
+        raise ValueError(
+            f"no recorded encode/decode activity for codec {codec_name!r}"
+        )
+    return CodecThroughput(
+        encode_bps=encode_bytes / encode_s,
+        decode_bps=decode_bytes / decode_s,
+    )
 
 
 def calibrate_codec_throughput(
@@ -59,6 +96,7 @@ def calibrate_codec_throughput(
     repeats: int = 3,
     seed: int = 0,
     vocab: int = 10_000_000,
+    registry=None,
 ) -> CodecThroughput:
     """Measure ``codec``'s host encode/decode throughput (bytes/second).
 
@@ -72,6 +110,11 @@ def calibrate_codec_throughput(
     :data:`~repro.core.wire.cost.DEFAULT_CODEC_THROUGHPUTS`.  Use this
     to build an honest ``throughputs=`` table when the selector should
     reflect wall-clock reality (e.g. the wire-compression bench tables).
+
+    When ``registry`` (a :class:`~repro.telemetry.MetricsRegistry`) is
+    given, the calibrated figures are also published as
+    ``repro_codec_calibrated_bps{codec=...,direction=...}`` gauges so
+    benchmark emission picks them up.
     """
     if nbytes < 8:
         raise ValueError("nbytes must cover at least one int64 element")
@@ -91,10 +134,19 @@ def calibrate_codec_throughput(
         t0 = time.perf_counter()
         codec.decode(frame, data.dtype)
         best_decode = min(best_decode, time.perf_counter() - t0)
-    return CodecThroughput(
+    result = CodecThroughput(
         encode_bps=data.nbytes / best_encode,
         decode_bps=data.nbytes / best_decode,
     )
+    if registry is not None:
+        gauge = registry.gauge(
+            "repro_codec_calibrated_bps",
+            "Host-measured codec throughput (bytes/second)",
+            labelnames=("codec", "direction"),
+        )
+        gauge.set(result.encode_bps, codec=codec.name, direction="encode")
+        gauge.set(result.decode_bps, codec=codec.name, direction="decode")
+    return result
 
 
 def serial_transfer_time(

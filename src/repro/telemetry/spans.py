@@ -1,0 +1,275 @@
+"""Merged multi-pid chrome-trace export across generations and streams.
+
+The repo has three span sources that previously exported through
+incompatible conventions:
+
+* :class:`~repro.cluster.timeline.Timeline` — compute/comm stream
+  intervals, one pid per rank, tid 0/1;
+* :class:`~repro.cluster.tracing.CostLedger` — collective cost events
+  with scopes and wire bytes;
+* :class:`~repro.train.resilience.ResilientRunner` — one
+  timeline/ledger pair *per communicator generation* (the world may
+  shrink between generations).
+
+This module merges all three into **one** chrome trace: generation
+``g`` with world size ``W_g`` occupies a contiguous pid block after all
+earlier generations, each rank contributes a compute track (tid 0), a
+comm track (tid 1), and a ledger track (tid 2), and generations are laid
+out end-to-end in time (offset by the cumulative span of earlier
+generations) so the merged view reads as one continuous run.
+
+Traces can round-trip through JSON ("trace parts") so ``repro.cli
+trace`` can re-merge and validate a run recorded by an earlier
+process.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..cluster.timeline import TimelineEvent, events_to_chrome
+from ..cluster.tracing import CommEvent, CostLedger
+
+__all__ = [
+    "COMPUTE_TID",
+    "COMM_TID",
+    "LEDGER_TID",
+    "GenerationPart",
+    "TraceValidationError",
+    "merged_trace",
+    "parts_from_json",
+    "parts_to_json",
+    "validate_chrome_trace",
+    "write_trace",
+]
+
+#: Thread ids of the three per-rank tracks in the merged trace.
+COMPUTE_TID = 0
+COMM_TID = 1
+LEDGER_TID = 2
+
+_TID_NAMES = {COMPUTE_TID: "compute", COMM_TID: "comm", LEDGER_TID: "ledger"}
+
+
+class TraceValidationError(RuntimeError):
+    """A merged chrome trace violated a structural invariant.
+
+    Raised for negative timestamps/durations or overlapping ``X``
+    blocks on the same (pid, tid) track — either one means the span
+    accounting upstream is wrong.
+    """
+
+
+@dataclass
+class GenerationPart:
+    """Span data of one communicator generation, as plain events.
+
+    Holding event lists (rather than live ``Timeline``/``CostLedger``
+    objects) keeps parts JSON-serialisable, so a trace recorded by
+    ``train --telemetry-dir`` can be merged later by ``repro.cli
+    trace`` in a different process.
+    """
+
+    world_size: int
+    timeline_events: List[TimelineEvent] = field(default_factory=list)
+    ledger_events: List[CommEvent] = field(default_factory=list)
+    label: str = ""
+
+    @classmethod
+    def from_run(cls, ledger, timeline, label: str = "") -> "GenerationPart":
+        """Capture a live ledger/timeline pair (either may be ``None``)."""
+        world = 0
+        if timeline is not None:
+            world = timeline.world_size
+        elif ledger is not None and ledger.events:
+            world = max(e.world for e in ledger.events)
+        return cls(
+            world_size=max(world, 1),
+            timeline_events=list(timeline.events) if timeline is not None else [],
+            ledger_events=list(ledger.events) if ledger is not None else [],
+            label=label,
+        )
+
+    @property
+    def span_s(self) -> float:
+        """Latest event end in this generation (its time footprint)."""
+        span = 0.0
+        for e in self.timeline_events:
+            span = max(span, e.end)
+        clock = 0.0
+        for e in self.ledger_events:
+            if e.has_schedule:
+                span = max(span, e.end_s)
+                clock = max(clock, e.end_s)
+            else:
+                clock += e.time_s
+                span = max(span, clock)
+        return span
+
+
+def parts_to_json(parts: Sequence[GenerationPart]) -> dict:
+    """Serialise generation parts for a trace-parts file."""
+    return {
+        "version": 1,
+        "generations": [
+            {
+                "world_size": p.world_size,
+                "label": p.label,
+                "timeline_events": [
+                    [e.rank, e.stream, e.name, e.start, e.end]
+                    for e in p.timeline_events
+                ],
+                "ledger_events": [
+                    {
+                        "op": e.op,
+                        "world": e.world,
+                        "wire_bytes_per_rank": e.wire_bytes_per_rank,
+                        "time_s": e.time_s,
+                        "tag": e.tag,
+                        "scope": e.scope,
+                        "start_s": e.start_s,
+                        "end_s": e.end_s,
+                        "payload_bytes_per_rank": e.payload_bytes_per_rank,
+                    }
+                    for e in p.ledger_events
+                ],
+            }
+            for p in parts
+        ],
+    }
+
+
+def parts_from_json(obj: dict) -> List[GenerationPart]:
+    """Inverse of :func:`parts_to_json` (accepts a dict or a JSON string)."""
+    if isinstance(obj, str):
+        obj = json.loads(obj)
+    parts = []
+    for g in obj["generations"]:
+        parts.append(
+            GenerationPart(
+                world_size=int(g["world_size"]),
+                timeline_events=[
+                    TimelineEvent(int(r), stream, name, float(s), float(e))
+                    for r, stream, name, s, e in g["timeline_events"]
+                ],
+                ledger_events=[CommEvent(**e) for e in g["ledger_events"]],
+                label=g.get("label", ""),
+            )
+        )
+    return parts
+
+
+def merged_trace(
+    parts: Sequence[GenerationPart],
+    metadata: bool = True,
+    serialize_generations: bool = True,
+) -> List[dict]:
+    """Merge every generation's streams + ledger into one chrome trace.
+
+    Generation ``g`` gets pids ``[sum(W_0..W_{g-1}), ...)`` — one per
+    rank — with tids 0/1/2 for compute/comm/ledger, and is shifted in
+    time past all earlier generations when ``serialize_generations`` is
+    true (a resilient run's generations are sequential in real time).
+    """
+    trace: List[dict] = []
+    pid_base = 0
+    offset_s = 0.0
+    for g, part in enumerate(parts):
+        if metadata:
+            label = part.label or f"gen{g}"
+            for r in range(part.world_size):
+                trace.append(
+                    {
+                        "name": "process_name", "ph": "M",
+                        "pid": pid_base + r, "tid": 0,
+                        "args": {"name": f"{label} rank {r}",
+                                 "generation": g},
+                    }
+                )
+                for tid, tname in _TID_NAMES.items():
+                    trace.append(
+                        {
+                            "name": "thread_name", "ph": "M",
+                            "pid": pid_base + r, "tid": tid,
+                            "args": {"name": tname, "generation": g},
+                        }
+                    )
+        trace.extend(
+            events_to_chrome(
+                part.timeline_events,
+                pid_base=pid_base,
+                time_offset_s=offset_s,
+                generation=g,
+            )
+        )
+        ledger = CostLedger(events=list(part.ledger_events))
+        trace.extend(
+            ledger.to_chrome_trace(
+                pid_base=pid_base,
+                tid=LEDGER_TID,
+                time_offset_s=offset_s,
+                metadata=False,
+                generation=g,
+            )
+        )
+        pid_base += part.world_size
+        if serialize_generations:
+            offset_s += part.span_s
+    return trace
+
+
+def validate_chrome_trace(trace: Sequence[dict]) -> Dict[str, object]:
+    """Check structural invariants of a chrome trace; return a summary.
+
+    Raises :class:`TraceValidationError` on negative timestamps or
+    durations, or when two ``X`` blocks on the same (pid, tid) track
+    overlap by more than floating-point jitter.  Returns counts and the
+    pid/tid/generation sets for reporting.
+    """
+    tracks: Dict[tuple, List[tuple]] = {}
+    pids = set()
+    generations = set()
+    n_events = 0
+    for event in trace:
+        if event.get("ph") != "X":
+            continue
+        n_events += 1
+        ts = float(event["ts"])
+        dur = float(event.get("dur", 0.0))
+        if ts < 0:
+            raise TraceValidationError(
+                f"negative timestamp {ts} on event {event.get('name')!r}"
+            )
+        if dur < 0:
+            raise TraceValidationError(
+                f"negative duration {dur} on event {event.get('name')!r}"
+            )
+        key = (event["pid"], event["tid"])
+        tracks.setdefault(key, []).append((ts, ts + dur, event.get("name")))
+        pids.add(event["pid"])
+        gen = event.get("args", {}).get("generation")
+        if gen is not None:
+            generations.add(gen)
+    epsilon = 1e-3  # one nanosecond of slack, in microseconds
+    for (pid, tid), intervals in tracks.items():
+        intervals.sort()
+        for (s0, e0, n0), (s1, e1, n1) in zip(intervals, intervals[1:]):
+            if s1 < e0 - epsilon:
+                raise TraceValidationError(
+                    f"overlap on track pid={pid} tid={tid}: "
+                    f"{n0!r} [{s0}, {e0}) overlaps {n1!r} [{s1}, {e1})"
+                )
+    return {
+        "events": n_events,
+        "tracks": len(tracks),
+        "pids": sorted(pids),
+        "generations": sorted(generations),
+    }
+
+
+def write_trace(path, trace: Sequence[dict]) -> None:
+    """Write a chrome trace JSON array to ``path``."""
+    with open(path, "w") as f:
+        json.dump(list(trace), f)

@@ -104,6 +104,11 @@ class ResilientRunner:
         ``checkpoint_every`` is not given explicitly.
     checkpoint_every:
         Checkpoint every N optimizer steps; overrides the cost model.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySession`.  The runner
+        adopts the trainer into it (per-step records), re-tracks every
+        rebuilt communicator as a new generation, and mirrors each
+        :class:`RecoveryEvent` into the session's event stream.
     """
 
     def __init__(
@@ -121,6 +126,7 @@ class ResilientRunner:
         checkpoint_cost_s: float = 1.0,
         step_time_s: float = 1.0,
         checkpoint_every: int | None = None,
+        telemetry=None,
     ):
         if max_retries < 1:
             raise ValueError("max_retries must be >= 1")
@@ -151,11 +157,22 @@ class ResilientRunner:
         self.trainer = trainer_factory(config, initial_comm)
         #: Timelines of every communicator generation (initial + rebuilds).
         self.timelines = [initial_comm.timeline]
+        #: Ledgers of every communicator generation (parallel list).
+        self.ledgers = [initial_comm.ledger]
         self.events: list[RecoveryEvent] = []
         self.losses: list[float] = []
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.adopt_trainer(self.trainer)
         self._lr_scale = 1.0
         self._attempts = 0
         self._initial_saved = False
+
+    def _note(self, kind: str, step: int, detail: str) -> None:
+        """Append a RecoveryEvent and mirror it into the telemetry session."""
+        self.events.append(RecoveryEvent(kind, step, detail))
+        if self.telemetry is not None:
+            self.telemetry.record_event(kind, step, detail)
 
     # ------------------------------------------------------------------
     # the supervised loop
@@ -180,33 +197,27 @@ class ResilientRunner:
             except TransientLinkError as fault:
                 self._attempts += 1
                 if self._attempts > self.max_retries:
-                    self.events.append(
-                        RecoveryEvent(
-                            "retries-exhausted",
-                            self.trainer.global_step,
-                            f"rank {fault.rank} link still failing after "
-                            f"{self.max_retries} retries; evicting the rank",
-                        )
+                    self._note(
+                        "retries-exhausted",
+                        self.trainer.global_step,
+                        f"rank {fault.rank} link still failing after "
+                        f"{self.max_retries} retries; evicting the rank",
                     )
                     self._recover_from_rank_loss(fault.rank)
                     continue
                 self._rewind(snapshot)
                 backoff_s = self._charge_backoff(fault)
-                self.events.append(
-                    RecoveryEvent(
-                        "retry",
-                        self.trainer.global_step,
-                        f"{fault.op} on rank {fault.rank}: attempt "
-                        f"{self._attempts}/{self.max_retries}, backoff "
-                        f"{backoff_s:.3f}s",
-                    )
+                self._note(
+                    "retry",
+                    self.trainer.global_step,
+                    f"{fault.op} on rank {fault.rank}: attempt "
+                    f"{self._attempts}/{self.max_retries}, backoff "
+                    f"{backoff_s:.3f}s",
                 )
                 continue
             except RankFailureError as fault:
-                self.events.append(
-                    RecoveryEvent(
-                        "rank-loss", self.trainer.global_step, str(fault)
-                    )
+                self._note(
+                    "rank-loss", self.trainer.global_step, str(fault)
                 )
                 self._recover_from_rank_loss(fault.rank)
                 continue
@@ -326,19 +337,20 @@ class ResilientRunner:
         new_config = replace(old_config, world_size=new_world)
         comm = self.comm_factory(new_world)
         self.timelines.append(comm.timeline)
+        self.ledgers.append(comm.ledger)
         trainer = self.trainer_factory(new_config, comm)
         load_checkpoint(self.checkpoint_path, trainer, elastic=True)
         self.trainer = trainer
         self.config = new_config
         self._attempts = 0
-        self.events.append(
-            RecoveryEvent(
-                "resume",
-                trainer.global_step,
-                f"world {old_config.world_size} -> {new_world} (rank "
-                f"{failed_rank} lost), lr scale {self._lr_scale:.4f}, "
-                f"resumed from step {trainer.global_step}",
-            )
+        if self.telemetry is not None:
+            self.telemetry.adopt_trainer(trainer)
+        self._note(
+            "resume",
+            trainer.global_step,
+            f"world {old_config.world_size} -> {new_world} (rank "
+            f"{failed_rank} lost), lr scale {self._lr_scale:.4f}, "
+            f"resumed from step {trainer.global_step}",
         )
 
     # ------------------------------------------------------------------
@@ -365,9 +377,7 @@ class ResilientRunner:
             t.comm.timeline.record_compute(
                 rank, self.checkpoint_cost_s, name="checkpoint"
             )
-        self.events.append(
-            RecoveryEvent("checkpoint", t.global_step, detail)
-        )
+        self._note("checkpoint", t.global_step, detail)
 
     @property
     def lr_scale(self) -> float:
@@ -378,20 +388,31 @@ class ResilientRunner:
         """Summed makespan across every communicator generation."""
         return sum(tl.makespan for tl in self.timelines)
 
+    def generation_parts(self) -> list:
+        """Span data of every generation, for the merged trace exporter."""
+        from ..telemetry.spans import GenerationPart
+
+        return [
+            GenerationPart.from_run(ledger, timeline, label=f"gen{g}")
+            for g, (ledger, timeline) in enumerate(
+                zip(self.ledgers, self.timelines)
+            )
+        ]
+
     def chrome_trace(self) -> list[dict]:
         """Merged chrome trace over all communicator generations.
 
-        Each event is annotated with its ``generation`` (0 = the initial
-        communicator) so retries, backoff, checkpoint writes, and the
-        post-shrink schedule are all visible in one view.
+        Uses the :mod:`repro.telemetry.spans` exporter: generation ``g``
+        occupies its own pid block (one pid per rank, tids for
+        compute/comm/ledger) shifted past all earlier generations in
+        time, and every event is annotated with its ``generation``
+        (0 = the initial communicator) so retries, backoff, checkpoint
+        writes, and the post-shrink schedule are all visible in one
+        view.
         """
-        trace = []
-        for generation, timeline in enumerate(self.timelines):
-            for event in timeline.to_chrome_trace():
-                event = dict(event)
-                event["args"] = dict(event.get("args", {}), generation=generation)
-                trace.append(event)
-        return trace
+        from ..telemetry.spans import merged_trace
+
+        return merged_trace(self.generation_parts())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

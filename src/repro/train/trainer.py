@@ -129,6 +129,11 @@ class DistributedTrainer:
         Optional pre-built communicator; by default one is created with
         memory tracking **off** (accuracy runs routinely simulate more
         ranks x batch than one host could track byte-for-byte).
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySession`; when set
+        (here or later via ``session.adopt_trainer``), every optimizer
+        step emits a structured record — loss, perplexity, step time,
+        wire-byte delta, loss scale, skip flag — to the session.
     """
 
     def __init__(
@@ -139,6 +144,7 @@ class DistributedTrainer:
         valid_tokens: np.ndarray,
         config: TrainConfig,
         comm: Communicator | None = None,
+        telemetry=None,
     ):
         self.config = config
         self.comm = (
@@ -214,6 +220,9 @@ class DistributedTrainer:
         self.skipped_steps = 0    # overflow-skipped optimizer steps
         self.epochs_done = 0      # completed train_epoch calls
         self.history: list[EpochStats] = []
+        self.telemetry = None     # set by TelemetrySession.adopt_trainer
+        if telemetry is not None:
+            telemetry.adopt_trainer(self)
 
     # ------------------------------------------------------------------
 
@@ -270,6 +279,10 @@ class DistributedTrainer:
         accumulate locally), synchronizes once, and applies the update.
         Returns the mean training loss over ranks and micro-steps.
         """
+        telemetry = self.telemetry
+        if telemetry is not None:
+            ledger_before = self.comm.ledger.snapshot()
+            time_before = self.comm.timeline.mark()
         accum = self.config.accumulation_steps
         scale = self.scaler.scale if self.scaler is not None else 1.0
         losses = []
@@ -289,6 +302,7 @@ class DistributedTrainer:
             self.synchronizer.sync_replicas(self.replicas)
         if accum > 1:
             self._scale_grads(1.0 / accum)
+        skipped = False
         if self.scaler is not None:
             self.scaler.unscale_grads(
                 [p for r in self.replicas for p in r.parameters()]
@@ -303,12 +317,29 @@ class DistributedTrainer:
                 for replica in self.replicas:
                     replica.zero_grad()
                 self.skipped_steps += 1
-                self.global_step += 1
-                return float(np.mean(losses))
-        for opt in self.optimizers:
-            opt.step()
+                skipped = True
+        if not skipped:
+            for opt in self.optimizers:
+                opt.step()
         self.global_step += 1
-        return float(np.mean(losses))
+        mean_loss = float(np.mean(losses))
+        if telemetry is not None:
+            delta = self.comm.ledger.delta_since(ledger_before)
+            telemetry.record_step(
+                step=self.global_step,
+                loss=mean_loss,
+                train_ppl=float(np.exp(min(mean_loss, 50.0))),
+                loss_scale=(
+                    self.scaler.scale if self.scaler is not None else 1.0
+                ),
+                skipped=skipped,
+                step_time_s=self.comm.timeline.elapsed_since(time_before),
+                comm_time_s=delta.time_s,
+                wire_bytes_per_rank=delta.wire_bytes_per_rank,
+                collectives=delta.n_events,
+                world_size=self.comm.world_size,
+            )
+        return mean_loss
 
     def _scale_grads(self, factor: float) -> None:
         """Scale every synchronized gradient in place (micro-batch mean)."""

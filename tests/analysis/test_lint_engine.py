@@ -61,7 +61,7 @@ class TestNoqa:
 class TestRegistry:
     def test_default_rules_cover_the_documented_set(self):
         ids = [r.rule_id for r in default_rules()]
-        assert ids == [f"REPRO00{i}" for i in range(1, 9)]
+        assert ids == [f"REPRO00{i}" for i in range(1, 10)]
 
     def test_subset_selection(self):
         ids = [r.rule_id for r in default_rules(["repro001", "REPRO006"])]

@@ -267,3 +267,62 @@ class TestRepro008UncodedPayload:
         for exempt in ("cluster/communicator.py", "core/unique.py",
                        "analysis/sanitizer.py"):
             assert ids_for(src, exempt, only="REPRO008") == []
+
+
+class TestRepro009TelemetryBypass:
+    def test_stdout_write_flagged(self):
+        src = "import sys\n\ndef f():\n    sys.stdout.write('loss=1')\n"
+        assert ids_for(src, "train/loop.py", only="REPRO009") == ["REPRO009"]
+
+    def test_stderr_write_flagged(self):
+        src = "import sys\n\ndef f():\n    sys.stderr.write('oops')\n"
+        assert ids_for(src, "train/loop.py", only="REPRO009") == ["REPRO009"]
+
+    def test_series_internals_flagged(self):
+        src = "def f(counter):\n    return counter._series\n"
+        assert ids_for(src, "perf/model.py", only="REPRO009") == ["REPRO009"]
+
+    def test_bare_metric_ctor_flagged(self):
+        src = (
+            "from repro.telemetry import Counter\n"
+            "\n"
+            "def f():\n"
+            "    return Counter('x_total', 'help')\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO009") == ["REPRO009"]
+
+    def test_aliased_metric_ctor_flagged(self):
+        src = (
+            "from repro.telemetry import Gauge as G\n"
+            "\n"
+            "def f():\n"
+            "    return G('x', 'help')\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO009") == ["REPRO009"]
+
+    def test_attribute_chain_ctor_flagged(self):
+        src = (
+            "from repro import telemetry\n"
+            "\n"
+            "def f():\n"
+            "    return telemetry.Histogram('x', 'help')\n"
+        )
+        assert ids_for(src, "train/loop.py", only="REPRO009") == ["REPRO009"]
+
+    def test_registry_minted_metric_allowed(self):
+        src = "def f(registry):\n    registry.counter('x_total', 'help').inc()\n"
+        assert ids_for(src, "train/loop.py", only="REPRO009") == []
+
+    def test_collections_counter_not_confused(self):
+        src = "from collections import Counter\n\ndef f(xs):\n    return Counter(xs)\n"
+        assert ids_for(src, "data/text.py", only="REPRO009") == []
+
+    def test_value_accessor_allowed(self):
+        src = "def f(counter):\n    return counter.value()\n"
+        assert ids_for(src, "perf/model.py", only="REPRO009") == []
+
+    def test_telemetry_package_and_cli_exempt(self):
+        src = "def f(metric):\n    return metric._series\n"
+        for exempt in ("telemetry/registry.py", "telemetry/exporters.py",
+                       "cli.py"):
+            assert ids_for(src, exempt, only="REPRO009") == []

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.cluster.tracing import CostLedger, LedgerScopeError
+from repro.cluster.tracing import (
+    CostLedger,
+    LedgerResetError,
+    LedgerScopeError,
+)
 
 
 class TestRecording:
@@ -123,3 +127,31 @@ class TestSnapshots:
         assert delta.n_events == 1
         assert delta.wire_bytes_per_rank == 5
         assert delta.time_s == pytest.approx(0.25)
+
+    def test_delta_across_reset_raises(self):
+        """Regression: pre-reset snapshots used to yield negative deltas."""
+        ledger = CostLedger()
+        ledger.record("a", 1, 100, 1.0)
+        snap = ledger.snapshot()
+        ledger.record("b", 1, 50, 0.5)
+        ledger.reset()
+        with pytest.raises(LedgerResetError, match="generation 0.*generation 1"):
+            ledger.delta_since(snap)
+
+    def test_generation_advances_on_every_reset(self):
+        ledger = CostLedger()
+        assert ledger.generation == 0
+        ledger.reset()
+        ledger.reset()
+        assert ledger.generation == 2
+        assert ledger.snapshot().generation == 2
+
+    def test_same_generation_delta_still_works_after_reset(self):
+        ledger = CostLedger()
+        ledger.record("a", 1, 10, 0.1)
+        ledger.reset()
+        snap = ledger.snapshot()
+        ledger.record("b", 1, 5, 0.05)
+        delta = ledger.delta_since(snap)
+        assert delta.wire_bytes_per_rank == 5
+        assert delta.n_events == 1

@@ -119,6 +119,43 @@ class TestDynamicLossScaler:
         with pytest.raises(ValueError):
             DynamicLossScaler(initial_scale=0.5, min_scale=1.0)
 
+    def test_non_power_of_two_knobs_rejected(self):
+        """Regression: a 3.0 bound let the scale drift off powers of two."""
+        with pytest.raises(ValueError, match="initial_scale.*power of two"):
+            DynamicLossScaler(initial_scale=3.0)
+        with pytest.raises(ValueError, match="growth_factor.*power of two"):
+            DynamicLossScaler(growth_factor=3.0)
+        with pytest.raises(ValueError, match="backoff_factor.*power of two"):
+            DynamicLossScaler(backoff_factor=0.75)
+        with pytest.raises(ValueError, match="min_scale.*power of two"):
+            DynamicLossScaler(min_scale=3.0)
+        with pytest.raises(ValueError, match="max_scale.*power of two"):
+            DynamicLossScaler(max_scale=3.0 * 2.0**14)
+
+    def test_power_of_two_invariant_holds_under_churn(self):
+        from repro.optim import is_power_of_two
+
+        s = DynamicLossScaler(
+            initial_scale=2.0**10, growth_interval=2,
+            min_scale=2.0**-4, max_scale=2.0**20,
+        )
+        overflow = [True, False, False, True, False] * 8
+        for flag in overflow:
+            s.update(flag)
+            assert is_power_of_two(s.scale), s.scale
+
+    def test_is_power_of_two(self):
+        from repro.optim import is_power_of_two
+
+        assert is_power_of_two(1.0)
+        assert is_power_of_two(0.5)
+        assert is_power_of_two(2.0**30)
+        assert not is_power_of_two(3.0)
+        assert not is_power_of_two(0.0)
+        assert not is_power_of_two(-2.0)
+        assert not is_power_of_two(float("inf"))
+        assert not is_power_of_two(float("nan"))
+
 
 class TestOverflowDetection:
     def test_finite_grads_pass(self):

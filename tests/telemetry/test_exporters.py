@@ -1,0 +1,107 @@
+"""Exact-agreement tests for the Prometheus-text and JSON exporters.
+
+The acceptance gate is equality, not tolerance: parsing the text export
+must recover every sample value bit-identically to the JSON export.
+"""
+
+import json
+import math
+
+from repro.telemetry import (
+    MetricsRegistry,
+    flatten_samples,
+    format_value,
+    parse_prometheus_text,
+    to_json,
+    to_prometheus_text,
+)
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_bytes_total", "Total bytes", labelnames=("codec",))
+    c.inc(123456789, codec="delta")
+    c.inc(0.1 + 0.2, codec="rle")  # a float that needs repr round-trip
+    g = reg.gauge("repro_scale", "Loss scale")
+    g.set(1024)
+    h = reg.histogram(
+        "repro_t_seconds", "Step seconds", labelnames=("phase",),
+        buckets=(0.001, 0.1, 1.0),
+    )
+    for v in (0.0005, 0.05, 0.7, 3.0):
+        h.observe(v, phase="train")
+    return reg
+
+
+class TestFormatValue:
+    def test_integral_floats_render_as_ints(self):
+        assert format_value(2.0) == "2"
+        assert format_value(1024) == "1024"
+
+    def test_floats_use_repr_round_trip(self):
+        text = format_value(0.1 + 0.2)
+        assert float(text) == 0.1 + 0.2
+
+    def test_infinities(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+
+    def test_huge_integral_float_stays_float(self):
+        assert float(format_value(2.0**60)) == 2.0**60
+
+
+class TestJsonExport:
+    def test_shape(self):
+        export = to_json(populated_registry())
+        names = [f["name"] for f in export["metrics"]]
+        assert names == sorted(names)
+        (hist,) = [f for f in export["metrics"] if f["type"] == "histogram"]
+        (sample,) = hist["samples"]
+        assert sample["labels"] == {"phase": "train"}
+        assert sample["count"] == 4
+        assert [b for _, b in sample["buckets"]] == [1, 2, 3, 4]
+        assert sample["buckets"][-1][0] == "+Inf"
+
+    def test_json_round_trip_preserves_floats(self):
+        export = to_json(populated_registry())
+        assert json.loads(json.dumps(export)) == export
+
+
+class TestPrometheusText:
+    def test_help_type_and_sample_lines(self):
+        text = to_prometheus_text(populated_registry())
+        assert "# HELP repro_bytes_total Total bytes" in text
+        assert "# TYPE repro_bytes_total counter" in text
+        assert 'repro_bytes_total{codec="delta"} 123456789' in text
+        assert 'repro_t_seconds_bucket{phase="train",le="+Inf"} 4' in text
+        assert 'repro_t_seconds_count{phase="train"} 4' in text
+        assert "repro_scale 1024" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("tag",)).inc(
+            1, tag='quo"te\\back\nline'
+        )
+        text = to_prometheus_text(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        flat = flatten_samples(parse_prometheus_text(text))
+        assert flat[("x_total", (("tag", 'quo"te\\back\nline'),), "value")] == 1
+
+    def test_parse_inverts_exactly(self):
+        reg = populated_registry()
+        parsed = parse_prometheus_text(to_prometheus_text(reg))
+        assert flatten_samples(parsed) == flatten_samples(to_json(reg))
+
+    def test_exports_agree_after_json_round_trip(self):
+        """The on-disk comparison `repro.cli trace` performs."""
+        reg = populated_registry()
+        from_disk = json.loads(json.dumps(to_json(reg)))
+        assert flatten_samples(parse_prometheus_text(
+            to_prometheus_text(reg)
+        )) == flatten_samples(from_disk)
+
+    def test_empty_registry(self):
+        reg = MetricsRegistry()
+        assert to_prometheus_text(reg) == "\n"
+        assert to_json(reg) == {"metrics": []}
+        assert flatten_samples(parse_prometheus_text("\n")) == {}

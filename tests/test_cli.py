@@ -219,3 +219,78 @@ class TestWireCodecFlags:
         )
         assert rc == 0
         assert "index compression:" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def run_telemetry_train(self, tmp_path, *extra):
+        tele = tmp_path / "tele"
+        rc = main(
+            [
+                "train", "--gpus", "2", "--steps", "4", "--vocab", "80",
+                "--corpus-tokens", "5000", "--telemetry-dir", str(tele),
+                *extra,
+            ]
+        )
+        assert rc == 0
+        return tele
+
+    def test_train_writes_telemetry_dir(self, capsys, tmp_path):
+        tele = self.run_telemetry_train(tmp_path)
+        out = capsys.readouterr().out
+        assert "telemetry: 4 steps" in out
+        for name in ("steps.jsonl", "metrics.prom", "metrics.json",
+                     "trace.json", "trace_parts.json", "summary.json"):
+            assert (tele / name).exists(), name
+        import json as _json
+
+        steps = [
+            _json.loads(line)
+            for line in (tele / "steps.jsonl").read_text().splitlines()
+        ]
+        assert [s["step"] for s in steps] == [1, 2, 3, 4]
+        assert all(s["wire_bytes_per_rank"] > 0 for s in steps)
+
+    def test_trace_subcommand_validates_and_cross_checks(
+        self, capsys, tmp_path
+    ):
+        tele = self.run_telemetry_train(
+            tmp_path, "--overlap", "--wire-codec", "auto",
+        )
+        capsys.readouterr()
+        rc = main(["trace", str(tele)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "merged trace:" in out
+        assert "generations [0]" in out
+        assert "exports: prometheus == json" in out
+        assert "ledger totals agree exactly" in out
+        assert (tele / "trace.json").exists()
+
+    def test_trace_resilient_run_has_per_generation_pids(
+        self, capsys, tmp_path
+    ):
+        """The ISSUE 5 acceptance invocation, end to end."""
+        tele = self.run_telemetry_train(
+            tmp_path, "--gpus", "3", "--steps", "8", "--resilient",
+            "--overlap", "--wire-codec", "auto",
+            "--checkpoint", str(tmp_path / "ckpt.npz"),
+        )
+        capsys.readouterr()
+        out_path = tmp_path / "merged.json"
+        rc = main(["trace", str(tele), "--out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        # Demo plan: world 3 shrinks to 2 -> 5 pids, generations 0 and 1.
+        assert "5 pids" in out
+        assert "generations [0, 1]" in out
+        assert "ledger totals agree exactly" in out
+        import json as _json
+
+        trace = _json.loads(out_path.read_text())
+        pids = {e["pid"] for e in trace if e["ph"] == "X"}
+        assert pids == {0, 1, 2, 3, 4}
+
+    def test_trace_missing_dir_errors(self, capsys, tmp_path):
+        rc = main(["trace", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "trace_parts.json" in capsys.readouterr().err
