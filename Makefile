@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-telemetry lint bench bench-smoke bench-wire examples results clean
+.PHONY: install test test-chaos test-telemetry lint verify-spmd bench bench-smoke bench-wire examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,15 @@ test-telemetry:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src/repro
+
+# SPMD collective-matching verification (docs/SPMD_VERIFY.md): the
+# static REPRO010-012 taint pass over the library and benchmarks, a
+# dynamic fault-plan replay under the LockstepVerifier, and the unit
+# suites for both layers.
+verify-spmd:
+	PYTHONPATH=src $(PYTHON) -m repro.cli verify-spmd src/repro benchmarks
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/analysis/test_spmd_rules.py tests/cluster/test_lockstep.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,13 +1,20 @@
 """Micro-benchmarks of the simulated collectives (real wall-clock via
 pytest-benchmark) plus the ring vs recursive-doubling cost-model
-crossover study called out in DESIGN.md's ablation list.
+crossover study called out in DESIGN.md's ablation list, and the
+lockstep-verifier overhead gate (docs/SPMD_VERIFY.md).
+
+Set ``REPRO_BENCH_FAST=1`` for the CI smoke mode (fewer rounds).
 """
+
+import os
+import time
 
 import numpy as np
 
 from repro.cluster import (
     Communicator,
     INFINIBAND_FDR,
+    LockstepVerifier,
     recursive_doubling_allreduce_time,
     ring_allreduce_time,
 )
@@ -15,6 +22,7 @@ from repro.report import format_table
 
 WORLD = 8
 SHAPE = (512, 256)
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 
 
 def make_arrays(seed=0):
@@ -41,6 +49,70 @@ def test_bench_reduce_scatter(benchmark):
     arrays = make_arrays(2)
     result = benchmark(lambda: comm.reduce_scatter(arrays))
     assert result[0].shape == (SHAPE[0] // WORLD, SHAPE[1])
+
+
+def test_bench_lockstep_overhead(benchmark, report):
+    """Acceptance gate: the lockstep verifier (sample hashing) must add
+    less than 5% to allreduce wall time — it observes, it never copies."""
+    rounds = 3 if FAST else 6
+    iters = 8 if FAST else 25
+    arrays = make_arrays(3)
+
+    plain = Communicator(WORLD, track_memory=False)
+    verified = Communicator(WORLD, track_memory=False)
+    verifier = LockstepVerifier.attach(verified)
+
+    def run(comm):
+        for _ in range(iters):
+            comm.allreduce(arrays)
+
+    def measure():
+        import gc
+
+        run(plain)  # warmup both arms out of the timed region
+        run(verified)
+        ratios = []
+        times = {"plain": [], "verified": []}
+        # Pair the arms within each round and gate on the best paired
+        # ratio: machine noise (GC, frequency scaling) that hits one
+        # whole round cancels out instead of counting as "overhead".
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(rounds):
+                gc.collect()
+                t0 = time.perf_counter()
+                run(plain)
+                t1 = time.perf_counter()
+                run(verified)
+                t2 = time.perf_counter()
+                times["plain"].append(t1 - t0)
+                times["verified"].append(t2 - t1)
+                ratios.append((t2 - t1) / (t1 - t0))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        ratios.sort()
+        return (min(times["plain"]), min(times["verified"]),
+                ratios[0], ratios[len(ratios) // 2])
+
+    best_plain, best_verified, best_ratio, median_ratio = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    verifier.check("bench: end")
+    overhead = best_ratio - 1.0
+    report(
+        "micro_collectives_lockstep_overhead",
+        f"allreduce x{iters}, world {WORLD}, payload {SHAPE} f32\n"
+        f"plain    : {best_plain * 1e3:8.2f} ms (best of {rounds})\n"
+        f"verified : {best_verified * 1e3:8.2f} ms (best of {rounds})\n"
+        f"overhead : {overhead:+.2%} best / {median_ratio - 1.0:+.2%} "
+        f"median paired ratio (budget +5% on best)",
+    )
+    assert verifier.collectives_observed > 0
+    assert overhead < 0.05, (
+        f"lockstep verifier overhead {overhead:.2%} exceeds the 5% budget"
+    )
 
 
 def test_ring_vs_recursive_doubling_crossover(benchmark, report):

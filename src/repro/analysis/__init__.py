@@ -8,15 +8,21 @@ be attributed to a ledger scope.  This package provides two complementary
 checkers:
 
 * :mod:`repro.analysis.lint` — an AST-based lint framework with
-  project-specific rules (``REPRO001``–``REPRO007``), run via
-  ``python -m repro.cli lint`` / ``make lint`` and enforced on
-  ``src/repro`` itself by a tier-1 test;
+  project-specific rules (``REPRO001``–``REPRO012``, the last three
+  built on the :mod:`repro.analysis.spmd` rank-dependence taint
+  analysis), run via ``python -m repro.cli lint`` / ``make lint`` and
+  enforced on ``src/repro`` itself by a tier-1 test;
 * :mod:`repro.analysis.sanitizer` — an opt-in runtime wrapper around
   :class:`~repro.cluster.communicator.Communicator` and the FP16 wire
   codec that detects mismatched per-rank collectives, compression
   overflow (with a counterexample), unbalanced ledger scopes, dropped
   async work handles, and cross-rank issue-order mismatches, run via
-  ``python -m repro.cli train --sanitize``.
+  ``python -m repro.cli train --sanitize``;
+* :mod:`repro.analysis.spmd` — the interprocedural call-graph + taint
+  layer behind rules REPRO010–012 and ``python -m repro.cli
+  verify-spmd`` (its dynamic twin, the
+  :class:`~repro.cluster.lockstep.LockstepVerifier`, lives in
+  :mod:`repro.cluster` to avoid an import cycle).
 """
 
 from .lint import (
@@ -33,6 +39,7 @@ from .sanitizer import (
     CompressionOverflowError,
     DoubleApplyError,
     DroppedHandleError,
+    InFlightMutationError,
     IssueOrderError,
     SanitizedFp16Codec,
     SanitizedWorkHandle,
@@ -57,6 +64,7 @@ __all__ = [
     "CompressionOverflowError",
     "DoubleApplyError",
     "DroppedHandleError",
+    "InFlightMutationError",
     "IssueOrderError",
     "SanitizedFp16Codec",
     "assert_clean_retry_state",

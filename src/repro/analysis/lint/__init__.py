@@ -17,6 +17,7 @@ from .engine import (
     register,
 )
 from . import rules  # noqa: F401  (import registers the rule set)
+from . import spmd_rules  # noqa: F401  (registers REPRO010-012)
 
 __all__ = [
     "PARSE_ERROR_ID",
@@ -29,4 +30,5 @@ __all__ = [
     "iter_rule_classes",
     "register",
     "rules",
+    "spmd_rules",
 ]

@@ -12,7 +12,7 @@ implement ``check``, and decorate with :func:`register`::
 
     @register
     class NoEvalRule(Rule):
-        rule_id = "REPRO007"
+        rule_id = "REPRO999"
         title = "eval() in library code"
         rationale = "eval hides data flow from every other rule."
 
@@ -23,7 +23,7 @@ implement ``check``, and decorate with :func:`register`::
                         and node.func.id == "eval"):
                     yield self.finding(module, node, "eval() is banned")
 
-Suppress a single line with ``# noqa: REPRO007`` (or a bare ``# noqa``
+Suppress a single line with ``# noqa: REPRO999`` (or a bare ``# noqa``
 for every rule — use sparingly, it defeats the point).
 """
 

@@ -1,4 +1,10 @@
-"""The project rule set, ``REPRO001``–``REPRO009``.
+"""The core rule set, ``REPRO001``–``REPRO009``.
+
+The SPMD collective-matching rules ``REPRO010``–``REPRO012`` live in
+:mod:`.spmd_rules` (they need the taint layer of
+:mod:`repro.analysis.spmd`).  Definitions here are kept sorted by rule
+id — registration order is the registry's iteration order, and the
+ID-ordering test in ``tests/analysis/test_lint_engine.py`` enforces it.
 
 Each rule guards an invariant the paper's experiments depend on; the
 rationale strings say which section breaks when the rule is violated.
@@ -409,6 +415,40 @@ class ExportsDriftRule(Rule):
 
 
 @register
+class PrintInLibraryRule(Rule):
+    """REPRO006: library code never prints."""
+
+    rule_id = "REPRO006"
+    title = "print() in library code"
+    rationale = (
+        "Library output must flow through the CostLedger / returned "
+        "report strings so experiment drivers stay machine-readable; a "
+        "stray print interleaves with the CLI's table output and breaks "
+        "result parsing. Only the CLI layer prints."
+    )
+
+    #: Module files allowed to print (the user-facing shell).
+    ALLOWED_FILES = frozenset({"cli.py"})
+
+    def applies_to(self, path: Path) -> bool:
+        return path.name not in self.ALLOWED_FILES
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code: record to the CostLedger, "
+                    "return a string, or raise — the CLI owns stdout",
+                )
+
+
+@register
 class DroppedWorkHandleRule(Rule):
     """REPRO007: async collective work handles must be awaited."""
 
@@ -515,37 +555,92 @@ class DroppedWorkHandleRule(Rule):
 
 
 @register
-class PrintInLibraryRule(Rule):
-    """REPRO006: library code never prints."""
+class UncodedCollectivePayloadRule(Rule):
+    """REPRO008: orchestration-level payloads route through a WireCodec."""
 
-    rule_id = "REPRO006"
-    title = "print() in library code"
+    rule_id = "REPRO008"
+    title = "collective payload bypasses the wire-codec stack"
     rationale = (
-        "Library output must flow through the CostLedger / returned "
-        "report strings so experiment drivers stay machine-readable; a "
-        "stray print interleaves with the CLI's table output and breaks "
-        "result parsing. Only the CLI layer prints."
+        "The compression ablations (paper §III-C) only measure what "
+        "crosses the wire if every orchestration-level payload passes "
+        "through repro.core.wire — a raw comm.allgather(grads) both "
+        "skips compression and books logical bytes as wire bytes, "
+        "corrupting the ledger's compression_factor. Route payloads via "
+        "a codec/wire policy (or declare payload_bytes for pre-encoded "
+        "frames). The comm substrate and the codec stack itself "
+        "(cluster/, core/, analysis/) move raw bytes by design."
     )
 
-    #: Module files allowed to print (the user-facing shell).
-    ALLOWED_FILES = frozenset({"cli.py"})
+    #: Payload-carrying entry points.  Exempt: ``iencoded_allgather``
+    #: *is* the codec path, and barrier-like calls carry no payload.
+    _CALLEES = (_COLLECTIVES | _ASYNC_COLLECTIVES) - {"iencoded_allgather"}
+
+    #: Identifier fragments that signal codec-aware data flow.
+    _CODED_TOKENS = ("codec", "wire", "encoded", "frame")
 
     def applies_to(self, path: Path) -> bool:
-        return path.name not in self.ALLOWED_FILES
+        parts = set(path.parts)
+        return not parts & {"cluster", "core", "analysis"}
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "print"
-            ):
-                yield self.finding(
-                    module,
-                    node,
-                    "print() in library code: record to the CostLedger, "
-                    "return a string, or raise — the CLI owns stdout",
-                )
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._callee(node)
+            if callee is None:
+                continue
+            if self._codec_evidence(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"`{callee}(...)` payload bypasses the wire-codec stack: "
+                "pass codec=/wire=, encode the arrays first (declaring "
+                "payload_bytes=), or use iencoded_allgather — raw "
+                "payloads dodge §III-C compression and mis-book the "
+                "ledger's logical/wire byte split",
+            )
+
+    @classmethod
+    def _callee(cls, node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            return None
+        return name if name in cls._CALLEES else None
+
+    @classmethod
+    def _codec_evidence(cls, call: ast.Call) -> bool:
+        """Any sign the payload went through (or carries) a codec.
+
+        Accepted evidence: a ``codec=``/``wire=`` keyword (the exchange
+        entry points), ``payload_bytes=`` (caller pre-encoded and is
+        declaring logical bytes), an ``.encode(...)`` call inside an
+        argument, or an identifier mentioning codec/wire/encoded/frame
+        anywhere in the arguments.
+        """
+        for kw in call.keywords:
+            if kw.arg in {"codec", "wire", "payload_bytes"}:
+                return True
+        for arg in call.args:
+            for sub in ast.walk(arg):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "encode"
+                ):
+                    return True
+                if isinstance(sub, ast.Name):
+                    ident = sub.id.lower()
+                elif isinstance(sub, ast.Attribute):
+                    ident = sub.attr.lower()
+                else:
+                    continue
+                if any(tok in ident for tok in cls._CODED_TOKENS):
+                    return True
+        return False
 
 
 @register
@@ -636,93 +731,4 @@ class TelemetryBypassRule(Rule):
         if chain is not None:
             root, _, last = chain.rpartition(".")
             return last in cls._METRIC_CLASSES and "telemetry" in root
-        return False
-
-
-@register
-class UncodedCollectivePayloadRule(Rule):
-    """REPRO008: orchestration-level payloads route through a WireCodec."""
-
-    rule_id = "REPRO008"
-    title = "collective payload bypasses the wire-codec stack"
-    rationale = (
-        "The compression ablations (paper §III-C) only measure what "
-        "crosses the wire if every orchestration-level payload passes "
-        "through repro.core.wire — a raw comm.allgather(grads) both "
-        "skips compression and books logical bytes as wire bytes, "
-        "corrupting the ledger's compression_factor. Route payloads via "
-        "a codec/wire policy (or declare payload_bytes for pre-encoded "
-        "frames). The comm substrate and the codec stack itself "
-        "(cluster/, core/, analysis/) move raw bytes by design."
-    )
-
-    #: Payload-carrying entry points.  Exempt: ``iencoded_allgather``
-    #: *is* the codec path, and barrier-like calls carry no payload.
-    _CALLEES = (_COLLECTIVES | _ASYNC_COLLECTIVES) - {"iencoded_allgather"}
-
-    #: Identifier fragments that signal codec-aware data flow.
-    _CODED_TOKENS = ("codec", "wire", "encoded", "frame")
-
-    def applies_to(self, path: Path) -> bool:
-        parts = set(path.parts)
-        return not parts & {"cluster", "core", "analysis"}
-
-    def check(self, module: ModuleSource) -> Iterator[Finding]:
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            callee = self._callee(node)
-            if callee is None:
-                continue
-            if self._codec_evidence(node):
-                continue
-            yield self.finding(
-                module,
-                node,
-                f"`{callee}(...)` payload bypasses the wire-codec stack: "
-                "pass codec=/wire=, encode the arrays first (declaring "
-                "payload_bytes=), or use iencoded_allgather — raw "
-                "payloads dodge §III-C compression and mis-book the "
-                "ledger's logical/wire byte split",
-            )
-
-    @classmethod
-    def _callee(cls, node: ast.Call) -> str | None:
-        if isinstance(node.func, ast.Attribute):
-            name = node.func.attr
-        elif isinstance(node.func, ast.Name):
-            name = node.func.id
-        else:
-            return None
-        return name if name in cls._CALLEES else None
-
-    @classmethod
-    def _codec_evidence(cls, call: ast.Call) -> bool:
-        """Any sign the payload went through (or carries) a codec.
-
-        Accepted evidence: a ``codec=``/``wire=`` keyword (the exchange
-        entry points), ``payload_bytes=`` (caller pre-encoded and is
-        declaring logical bytes), an ``.encode(...)`` call inside an
-        argument, or an identifier mentioning codec/wire/encoded/frame
-        anywhere in the arguments.
-        """
-        for kw in call.keywords:
-            if kw.arg in {"codec", "wire", "payload_bytes"}:
-                return True
-        for arg in call.args:
-            for sub in ast.walk(arg):
-                if (
-                    isinstance(sub, ast.Call)
-                    and isinstance(sub.func, ast.Attribute)
-                    and sub.func.attr == "encode"
-                ):
-                    return True
-                if isinstance(sub, ast.Name):
-                    ident = sub.id.lower()
-                elif isinstance(sub, ast.Attribute):
-                    ident = sub.attr.lower()
-                else:
-                    continue
-                if any(tok in ident for tok in cls._CODED_TOKENS):
-                    return True
         return False

@@ -63,6 +63,7 @@ __all__ = [
     "CompressionOverflowError",
     "DoubleApplyError",
     "DroppedHandleError",
+    "InFlightMutationError",
     "IssueOrderError",
     "OpRecord",
     "SanitizedFp16Codec",
@@ -96,6 +97,16 @@ class DroppedHandleError(SanitizerError):
     The collective's scratch stays charged to every device and its
     completion never lands on the timeline — the async engine's
     equivalent of a leaked request.  Raised by :meth:`Sanitizer.finish`.
+    """
+
+
+class InFlightMutationError(SanitizerError):
+    """A buffer handed to an ``i*`` collective was written before wait().
+
+    The collective captured the payload by reference; on real hardware
+    the NIC may read either the old or the new value.  Raised by the
+    :class:`~repro.cluster.lockstep.LockstepVerifier`'s issue/wait
+    buffer-hash check — the dynamic counterpart of lint rule REPRO012.
     """
 
 
@@ -229,6 +240,13 @@ class Sanitizer:
     forbid_dtypes:
         Dtypes that must never cross the wire — e.g. ``(np.float64,)``
         in an FP16-compressed run, the dynamic counterpart of REPRO002.
+    lockstep:
+        Attach a :class:`~repro.cluster.lockstep.LockstepVerifier` to
+        the wrapped communicator: True builds one with defaults, or pass
+        a pre-configured verifier.  Its per-rank fingerprint streams are
+        cross-checked by :meth:`finish` (the dynamic counterpart of
+        REPRO010/011) and its buffer hashes catch in-flight mutation
+        (REPRO012).
 
     All non-collective attributes (``world_size``, ``ledger``,
     ``devices``, ...) delegate to the wrapped communicator, so a
@@ -241,6 +259,7 @@ class Sanitizer:
         require_scope: bool = False,
         check_finite: bool = True,
         forbid_dtypes: Sequence[np.dtype | type | str] = (),
+        lockstep=False,
     ):
         self._comm = comm
         self.require_scope = require_scope
@@ -249,6 +268,15 @@ class Sanitizer:
         self.op_log: list[OpRecord] = []
         self._issued_handles: list[SanitizedWorkHandle] = []
         self._rank_issue_logs: dict[int, list[OpRecord]] = {}
+        self.lockstep = None
+        if lockstep:
+            from ..cluster.lockstep import LockstepVerifier
+
+            if isinstance(lockstep, LockstepVerifier):
+                self.lockstep = lockstep
+                comm.verifier = lockstep
+            else:
+                self.lockstep = LockstepVerifier.attach(comm)
 
     def __getattr__(self, name: str):
         return getattr(self._comm, name)
@@ -476,6 +504,8 @@ class Sanitizer:
                 "timeline (lint rule REPRO007)"
             )
         self._comm.ledger.assert_balanced()
+        if self.lockstep is not None:
+            self.lockstep.check("finish")
         return list(self.op_log)
 
     # ------------------------------------------------------------------

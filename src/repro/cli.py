@@ -8,6 +8,8 @@ Subcommands::
     python -m repro.cli example  # the Section III-A worked example
     python -m repro.cli lint     [paths ... --rules REPRO001,REPRO006]
     python -m repro.cli trace    TELEMETRY_DIR [--out trace.json]
+    python -m repro.cli verify-spmd [paths ... --gpus 4 --steps 8
+                                     --fault-plan plan.json]
 
 Every command prints the same rows the corresponding paper table or
 figure reports; heavy lifting is delegated to the library so the CLI is
@@ -89,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--checkpoint", default=None, metavar="FILE",
                          help="checkpoint path for --resilient runs "
                          "(default: a temporary file)")
+    p_train.add_argument("--verify-spmd", action="store_true",
+                         help="attach the lockstep verifier to the "
+                         "communicator: every collective's (op, tag, shape, "
+                         "dtype) fingerprint is cross-checked across ranks "
+                         "at barrier/wait points, converting would-be "
+                         "deadlocks into immediate diagnostics")
     p_train.add_argument("--telemetry-dir", default=None, metavar="DIR",
                          help="stream per-step JSONL, Prometheus/JSON "
                          "metric exports, and merged chrome traces into "
@@ -119,6 +127,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all registered rules)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="describe the registered rules and exit")
+
+    p_verify = sub.add_parser(
+        "verify-spmd",
+        help="two-layer SPMD collective-matching verification: static "
+        "rank-divergence lint (REPRO010-012) plus a dynamic lockstep "
+        "replay of a fault plan under the LockstepVerifier",
+    )
+    p_verify.add_argument("paths", nargs="*", default=["src/repro"],
+                          help="files or directories for the static pass "
+                          "(default: src/repro)")
+    p_verify.add_argument("--gpus", type=int, default=4,
+                          help="world size for the dynamic replay")
+    p_verify.add_argument("--steps", type=int, default=8,
+                          help="training steps for the dynamic replay")
+    p_verify.add_argument("--fault-plan", default=None, metavar="FILE",
+                          help="JSON FaultPlan to replay under the verifier "
+                          "(default: a demo plan with one transient link "
+                          "fault)")
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--static-only", action="store_true",
+                          help="skip the dynamic lockstep replay")
+    p_verify.add_argument("--dynamic-only", action="store_true",
+                          help="skip the static taint lint")
 
     p_trace = sub.add_parser(
         "trace", help="merge and validate the traces of a telemetry dir"
@@ -189,8 +220,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
         codec = sanitize_codec(codec)
         comm = Sanitizer(
-            Communicator(args.gpus, track_memory=False), require_scope=True
+            Communicator(args.gpus, track_memory=False),
+            require_scope=True,
+            lockstep=args.verify_spmd,
         )
+    elif args.verify_spmd and not (args.resilient or args.fault_plan):
+        from repro.cluster import Communicator, LockstepVerifier
+
+        comm = Communicator(args.gpus, track_memory=False)
+        LockstepVerifier.attach(comm)
     cfg = TrainConfig(
         world_size=args.gpus,
         batch=BatchSpec(2, 10),
@@ -252,7 +290,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
           f"{' + fp16' if args.fp16 else ''}"
           f"{f' | wire: {args.wire_codec}' if args.wire_codec else ''}"
           f"{' | overlapped' if args.overlap else ''}"
-          f"{' | sanitized' if args.sanitize else ''}")
+          f"{' | sanitized' if args.sanitize else ''}"
+          f"{' | lockstep-verified' if args.verify_spmd else ''}")
     print(f"initial val ppl: {perplexity(trainer.evaluate()):.2f}")
     for step in range(args.steps):
         loss = trainer.train_step()
@@ -269,6 +308,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.sanitize:
         op_log = trainer.comm.finish()
         print(f"sanitizer: {len(op_log)} collectives checked, 0 violations")
+    if args.verify_spmd:
+        verifier = getattr(trainer.comm, "verifier", None)
+        if verifier is not None:
+            verifier.check("train: end of run")
+            print(f"lockstep: {verifier.collectives_observed} collective(s) "
+                  f"fingerprint-verified across "
+                  f"{len(verifier.live_ranks)} rank(s), 0 divergences")
     if session is not None:
         summary = session.finalize()
         print(f"telemetry: {summary['steps']} steps, "
@@ -304,6 +350,10 @@ def _run_resilient(args: argparse.Namespace, cfg, make_trainer,
             )
         plan = FaultPlan(events, seed=args.seed)
     comm = ChaosCommunicator(args.gpus, plan=plan, track_memory=False)
+    if getattr(args, "verify_spmd", False):
+        from repro.cluster import LockstepVerifier
+
+        LockstepVerifier.attach(comm)
     checkpoint = args.checkpoint or str(
         Path(tempfile.mkdtemp(prefix="repro-resilient-")) / "checkpoint.npz"
     )
@@ -325,6 +375,12 @@ def _run_resilient(args: argparse.Namespace, cfg, make_trainer,
     print(f"simulated time: {runner.total_simulated_time():.4f}s "
           f"across {len(runner.timelines)} communicator generation(s), "
           f"{retries} retr{'y' if retries == 1 else 'ies'} charged")
+    if getattr(args, "verify_spmd", False):
+        total = sum(v.collectives_observed for v in runner.verifiers
+                    if v is not None)
+        print(f"lockstep: {total} collective(s) fingerprint-verified "
+              f"across {len(runner.verifiers)} verifier generation(s), "
+              f"0 divergences")
     if session is not None:
         summary = session.finalize()
         print(f"telemetry: {summary['steps']} steps, "
@@ -479,6 +535,116 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+_SPMD_RULES = ["REPRO010", "REPRO011", "REPRO012"]
+
+
+def _cmd_verify_spmd(args: argparse.Namespace) -> int:
+    """Two-layer SPMD verification: static taint lint + dynamic lockstep.
+
+    The static pass runs only the rank-divergence rules (REPRO010–012)
+    over the given paths; the dynamic pass replays a fault plan through
+    a miniature resilient training run with the
+    :class:`~repro.cluster.lockstep.LockstepVerifier` attached, so any
+    collective-sequence divergence surfaces as an immediate error
+    instead of a simulated deadlock.  Exit code 1 on any finding or
+    divergence, 0 when both layers are clean.
+    """
+    from repro.analysis import LintEngine, default_rules, format_findings
+
+    if args.static_only and args.dynamic_only:
+        print("error: --static-only and --dynamic-only are mutually "
+              "exclusive", file=sys.stderr)
+        return 2
+    rc = 0
+    if not args.dynamic_only:
+        missing = [p for p in args.paths if not Path(p).exists()]
+        if missing:
+            print(f"error: no such path: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        findings = LintEngine(default_rules(_SPMD_RULES)).lint_paths(args.paths)
+        print(f"static ({', '.join(_SPMD_RULES)} over "
+              f"{', '.join(args.paths)}): {format_findings(findings)}")
+        if findings:
+            rc = 1
+    if not args.static_only:
+        rc = max(rc, _verify_spmd_dynamic(args))
+    return rc
+
+
+def _verify_spmd_dynamic(args: argparse.Namespace) -> int:
+    """Replay a fault plan under the lockstep verifier (dynamic layer)."""
+    import tempfile
+
+    from repro.analysis import SanitizerError
+    from repro.cluster import (
+        ChaosCommunicator,
+        FaultEvent,
+        FaultKind,
+        FaultPlan,
+        LockstepVerifier,
+    )
+    from repro.data import BatchSpec, ONE_BILLION_WORD, make_corpus
+    from repro.optim import SGD
+    from repro.train import (
+        DistributedTrainer,
+        ResilientRunner,
+        TrainConfig,
+        WordLanguageModel,
+        WordLMConfig,
+    )
+
+    if args.fault_plan is not None:
+        plan = FaultPlan.load(args.fault_plan)
+    else:
+        plan = FaultPlan(
+            [FaultEvent(FaultKind.TRANSIENT_LINK, collective_index=2,
+                        rank=min(1, args.gpus - 1))],
+            seed=args.seed,
+        )
+    comm = ChaosCommunicator(args.gpus, plan=plan, track_memory=False)
+    LockstepVerifier.attach(comm)
+    vocab = 120
+    corpus = make_corpus(ONE_BILLION_WORD.scaled(vocab), 8_000, seed=args.seed)
+    cfg = TrainConfig(world_size=args.gpus, batch=BatchSpec(2, 10),
+                      base_lr=0.3)
+    model_cfg = WordLMConfig(
+        vocab_size=vocab, embedding_dim=8, hidden_dim=12,
+        projection_dim=8, num_samples=16,
+    )
+
+    def make_trainer(run_cfg, run_comm):
+        return DistributedTrainer(
+            lambda rng, rank: WordLanguageModel(model_cfg, rng),
+            lambda params, lr: SGD(params, lr),
+            corpus.train, corpus.valid, run_cfg, comm=run_comm,
+        )
+
+    checkpoint = str(
+        Path(tempfile.mkdtemp(prefix="repro-verify-spmd-")) / "checkpoint.npz"
+    )
+    runner = ResilientRunner(
+        make_trainer, cfg, checkpoint, comm=comm,
+        checkpoint_every=max(1, args.steps // 2),
+    )
+    print(f"dynamic: replaying {len(plan)} fault(s) over {args.steps} steps "
+          f"on {args.gpus} simulated GPUs under the lockstep verifier")
+    try:
+        trainer = runner.run(args.steps)
+        final = getattr(trainer.comm, "verifier", None)
+        if final is not None:
+            final.check("verify-spmd: end of run")
+    except SanitizerError as exc:
+        print(f"dynamic: LOCKSTEP VIOLATION — {exc}", file=sys.stderr)
+        return 1
+    total = sum(v.collectives_observed for v in runner.verifiers
+                if v is not None)
+    print(f"dynamic: lockstep OK — {total} collective(s) "
+          f"fingerprint-verified across {len(runner.verifiers)} "
+          f"verifier generation(s), 0 divergences")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Merge, validate, and cross-check the exports of a telemetry dir.
 
@@ -566,6 +732,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "example": _cmd_example,
     "lint": _cmd_lint,
+    "verify-spmd": _cmd_verify_spmd,
     "trace": _cmd_trace,
 }
 

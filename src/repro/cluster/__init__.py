@@ -33,6 +33,7 @@ from .failures import (
     inject_straggler,
 )
 from .hierarchical import hierarchical_allreduce, hierarchical_allreduce_time
+from .lockstep import LockstepReport, LockstepVerifier
 from .device import (
     TITAN_X,
     V100,
@@ -94,6 +95,8 @@ __all__ = [
     "inject_straggler",
     "hierarchical_allreduce",
     "hierarchical_allreduce_time",
+    "LockstepVerifier",
+    "LockstepReport",
     "CommEvent",
     "CostLedger",
     "LedgerSnapshot",

@@ -97,6 +97,8 @@ class WorkHandle:
         ``wait()`` returns the cached results without re-accounting.
         """
         if not self._complete:
+            if self._comm.verifier is not None:
+                self._comm.verifier.observe_wait(self)
             self._complete = True
             self._scratch.close()
             self._comm._pending.discard(self)
@@ -178,6 +180,9 @@ class Communicator:
         self._pending: set[WorkHandle] = set()
         #: Optional telemetry registry (set by TelemetrySession.track).
         self.metrics = None
+        #: Optional lockstep verifier (set by LockstepVerifier.attach);
+        #: observes every issue/wait/barrier for SPMD cross-checking.
+        self.verifier = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -203,8 +208,15 @@ class Communicator:
         time_s: float,
         tag: str,
         payload_bytes_per_rank: int | None = None,
+        payload: Sequence[np.ndarray] | None = None,
     ) -> WorkHandle:
-        """Common issue path: charge scratch, schedule, record, enqueue."""
+        """Common issue path: charge scratch, schedule, record, enqueue.
+
+        ``payload`` is the caller's per-rank array list, forwarded (not
+        copied) to an attached :class:`~repro.cluster.lockstep.\
+LockstepVerifier` so it can fingerprint the envelope and hash the
+        in-flight buffers.
+        """
         scratch = ExitStack()
         if self.track_memory and scratch_bytes > 0:
             for dev in self.devices:
@@ -237,6 +249,8 @@ class Communicator:
             self, op, results, scratch, scratch_bytes, ticket, tag
         )
         self._pending.add(handle)
+        if self.verifier is not None:
+            self.verifier.observe_issue(handle, payload)
         return handle
 
     # ------------------------------------------------------------------
@@ -277,6 +291,7 @@ class Communicator:
                 if payload_bytes is None
                 else coll.allreduce_wire_bytes(self.world_size, payload_bytes)
             ),
+            payload=arrays,
         )
 
     def iallgather(
@@ -316,6 +331,7 @@ class Communicator:
                 if payload_bytes is None
                 else coll.allgather_wire_bytes(self.world_size, payload_bytes)
             ),
+            payload=arrays,
         )
 
     def ibroadcast(
@@ -336,6 +352,7 @@ class Communicator:
                 self.world_size, nbytes, self._ring_link()
             ),
             tag=tag,
+            payload=arrays,
         )
 
     def ireduce_scatter(
@@ -356,6 +373,7 @@ class Communicator:
                 self.world_size, nbytes, self._ring_link()
             ),
             tag=tag,
+            payload=arrays,
         )
 
     # ------------------------------------------------------------------
@@ -408,6 +426,8 @@ class Communicator:
             start_s=ticket.start,
             end_s=ticket.end,
         )
+        if self.verifier is not None:
+            self.verifier.observe_barrier(tag)
 
     def wait_all(self) -> int:
         """Wait every pending handle (drain the comm streams).
@@ -418,6 +438,8 @@ class Communicator:
         pending = list(self._pending)
         for handle in pending:
             handle.wait()
+        if self.verifier is not None:
+            self.verifier.check("wait_all")
         return len(pending)
 
     # ------------------------------------------------------------------

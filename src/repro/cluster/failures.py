@@ -430,7 +430,7 @@ class ChaosCommunicator(Communicator):
         """Number of successfully issued collectives so far."""
         return self._collectives
 
-    def _consult(self, op: str) -> None:
+    def _consult(self, op: str, advance: bool = True) -> None:  # spmd-ok: chaos injection is deliberately rank-divergent — the plan kills/delays specific ranks by design
         for i, ev in enumerate(self.plan.events):
             if i in self._fired:
                 continue
@@ -453,7 +453,8 @@ class ChaosCommunicator(Communicator):
                 self._fired.add(i)
                 self.injected.append((self._collectives, op, ev))
                 raise RankFailureError(ev.rank, op, self._collectives)
-        self._collectives += 1
+        if advance:
+            self._collectives += 1
 
     # Like FailingCommunicator, faults fire at *issue* time: a chaotic
     # collective never charges scratch, never lands on the timeline, and
@@ -479,3 +480,15 @@ class ChaosCommunicator(Communicator):
         """Plan-checked non-blocking reduce-scatter."""
         self._consult("reduce_scatter")
         return super().ireduce_scatter(arrays, tag=tag)
+
+    def barrier(self, tag=""):
+        """Plan-checked barrier.
+
+        A due ``RANK_LOSS`` fires here too — a crashed rank never reaches
+        the barrier, so the survivors must observe the eviction rather
+        than hang.  Consulting does **not** advance the collective
+        counter: barriers are not payload collectives, and advancing
+        would shift the issue indices every existing fault plan keys on.
+        """
+        self._consult("barrier", advance=False)
+        super().barrier(tag=tag)

@@ -159,6 +159,8 @@ class ResilientRunner:
         self.timelines = [initial_comm.timeline]
         #: Ledgers of every communicator generation (parallel list).
         self.ledgers = [initial_comm.ledger]
+        #: Lockstep verifiers per generation (None where not attached).
+        self.verifiers = [getattr(initial_comm, "verifier", None)]
         self.events: list[RecoveryEvent] = []
         self.losses: list[float] = []
         self.telemetry = telemetry
@@ -329,15 +331,34 @@ class ResilientRunner:
         adopt the saved RNG streams of their new index.
         """
         old_config = self.trainer.config
+        if not 0 <= failed_rank < old_config.world_size:  # spmd-ok: supervisor-side validation — the failed rank's identity is the input, not divergent control flow
+            raise ValueError(
+                f"failed_rank {failed_rank} out of range for world "
+                f"{old_config.world_size}"
+            )
         new_world = old_config.world_size - 1
         if new_world < 1:
             raise RankFailureError(failed_rank, "recovery", -1)
+        old_verifier = getattr(self.trainer.comm, "verifier", None)
+        if old_verifier is not None:
+            old_verifier.mark_failed(
+                failed_rank, "rank loss (elastic world shrink)"
+            )
         self.trainer.comm.wait_all()
         self._lr_scale *= new_world / old_config.world_size
         new_config = replace(old_config, world_size=new_world)
         comm = self.comm_factory(new_world)
+        if old_verifier is not None and getattr(comm, "verifier", None) is None:
+            from ..cluster.lockstep import LockstepVerifier
+
+            LockstepVerifier.attach(
+                comm,
+                hash_mode=old_verifier.hash_mode,
+                sample_bytes=old_verifier.sample_bytes,
+            )
         self.timelines.append(comm.timeline)
         self.ledgers.append(comm.ledger)
+        self.verifiers.append(getattr(comm, "verifier", None))
         trainer = self.trainer_factory(new_config, comm)
         load_checkpoint(self.checkpoint_path, trainer, elastic=True)
         self.trainer = trainer

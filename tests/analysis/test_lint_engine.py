@@ -61,7 +61,17 @@ class TestNoqa:
 class TestRegistry:
     def test_default_rules_cover_the_documented_set(self):
         ids = [r.rule_id for r in default_rules()]
-        assert ids == [f"REPRO00{i}" for i in range(1, 10)]
+        assert ids == [f"REPRO{i:03d}" for i in range(1, 13)]
+
+    def test_registry_is_id_ordered_with_no_gaps_or_duplicates(self):
+        # Registration order == definition order; keeping it sorted
+        # (and dense) is what lets the docs say "REPRO001-REPRO012"
+        # and the engine docstring pick a non-clashing example id.
+        ids = [rid for rid in RULE_REGISTRY if rid.startswith("REPRO")]
+        assert ids == sorted(ids), "rule definitions drifted out of ID order"
+        assert len(ids) == len(set(ids))
+        nums = [int(rid.removeprefix("REPRO")) for rid in ids]
+        assert nums == list(range(1, len(nums) + 1)), "gap in rule IDs"
 
     def test_subset_selection(self):
         ids = [r.rule_id for r in default_rules(["repro001", "REPRO006"])]

@@ -294,3 +294,60 @@ class TestTelemetry:
         rc = main(["trace", str(tmp_path / "nope")])
         assert rc == 2
         assert "trace_parts.json" in capsys.readouterr().err
+
+
+class TestVerifySpmd:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify-spmd"])
+        assert args.paths == ["src/repro"]
+        assert args.gpus == 4 and args.steps == 8
+        assert not args.static_only and not args.dynamic_only
+
+    def test_static_pass_on_clean_source(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text(
+            "def step(comm, world, grads):\n"
+            "    for rank in range(world):\n"
+            "        grads[rank] *= 1.0 / world\n"
+            "    comm.allreduce(grads)\n"
+        )
+        rc = main(["verify-spmd", str(clean), "--static-only"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_static_pass_flags_divergent_mutant(self, capsys, tmp_path):
+        mutant = tmp_path / "mutant.py"
+        mutant.write_text(
+            "def step(comm, rank, grads):\n"
+            "    if rank == 0:\n"
+            "        comm.allreduce(grads)\n"
+        )
+        rc = main(["verify-spmd", str(mutant), "--static-only"])
+        assert rc == 1
+        assert "REPRO010" in capsys.readouterr().out
+
+    def test_missing_path_errors(self, capsys, tmp_path):
+        rc = main(["verify-spmd", str(tmp_path / "nope.py"), "--static-only"])
+        assert rc == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_exclusive_layer_flags_rejected(self, capsys):
+        rc = main(["verify-spmd", "--static-only", "--dynamic-only"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_dynamic_replay_smoke(self, capsys):
+        rc = main(["verify-spmd", "--dynamic-only", "--gpus", "2",
+                   "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lockstep OK" in out
+        assert "0 divergences" in out
+
+    def test_train_verify_spmd_flag(self, capsys):
+        rc = main(["train", "--gpus", "2", "--steps", "2", "--vocab", "60",
+                   "--corpus-tokens", "4000", "--verify-spmd"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lockstep-verified" in out
+        assert "fingerprint-verified" in out

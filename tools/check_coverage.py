@@ -4,15 +4,21 @@
 The container has no ``coverage`` package, so this tool measures line
 coverage with the standard library alone:
 
-* **executable lines** come from compiling the target module and walking
+* **executable lines** come from compiling each target module and walking
   every nested code object's ``co_lines()`` table (code objects whose
   ``def`` line carries a ``pragma: no cover`` comment are excluded, the
   same convention the coverage.py ecosystem uses);
 * **executed lines** are collected by a ``sys.settrace`` hook that only
-  descends into frames of the target file, keeping the overhead on the
+  descends into frames of the target files, keeping the overhead on the
   rest of the suite negligible;
 * the tests run in-process via ``pytest.main`` so the trace hook sees
   them.
+
+``--target`` is repeatable and accepts directories (expanded to every
+``*.py`` beneath them).  The floor applies to the *aggregate* percentage;
+when more than one file is measured the report also breaks out the five
+worst-covered files with their missed-line runs, so a passing aggregate
+cannot hide one untested module.
 
 Exit status is non-zero when coverage falls below the floor, which is
 how ``make test-chaos`` and CI enforce the ISSUE's >= 90% requirement on
@@ -32,6 +38,9 @@ import argparse
 import pathlib
 import sys
 import threading
+
+#: How many of the worst-covered files get a per-file miss breakdown.
+WORST_FILES_SHOWN = 5
 
 
 def executable_lines(path: pathlib.Path) -> set[int]:
@@ -64,21 +73,44 @@ def executable_lines(path: pathlib.Path) -> set[int]:
     return lines
 
 
-def run_with_trace(target: pathlib.Path, pytest_args: list[str]) -> tuple[int, set[int]]:
-    """Run pytest in-process, recording executed lines of ``target``."""
+def expand_targets(specs: list[str]) -> list[pathlib.Path]:
+    """Resolve ``--target`` values: files stay, directories expand to *.py."""
+    out: list[pathlib.Path] = []
+    for spec in specs:
+        p = pathlib.Path(spec)
+        if p.is_dir():
+            out.extend(
+                f for f in sorted(p.rglob("*.py"))
+                if "__pycache__" not in f.parts
+            )
+        else:
+            out.append(p)
+    return out
+
+
+def run_with_trace(
+    targets: list[pathlib.Path], pytest_args: list[str]
+) -> tuple[int, dict[str, set[int]]]:
+    """Run pytest in-process, recording executed lines of each target."""
     import pytest
 
-    resolved = str(target.resolve())
-    executed: set[int] = set()
+    executed: dict[str, set[int]] = {
+        str(t.resolve()): set() for t in targets
+    }
 
-    def local_trace(frame, event, arg):
-        if event == "line":
-            executed.add(frame.f_lineno)
+    def make_local(lines: set[int]):
+        def local_trace(frame, event, arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+            return local_trace
+
         return local_trace
 
+    local_traces = {name: make_local(lines) for name, lines in executed.items()}
+
     def global_trace(frame, event, arg):
-        if event == "call" and frame.f_code.co_filename == resolved:
-            return local_trace
+        if event == "call":
+            return local_traces.get(frame.f_code.co_filename)
         return None
 
     threading.settrace(global_trace)
@@ -91,15 +123,33 @@ def run_with_trace(target: pathlib.Path, pytest_args: list[str]) -> tuple[int, s
     return int(rc), executed
 
 
+def _format_runs(missed: list[int], limit: int = 20) -> str:
+    """Collapse sorted line numbers into ``a-b`` run notation."""
+    runs: list[tuple[int, int]] = []
+    start = prev = missed[0]
+    for line in missed[1:]:
+        if line == prev + 1:
+            prev = line
+            continue
+        runs.append((start, prev))
+        start = prev = line
+    runs.append((start, prev))
+    shown = ", ".join(f"{a}" if a == b else f"{a}-{b}" for a, b in runs[:limit])
+    if len(runs) > limit:
+        shown += f", ... ({len(runs) - limit} more run(s))"
+    return shown
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--target", default="src/repro/train/resilience.py",
-        help="source file whose coverage is gated",
+        "--target", action="append", default=None,
+        help="source file or directory whose coverage is gated "
+        "(repeatable; default: src/repro/train/resilience.py)",
     )
     parser.add_argument(
         "--min-percent", type=float, default=90.0,
-        help="fail below this line-coverage percentage",
+        help="fail below this aggregate line-coverage percentage",
     )
     parser.add_argument(
         "tests", nargs="*", default=["tests/train/test_resilience.py"],
@@ -107,42 +157,59 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    target = pathlib.Path(args.target)
-    if not target.exists():
-        print(f"coverage: target {target} does not exist", file=sys.stderr)
+    specs = args.target or ["src/repro/train/resilience.py"]
+    missing = [s for s in specs if not pathlib.Path(s).exists()]
+    if missing:
+        print(f"coverage: target {', '.join(missing)} does not exist",
+              file=sys.stderr)
         return 2
-    want = executable_lines(target)
+    targets = expand_targets(specs)
+    want: dict[pathlib.Path, set[int]] = {}
+    for t in targets:
+        lines = executable_lines(t)
+        if lines:
+            want[t] = lines
     if not want:
-        print(f"coverage: {target} has no executable lines", file=sys.stderr)
+        print("coverage: no executable lines in any target", file=sys.stderr)
         return 2
 
-    rc, executed = run_with_trace(target, ["-q", *args.tests])
+    rc, executed = run_with_trace(list(want), ["-q", *args.tests])
     if rc != 0:
         print(f"coverage: measuring suite failed (pytest rc={rc})",
               file=sys.stderr)
         return rc
 
-    covered = want & executed
-    missed = sorted(want - executed)
-    percent = 100.0 * len(covered) / len(want)
+    per_file: list[tuple[float, pathlib.Path, set[int], list[int]]] = []
+    total_want = total_covered = 0
+    for t, lines in want.items():
+        hit = executed[str(t.resolve())]
+        covered = lines & hit
+        missed = sorted(lines - hit)
+        percent = 100.0 * len(covered) / len(lines)
+        per_file.append((percent, t, covered, missed))
+        total_want += len(lines)
+        total_covered += len(covered)
+
+    percent = 100.0 * total_covered / total_want
+    label = (
+        str(per_file[0][1]) if len(per_file) == 1
+        else f"{len(per_file)} file(s)"
+    )
     print(
-        f"coverage: {target} {len(covered)}/{len(want)} executable lines "
+        f"coverage: {label} {total_covered}/{total_want} executable lines "
         f"({percent:.1f}%), floor {args.min_percent:.0f}%"
     )
-    if missed:
-        runs = []
-        start = prev = missed[0]
-        for line in missed[1:]:
-            if line == prev + 1:
-                prev = line
-                continue
-            runs.append((start, prev))
-            start = prev = line
-        runs.append((start, prev))
-        shown = ", ".join(
-            f"{a}" if a == b else f"{a}-{b}" for a, b in runs[:20]
-        )
-        print(f"coverage: missed lines: {shown}")
+    if len(per_file) == 1:
+        if per_file[0][3]:
+            print(f"coverage: missed lines: {_format_runs(per_file[0][3])}")
+    else:
+        worst = sorted(per_file, key=lambda e: (e[0], str(e[1])))
+        shown = [e for e in worst[:WORST_FILES_SHOWN] if e[3]]
+        if shown:
+            print(f"coverage: {len(shown)} worst-covered file(s):")
+        for file_percent, t, covered, missed in shown:
+            print(f"  {t}: {len(covered)}/{len(covered) + len(missed)} "
+                  f"({file_percent:.1f}%) — missed {_format_runs(missed, 8)}")
     if percent < args.min_percent:
         print(
             f"coverage: FAIL — {percent:.1f}% is below the "
