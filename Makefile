@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-telemetry lint verify-spmd bench bench-smoke bench-wire examples results clean
+.PHONY: install test test-chaos test-mesh test-telemetry lint verify-spmd bench bench-smoke bench-wire examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,21 @@ test-chaos:
 	PYTHONPATH=src $(PYTHON) tools/check_coverage.py \
 		--target src/repro/train/resilience.py --min-percent 90 \
 		tests/train/test_resilience.py
+
+# Mesh suite (docs/MESH.md): device-mesh geometry + per-axis collective
+# semantics, tensor/pipeline-parallel layer bit-exactness properties,
+# the sharded data-axis gradient exchange, hybrid-mesh training
+# equivalence + elastic shrink, the `train --mesh` CLI paths, and the
+# tensor-parallel crossover benchmark with its wire-volume gates.
+test-mesh:
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/cluster/test_mesh.py tests/nn/test_parallel.py \
+		tests/core/test_mesh_exchange.py \
+		tests/train/test_mesh_training.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/test_cli.py -k "TestTrainMesh"
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_ablation_tensor_parallel.py --benchmark-only
 
 # Telemetry suite: registry/exporter semantics, merged-trace validity
 # (per-rank pid/tid tracks, no negative or overlapping timestamps), the

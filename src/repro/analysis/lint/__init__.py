@@ -18,6 +18,7 @@ from .engine import (
 )
 from . import rules  # noqa: F401  (import registers the rule set)
 from . import spmd_rules  # noqa: F401  (registers REPRO010-012)
+from . import mesh_rules  # noqa: F401  (registers REPRO013)
 
 __all__ = [
     "PARSE_ERROR_ID",
@@ -29,6 +30,7 @@ __all__ = [
     "format_findings",
     "iter_rule_classes",
     "register",
+    "mesh_rules",
     "rules",
     "spmd_rules",
 ]

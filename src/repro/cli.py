@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chunk the compressed index gather into N-byte "
                          "pieces so encode of chunk i+1 overlaps transmit "
                          "of chunk i (requires --wire-codec)")
+    p_train.add_argument("--mesh", default=None, metavar="SPEC",
+                         help="hybrid-parallelism mesh over the world, e.g. "
+                         "'pipe=2,tensor=2,data=G/4' (axes default to 1; "
+                         "'G/4' or an empty value means 'whatever remains'; "
+                         "the product must equal --gpus); gradient sync "
+                         "runs on the data axis only and pipeline "
+                         "activation sends are charged on the pipe axis")
     p_train.add_argument("--seed-strategy", default="per_rank",
                          choices=[s.value for s in _seed_strategies()])
     p_train.add_argument("--seed", type=int, default=0)
@@ -193,6 +200,50 @@ def _cmd_zipf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_train_args(args: argparse.Namespace) -> str | None:
+    """Parse-time validation of ``train`` flag combinations.
+
+    Returns an actionable error message, or ``None`` when the
+    combination is runnable.  Catching these before corpus/model
+    construction keeps a typo'd mesh spec or a doomed flag pairing from
+    failing minutes into a run with a library traceback.
+    """
+    if args.gpus <= 0:
+        return f"--gpus must be positive, got {args.gpus}"
+    if args.steps <= 0:
+        return f"--steps must be positive, got {args.steps}"
+    if args.wire_chunk_bytes is not None and args.wire_codec is None:
+        return ("--wire-chunk-bytes only chunks the compressed index "
+                "gather; add --wire-codec (e.g. --wire-codec delta)")
+    if args.mesh is None:
+        return None
+    from repro.cluster import hybrid_mesh
+
+    try:
+        mesh = hybrid_mesh(args.mesh, args.gpus)
+    except ValueError as exc:
+        return f"--mesh {args.mesh!r} is invalid for --gpus {args.gpus}: {exc}"
+    if args.fp16 or args.wire_codec is not None:
+        return ("--mesh does not compose with --fp16/--wire-codec: the "
+                "sharded data-axis exchange carries raw values; drop the "
+                "codec flags or the mesh")
+    if args.overlap:
+        return ("--mesh uses the blocking sync schedule; drop --overlap "
+                "(numerics are identical either way)")
+    if args.sanitize:
+        return ("--mesh and --sanitize are mutually exclusive: the "
+                "sanitizer wraps the flat communicator API, not the "
+                "per-axis mesh collectives")
+    if (args.resilient or args.fault_plan is not None) and (
+        mesh.axis_size("data") == 1
+    ):
+        return (f"--resilient cannot recover on mesh {args.mesh!r}: "
+                f"rank-loss recovery collapses the data axis only, and "
+                f"data=1 leaves nothing to collapse; use data>=2 or drop "
+                f"--resilient")
+    return None
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.core import Fp16Codec, SeedStrategy
     from repro.data import BatchSpec, ONE_BILLION_WORD, TIEBA, make_corpus
@@ -207,6 +258,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         max_replica_divergence,
         perplexity,
     )
+
+    error = _validate_train_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     is_word = args.model == "word"
     preset = ONE_BILLION_WORD if is_word else TIEBA
@@ -240,6 +296,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         wire_codec=args.wire_codec,
         wire_chunk_bytes=args.wire_chunk_bytes,
         wire_sanitize=args.sanitize,
+        mesh=args.mesh,
     )
     if is_word:
         model_cfg = WordLMConfig(
@@ -284,11 +341,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     trainer = make_trainer(cfg, comm)
     if session is not None:
         session.adopt_trainer(trainer)
+    if args.verify_spmd and trainer.mesh_comm is not None:
+        trainer.mesh_comm.attach_axis_verifiers()
 
     print(f"{args.model} LM | {args.gpus} simulated GPUs | vocab {args.vocab} "
           f"| exchange: {'allgather' if args.baseline else 'unique'}"
           f"{' + fp16' if args.fp16 else ''}"
           f"{f' | wire: {args.wire_codec}' if args.wire_codec else ''}"
+          f"{f' | mesh: {args.mesh}' if args.mesh else ''}"
           f"{' | overlapped' if args.overlap else ''}"
           f"{' | sanitized' if args.sanitize else ''}"
           f"{' | lockstep-verified' if args.verify_spmd else ''}")
@@ -315,6 +375,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
             print(f"lockstep: {verifier.collectives_observed} collective(s) "
                   f"fingerprint-verified across "
                   f"{len(verifier.live_ranks)} rank(s), 0 divergences")
+        if trainer.mesh_comm is not None:
+            trainer.mesh_comm.check_axes("train: end of run")
+            print("lockstep: per-axis mesh subgroups verified, 0 divergences")
     if session is not None:
         summary = session.finalize()
         print(f"telemetry: {summary['steps']} steps, "

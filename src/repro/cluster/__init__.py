@@ -34,6 +34,13 @@ from .failures import (
 )
 from .hierarchical import hierarchical_allreduce, hierarchical_allreduce_time
 from .lockstep import LockstepReport, LockstepVerifier
+from .mesh import (
+    HYBRID_AXES,
+    DeviceMesh,
+    MeshCommunicator,
+    hybrid_mesh,
+    parse_mesh_spec,
+)
 from .device import (
     TITAN_X,
     V100,
@@ -97,6 +104,11 @@ __all__ = [
     "hierarchical_allreduce_time",
     "LockstepVerifier",
     "LockstepReport",
+    "DeviceMesh",
+    "MeshCommunicator",
+    "HYBRID_AXES",
+    "hybrid_mesh",
+    "parse_mesh_spec",
     "CommEvent",
     "CostLedger",
     "LedgerSnapshot",

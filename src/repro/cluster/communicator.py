@@ -175,7 +175,7 @@ class Communicator:
                 f"communicator world size {world_size}"
             )
         self.devices = [
-            SimulatedDevice(device_id=r, spec=device_spec) for r in range(world_size)
+            SimulatedDevice(device_id=r, spec=device_spec) for r in range(world_size)  # mesh-ok: one simulated device per flat rank by definition
         ]
         self._pending: set[WorkHandle] = set()
         #: Optional telemetry registry (set by TelemetrySession.track).

@@ -16,6 +16,12 @@ Total inter-node bytes per GPU drop from ``2 n (G-1)/G`` to
 tier.  This is the structure NCCL/Horovod hierarchical allreduce uses;
 the paper's flat CUDA-aware-MPI rings are the baseline it is compared
 against in ``benchmarks/bench_hierarchical.py``.
+
+The three phases are expressed over a 2-axis
+:class:`~repro.cluster.mesh.DeviceMesh` ``("node", "local")``: phases 1
+and 3 run per ``local``-axis subgroup (the GPUs of one node) and phase 2
+per ``node``-axis subgroup (GPU *i* of every node) — the same grouping
+the bespoke index arithmetic used to spell out by hand.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from .collectives import (
 )
 from .communicator import Communicator
 from .interconnect import Interconnect
+from .mesh import DeviceMesh
 
 __all__ = ["hierarchical_allreduce_time", "hierarchical_allreduce"]
 
@@ -98,28 +105,29 @@ def hierarchical_allreduce(
             f"node-local group size {local}"
         )
 
+    # Rank n*local + l sits at mesh coordinate (node=n, local=l) — the
+    # mesh's row-major layout matches the fabric's physical placement.
+    mesh = DeviceMesh(("node", "local"), (nodes, local))
+    buffers: list[np.ndarray] = list(flat)
+
     # Phase 1: reduce-scatter inside each node.
-    shards_by_rank: list[np.ndarray | None] = [None] * world
-    for node in range(nodes):
-        members = list(range(node * local, (node + 1) * local))
-        shards = reduce_scatter_arrays([flat[r] for r in members])
-        for i, r in enumerate(members):
-            shards_by_rank[r] = shards[i]
+    for g in mesh.groups("local"):
+        shards = reduce_scatter_arrays([buffers[r] for r in g.ranks])
+        for r, shard in zip(g.ranks, shards):
+            buffers[r] = shard
 
     # Phase 2: allreduce each shard index across nodes.
-    for i in range(local):
-        peers = [node * local + i for node in range(nodes)]
-        reduced = allreduce_arrays([shards_by_rank[r] for r in peers])
-        for r, arr in zip(peers, reduced):
-            shards_by_rank[r] = arr
+    for g in mesh.groups("node"):
+        reduced = allreduce_arrays([buffers[r] for r in g.ranks])
+        for r, arr in zip(g.ranks, reduced):
+            buffers[r] = arr
 
     # Phase 3: allgather inside each node.
     results: list[np.ndarray] = [None] * world  # type: ignore[list-item]
-    for node in range(nodes):
-        members = list(range(node * local, (node + 1) * local))
-        gathered = allgather_arrays([shards_by_rank[r] for r in members])
-        for i, r in enumerate(members):
-            results[r] = gathered[i].reshape(arrays[r].shape)
+    for g in mesh.groups("local"):
+        gathered = allgather_arrays([buffers[r] for r in g.ranks])
+        for r, out in zip(g.ranks, gathered):
+            results[r] = out.reshape(arrays[r].shape)
 
     shard_bytes = nbytes // local
     wire = (

@@ -116,7 +116,7 @@ class LockstepVerifier:
         self.hash_mode = hash_mode
         self.sample_bytes = sample_bytes
         #: Per-rank fingerprint streams: (index, op, tag, shape, dtype).
-        self._streams: list[list[tuple]] = [[] for _ in range(world_size)]
+        self._streams: list[list[tuple]] = [[] for _ in range(world_size)]  # mesh-ok: one fingerprint stream per flat rank
         #: Verified common-prefix length.
         self._checked = 0
         #: rank -> eviction reason.
@@ -139,7 +139,7 @@ class LockstepVerifier:
     def live_ranks(self) -> tuple[int, ...]:
         """Ranks still expected to participate."""
         return tuple(
-            r for r in range(self.world_size) if r not in self._evicted
+            r for r in range(self.world_size) if r not in self._evicted  # mesh-ok: liveness is a flat-world property
         )
 
     def mark_failed(self, rank: int, reason: str = "rank failure") -> None:

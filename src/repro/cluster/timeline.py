@@ -157,7 +157,7 @@ class Timeline:
         """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        participants = range(self.world_size) if ranks is None else ranks
+        participants = range(self.world_size) if ranks is None else ranks  # mesh-ok: default participant set is every rank; callers pass subgroups
         participants = list(participants)
         for r in participants:
             self._check_rank(r)
@@ -188,7 +188,7 @@ class Timeline:
         advances to at least the collective's end time.  Returns the end
         time.  Idempotent — waiting twice is a no-op.
         """
-        participants = range(self.world_size) if ranks is None else ranks
+        participants = range(self.world_size) if ranks is None else ranks  # mesh-ok: default participant set is every rank; callers pass subgroups
         for r in participants:
             self._check_rank(r)
             self.compute_clock[r] = max(self.compute_clock[r], ticket.end)
@@ -232,7 +232,7 @@ class Timeline:
         recorded it equals the serialized comm span.
         """
         busiest = max(
-            (self.busy_time(r, COMPUTE_STREAM) for r in range(self.world_size)),
+            (self.busy_time(r, COMPUTE_STREAM) for r in range(self.world_size)),  # mesh-ok: utilization maximizes over all simulated clocks
             default=0.0,
         )
         return max(0.0, self.makespan - busiest)

@@ -36,6 +36,11 @@ from ..cluster.communicator import Communicator
 from ..nn.module import Module
 from ..nn.parameter import Parameter, SparseGrad
 from .compression import WireCodec
+from .mesh_exchange import (
+    MeshShardLayout,
+    dense_mesh_allreduce,
+    sparse_mesh_exchange,
+)
 from .sparse_exchange import AllGatherExchange, ExchangeStrategy
 from .wire.policy import WirePolicy
 
@@ -91,6 +96,15 @@ class GradientSynchronizer:
         compute on the timeline — the "backward produces this layer's
         gradient, then its bucket is issued" interleaving.  Ignored on
         the blocking path.
+    mesh_comm:
+        Optional :class:`~repro.cluster.mesh.MeshCommunicator` over a
+        hybrid ``(pipe, tensor, data)`` mesh.  When set, replicas are
+        data-parallel groups (one per ``data`` coordinate, not one per
+        flat rank) and every gradient is exchanged on the **data axis
+        only** via :mod:`repro.core.mesh_exchange` — sharded over the
+        combined model axes, bit-exact to the flat path on a
+        ``(1, 1, G)`` mesh.  Incompatible with codecs, wire policies,
+        and the overlapped schedule (the mesh path is blocking).
     """
 
     def __init__(
@@ -102,6 +116,7 @@ class GradientSynchronizer:
         overlap: bool = False,
         on_issue: Callable[[str], None] | None = None,
         wire: WirePolicy | None = None,
+        mesh_comm=None,
     ):
         self.comm = comm
         self.strategy = strategy if strategy is not None else AllGatherExchange()
@@ -110,6 +125,20 @@ class GradientSynchronizer:
         self.average = average
         self.overlap = overlap
         self.on_issue = on_issue
+        self.mesh_comm = mesh_comm
+        self._layout = None
+        if mesh_comm is not None:
+            if codec is not None or wire is not None:
+                raise ValueError(
+                    "mesh gradient sync does not compose with codecs or "
+                    "wire policies yet; drop codec/wire or the mesh"
+                )
+            if overlap:
+                raise ValueError(
+                    "mesh gradient sync is blocking; overlap=True is not "
+                    "supported with mesh_comm"
+                )
+            self._layout = MeshShardLayout(mesh_comm.mesh)
 
     def _issue_dense(
         self, params: list[Parameter], tag: str
@@ -199,8 +228,13 @@ class GradientSynchronizer:
         tied-embedding setups can hit both paths for one parameter.
 
         With ``overlap=True`` this uses the issue-all-then-drain
-        schedule described in the module docstring.
+        schedule described in the module docstring.  With ``mesh_comm``
+        set, replicas are data-parallel groups and the exchange runs on
+        the mesh's data axis (see the class docstring).
         """
+        if self.mesh_comm is not None:
+            self._sync_replicas_mesh(replicas)
+            return
         named, names = self._named_params(replicas, self.comm.world_size)
         if self.overlap:
             self._sync_replicas_overlapped(named, names)
@@ -249,3 +283,55 @@ class GradientSynchronizer:
         for scope_name, finish in issued:
             with self.comm.ledger.scope(scope_name):
                 finish()
+
+    def _sync_replicas_mesh(self, replicas: list[Module]) -> None:
+        """Data-axis-only sync of the d data-parallel replica groups.
+
+        Dense grads go through :func:`dense_mesh_allreduce` (sharded
+        over the combined model axes); sparse grads through
+        :func:`sparse_mesh_exchange` (vocabulary row ranges per model
+        shard, uniqueness algorithm per data subgroup).  Averaging
+        divides by the data-axis size — the number of independent
+        mini-batches, identical to dividing by G on a flat world.
+        """
+        layout = self._layout
+        named, names = self._named_params(replicas, layout.data_size)
+        for name in names:
+            params = [m[name] for m in named]
+            has_sparse = any(p.sparse_grads for p in params)
+            has_dense = any(p.grad is not None for p in params)
+            with self.comm.ledger.scope(name.replace("/", "-")):
+                if has_dense:
+                    grads = []
+                    for p in params:
+                        if p.grad is None:
+                            raise ValueError(f"{name}: rank missing dense grad")
+                        grads.append(p.grad)
+                    reduced = dense_mesh_allreduce(
+                        self.mesh_comm,
+                        grads,
+                        layout=layout,
+                        tag=f"{name}:dense",
+                        average=self.average,
+                    )
+                    for p, g in zip(params, reduced):
+                        p.grad = g.astype(p.data.dtype, copy=False).copy()
+                if has_sparse:
+                    grads = []
+                    for p in params:
+                        g = concat_token_grads(p)
+                        if g is None:
+                            raise ValueError(
+                                f"{name}: rank missing sparse grad"
+                            )
+                        grads.append(g)
+                    exchanged = sparse_mesh_exchange(
+                        self.mesh_comm,
+                        grads,
+                        num_rows=params[0].data.shape[0],
+                        layout=layout,
+                        tag=name,
+                        average=self.average,
+                    )
+                    for p, result in zip(params, exchanged):
+                        p.sparse_grads = [result]

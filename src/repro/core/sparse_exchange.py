@@ -174,7 +174,7 @@ class AllGatherExchange(ExchangeStrategy):
                 values = gathered_val[0]
             result = SparseGrad(indices=gathered_idx[0], values=values)
             # Ranks share the simulator's memory; hand each an equal view.
-            return [result for _ in range(comm.world_size)]
+            return [result for _ in range(comm.world_size)]  # mesh-ok: flat-path result fan-out, one view per rank
 
         return PendingSparseExchange(finish)
 
@@ -202,6 +202,6 @@ class UniqueExchange(ExchangeStrategy):
 
         def finish() -> list[SparseGrad]:
             sparse = pending.wait().as_sparse_grad()
-            return [sparse for _ in range(comm.world_size)]
+            return [sparse for _ in range(comm.world_size)]  # mesh-ok: flat-path result fan-out, one view per rank
 
         return PendingSparseExchange(finish)

@@ -8,6 +8,14 @@ from .embedding import Embedding
 from .linear import Linear
 from .lstm import LSTM
 from .module import Module
+from .parallel import (
+    ColumnParallelLinear,
+    ParallelEmbedding,
+    PipelineSchedule,
+    RowParallelLinear,
+    VocabParallelSampledSoftmax,
+    shard_bounds,
+)
 from .parameter import Parameter, SparseGrad
 from .rhn import RHN
 from .stacked import StackedLSTM
@@ -31,4 +39,10 @@ __all__ = [
     "FullSoftmaxLoss",
     "SampledSoftmaxLoss",
     "LogUniformSampler",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "ParallelEmbedding",
+    "VocabParallelSampledSoftmax",
+    "PipelineSchedule",
+    "shard_bounds",
 ]

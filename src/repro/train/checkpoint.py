@@ -19,6 +19,12 @@ Version history
   per-module bit-generator states (PCG64, encoded as ``uint64`` limb
   arrays so ``allow_pickle=False`` still loads them).  Resume is now
   bit-exact.  v1 checkpoints still load (without RNG restore).
+  Later v2 checkpoints additionally carry ``meta/mesh``, the hybrid
+  ``(pipe, tensor, data)`` mesh spec of the writing run (empty string
+  for a flat world).  Loading validates shard compatibility: the
+  ``pipe`` and ``tensor`` factors must match the loading trainer's mesh
+  exactly (model shards cannot be re-cut on restore), while the
+  ``data`` factor may shrink on elastic loads.
 
 Elastic restarts: ``load_checkpoint(..., elastic=True)`` accepts a
 trainer whose world is *smaller* than the checkpoint's — the recovery
@@ -87,6 +93,49 @@ def _decode_rng_state(limbs: np.ndarray) -> dict:
     }
 
 
+def _check_mesh_compatibility(
+    saved_mesh: str,
+    saved_world: int,
+    trainer: DistributedTrainer,
+    elastic: bool,
+) -> None:
+    """Reject loads that would re-cut model shards.
+
+    The ``pipe`` and ``tensor`` factors determine how parameters are
+    sharded across ranks; a checkpoint can only restore onto a trainer
+    with the *same* model-shard layout.  The ``data`` factor (replica
+    count) may differ when ``elastic`` — that is exactly the
+    rank-loss recovery path — but never otherwise.
+    """
+    from ..cluster.mesh import hybrid_mesh
+
+    if saved_mesh:
+        m = hybrid_mesh(saved_mesh, saved_world)
+        saved_shape = (
+            m.axis_size("pipe"), m.axis_size("tensor"), m.axis_size("data")
+        )
+    else:
+        saved_shape = (1, 1, saved_world)
+    cfg_shape = trainer.config.mesh_shape
+    if cfg_shape is None:
+        cfg_shape = (1, 1, trainer.config.world_size)
+    if saved_shape[:2] != cfg_shape[:2]:
+        raise ValueError(
+            f"checkpoint was written on a (pipe={saved_shape[0]}, "
+            f"tensor={saved_shape[1]}) mesh but the trainer has "
+            f"(pipe={cfg_shape[0]}, tensor={cfg_shape[1]}): model shards "
+            f"cannot be re-cut on restore; rebuild the trainer with a "
+            f"matching --mesh (only the data axis may change, and only "
+            f"with elastic=True)"
+        )
+    if not elastic and saved_shape[2] != cfg_shape[2]:
+        raise ValueError(
+            f"checkpoint has data={saved_shape[2]} replica groups, "
+            f"trainer has data={cfg_shape[2]}; pass elastic=True to "
+            f"shrink the data axis"
+        )
+
+
 def save_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> None:
     """Write the trainer's state (rank-0 replica + optimizer) to ``path``.
 
@@ -102,6 +151,7 @@ def save_checkpoint(path: str | pathlib.Path, trainer: DistributedTrainer) -> No
         "meta/data_step": np.array(trainer.data_step),
         "meta/epochs_done": np.array(trainer.epochs_done),
         "meta/world_size": np.array(trainer.config.world_size),
+        "meta/mesh": np.array(trainer.config.mesh or ""),
     }
     for name, data in trainer.replicas[0].state_dict().items():
         arrays[f"model/{name}"] = data
@@ -157,6 +207,10 @@ def load_checkpoint(
                 f"elastic load cannot grow the world: checkpoint has "
                 f"{world} ranks, trainer wants {trainer.config.world_size}"
             )
+        saved_mesh = (
+            str(data["meta/mesh"]) if "meta/mesh" in data.files else ""
+        )
+        _check_mesh_compatibility(saved_mesh, world, trainer, elastic)
         model_state = {
             key[len("model/"):]: data[key]
             for key in data.files

@@ -146,6 +146,19 @@ class TrainConfig:
     wire_sanitize:
         Wrap the policy's codecs with the runtime sanitizer's checking
         variants (bit-exact roundtrip / FP16 overflow detection).
+    mesh:
+        Optional hybrid-parallelism mesh spec over the world, e.g.
+        ``"pipe=2,tensor=2,data=G/4"`` (axes default to 1 when omitted;
+        the product must equal ``world_size``).  When set, the trainer
+        keeps one model replica per **data** coordinate, restricts
+        gradient sync to the data axis (sharded over pipe × tensor),
+        and charges pipeline activation sends on the pipe axis.
+        ``None`` (default) is the flat data-parallel path;
+        ``"data=G"`` routes through the mesh machinery with bit-exact
+        identical numerics (regression-pinned).  A mesh does not
+        compose with ``codec``/``wire_codec`` (the sharded exchange
+        carries raw values) or ``overlap`` (the mesh sync is blocking)
+        — those combinations are rejected eagerly.
     """
 
     world_size: int
@@ -167,6 +180,7 @@ class TrainConfig:
     wire_codec: str | None = None
     wire_chunk_bytes: int | None = None
     wire_sanitize: bool = False
+    mesh: str | None = None
 
     def __post_init__(self) -> None:
         if (
@@ -199,7 +213,35 @@ class TrainConfig:
             from ..core.wire.policy import WirePolicy
 
             WirePolicy.from_spec(self.wire_codec, self.wire_chunk_bytes)
+        if self.mesh is not None:
+            # Same eager stance for the mesh: parse the spec (and check
+            # it against world_size) at construction time, and reject
+            # the combinations the mesh sync path cannot honour.
+            from ..cluster.mesh import hybrid_mesh
+
+            hybrid_mesh(self.mesh, self.world_size)
+            if self.codec is not None or self.wire_codec is not None:
+                raise ValueError(
+                    "mesh training does not compose with codec/wire_codec: "
+                    "the sharded data-axis exchange carries raw values; "
+                    "drop the codec or the mesh"
+                )
+            if self.overlap:
+                raise ValueError(
+                    "mesh training uses the blocking sync schedule; "
+                    "overlap=True is not supported with a mesh"
+                )
 
     @property
     def num_nodes(self) -> int:
         return -(-self.world_size // self.gpus_per_node)
+
+    @property
+    def mesh_shape(self) -> tuple[int, int, int] | None:
+        """``(pipe, tensor, data)`` sizes of the mesh, or None if flat."""
+        if self.mesh is None:
+            return None
+        from ..cluster.mesh import hybrid_mesh
+
+        m = hybrid_mesh(self.mesh, self.world_size)
+        return (m.axis_size("pipe"), m.axis_size("tensor"), m.axis_size("data"))

@@ -305,7 +305,7 @@ class ResilientRunner:
         )
         t = self.trainer
         name = f"retry-backoff:{fault.op}"
-        for rank in range(t.comm.world_size):
+        for rank in range(t.comm.world_size):  # mesh-ok: backoff stalls every simulated rank's clock
             t.comm.timeline.record_compute(rank, backoff_s, name=name)
         with t.comm.ledger.scope("recovery"):
             t.comm.ledger.record(
@@ -329,6 +329,14 @@ class ResilientRunner:
         ratio — the linear scaling rule.  The rebuilt trainer loads the
         checkpoint elastically: surviving ranks re-index densely and
         adopt the saved RNG streams of their new index.
+
+        On a hybrid mesh, a single lost rank takes its whole
+        ``pipe x tensor`` model-shard group with it (the shards are not
+        replicated within a data group), so the shrink collapses the
+        **data axis only**: ``(p, t, d) -> (p, t, d-1)``, removing
+        ``p*t`` ranks.  A shrink that would have to break the tensor or
+        pipe factorization (``d == 1``) is rejected with an error
+        instead of silently re-cutting model shards.
         """
         old_config = self.trainer.config
         if not 0 <= failed_rank < old_config.world_size:  # spmd-ok: supervisor-side validation — the failed rank's identity is the input, not divergent control flow
@@ -336,7 +344,23 @@ class ResilientRunner:
                 f"failed_rank {failed_rank} out of range for world "
                 f"{old_config.world_size}"
             )
-        new_world = old_config.world_size - 1
+        shape = old_config.mesh_shape
+        if shape is not None:
+            p, t, d = shape
+            if d <= 1:
+                raise ValueError(
+                    f"cannot recover from rank loss on mesh (pipe={p}, "
+                    f"tensor={t}, data={d}): the world shrink may only "
+                    f"collapse the data axis, and data=1 leaves nothing "
+                    f"to collapse — breaking the tensor/pipe "
+                    f"factorization would re-cut model shards; restore "
+                    f"from the checkpoint on replacement hardware instead"
+                )
+            new_world = p * t * (d - 1)
+            new_mesh = f"pipe={p},tensor={t},data={d - 1}"
+        else:
+            new_world = old_config.world_size - 1
+            new_mesh = old_config.mesh
         if new_world < 1:
             raise RankFailureError(failed_rank, "recovery", -1)
         old_verifier = getattr(self.trainer.comm, "verifier", None)
@@ -346,7 +370,7 @@ class ResilientRunner:
             )
         self.trainer.comm.wait_all()
         self._lr_scale *= new_world / old_config.world_size
-        new_config = replace(old_config, world_size=new_world)
+        new_config = replace(old_config, world_size=new_world, mesh=new_mesh)
         comm = self.comm_factory(new_world)
         if old_verifier is not None and getattr(comm, "verifier", None) is None:
             from ..cluster.lockstep import LockstepVerifier
@@ -394,7 +418,7 @@ class ResilientRunner:
         """Write the rolling checkpoint and charge its cost to the timeline."""
         t = self.trainer
         save_checkpoint(self.checkpoint_path, t)
-        for rank in range(t.comm.world_size):
+        for rank in range(t.comm.world_size):  # mesh-ok: checkpoint write stalls every simulated rank's clock
             t.comm.timeline.record_compute(
                 rank, self.checkpoint_cost_s, name="checkpoint"
             )

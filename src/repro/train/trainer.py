@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.communicator import Communicator
+from ..cluster.mesh import MeshCommunicator, hybrid_mesh
 from ..core.embedding_sync import GradientSynchronizer
 from ..core.seeding import assign_seeds
 from ..core.sparse_exchange import AllGatherExchange, UniqueExchange
@@ -40,6 +41,7 @@ from ..optim.loss_scaler import (
     StaticLossScaler,
     grads_are_finite,
 )
+from ..nn.parallel import PipelineSchedule
 from ..optim.lr_schedule import EpochDecaySchedule
 from .config import TrainConfig
 from .metrics import perplexity
@@ -112,6 +114,15 @@ class EpochStats:
 class DistributedTrainer:
     """Drive G replicas through synchronous data-parallel training.
 
+    With ``config.mesh`` set, the world is a hybrid
+    ``(pipe, tensor, data)`` mesh instead of a flat rank list: one
+    replica is kept per **data** coordinate, gradient sync runs on the
+    data axis only (sharded across the pipe × tensor model ranks via
+    :mod:`repro.core.mesh_exchange`), and — when compute accounting is
+    on and ``pipe > 1`` — each step is placed as a 1F1B pipeline
+    schedule with activation sends charged on the pipe axis.  A
+    ``(1, 1, G)`` mesh reproduces the flat path bit-for-bit.
+
     Parameters
     ----------
     model_factory:
@@ -155,9 +166,24 @@ class DistributedTrainer:
         if self.comm.world_size != config.world_size:
             raise ValueError("communicator world size != config world size")
 
+        # Hybrid mesh: when configured, the world is (pipe, tensor,
+        # data) and one model replica stands for each *data* coordinate
+        # — the pipe × tensor shards of that replica live as gradient
+        # shards inside the mesh exchange, not as separate modules.
+        self.mesh = None
+        self.mesh_comm = None
+        if config.mesh is not None:
+            self.mesh = hybrid_mesh(config.mesh, config.world_size)
+            self.mesh_comm = MeshCommunicator(self.comm, self.mesh)
+        self.data_parallel = (
+            self.mesh.axis_size("data")
+            if self.mesh is not None
+            else config.world_size
+        )
+
         self.replicas = [
             model_factory(np.random.default_rng(config.init_seed), rank)
-            for rank in range(config.world_size)
+            for rank in range(self.data_parallel)  # mesh-ok: one replica per data-parallel group by construction
         ]
         wire = None
         if config.wire_codec is not None:
@@ -187,12 +213,13 @@ class DistributedTrainer:
                 if (config.overlap and track_compute)
                 else None
             ),
+            mesh_comm=self.mesh_comm,
         )
         self._backward_slice_s = 0.0
         self.batcher = ShardedBatcher(
             train_tokens,
             config.batch,
-            config.world_size,
+            self.data_parallel,
             shuffle_seed=config.shuffle_seed,
         )
         self.eval_batches: list[Batch] = make_eval_batches(
@@ -206,7 +233,7 @@ class DistributedTrainer:
             for r in self.replicas
         ]
         self.seed_assignment = assign_seeds(
-            config.seed_strategy, config.world_size, base_seed=config.data_seed
+            config.seed_strategy, self.data_parallel, base_seed=config.data_seed
         )
         self.scaler: StaticLossScaler | None
         if config.loss_scale is None:
@@ -239,7 +266,7 @@ class DistributedTrainer:
         issued.
         """
         timeline = self.comm.timeline
-        for rank in range(self.comm.world_size):
+        for rank in range(self.comm.world_size):  # mesh-ok: SPMD driver loop charging every simulated rank's clock
             timeline.record_compute(
                 rank, self._backward_slice_s, name=f"bwd:{name}"
             )
@@ -251,10 +278,31 @@ class DistributedTrainer:
         sync.  Overlapped schedule: forward lands here; backward is
         divided evenly among the parameters that will sync and recorded
         slice-by-slice by :meth:`_record_backward_slice` as their
-        collectives are issued.
+        collectives are issued.  On a mesh with ``pipe > 1`` the step is
+        instead placed as a GPipe-style 1F1B
+        :class:`~repro.nn.parallel.PipelineSchedule`: each stage works
+        ``1/p`` of the model per micro-batch, accumulation steps are the
+        micro-batches, and activation sends are charged on the pipe
+        axis.
         """
         compute_s = self.config.compute_seconds_per_step
         if compute_s is None:
+            return
+        if self.mesh is not None and self.mesh.axis_size("pipe") > 1:
+            p = self.mesh.axis_size("pipe")
+            per_stage = compute_s / p
+            schedule = PipelineSchedule(
+                num_stages=p,
+                num_micro=self.config.accumulation_steps,
+                fwd_time_s=per_stage * (1.0 - _BACKWARD_FRACTION),
+                bwd_time_s=per_stage * _BACKWARD_FRACTION,
+            )
+            schedule.record(
+                self.mesh_comm,
+                axis="pipe",
+                activation_bytes=4 * self.config.batch.local_batch_tokens,
+                tag=f"step{self.global_step}",
+            )
             return
         total = compute_s * self.config.accumulation_steps
         timeline = self.comm.timeline
@@ -269,7 +317,7 @@ class DistributedTrainer:
                 backward = total * _BACKWARD_FRACTION
                 self._backward_slice_s = backward / n_sync
                 head = total - backward
-        for rank in range(self.comm.world_size):
+        for rank in range(self.comm.world_size):  # mesh-ok: SPMD driver loop charging every simulated rank's clock
             timeline.record_compute(rank, head, name="fwd-bwd")
 
     def train_step(self) -> float:

@@ -61,7 +61,7 @@ class TestNoqa:
 class TestRegistry:
     def test_default_rules_cover_the_documented_set(self):
         ids = [r.rule_id for r in default_rules()]
-        assert ids == [f"REPRO{i:03d}" for i in range(1, 13)]
+        assert ids == [f"REPRO{i:03d}" for i in range(1, 14)]
 
     def test_registry_is_id_ordered_with_no_gaps_or_duplicates(self):
         # Registration order == definition order; keeping it sorted

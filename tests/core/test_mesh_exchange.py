@@ -1,0 +1,175 @@
+"""Tests for the data-axis mesh gradient exchange vs the flat path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Communicator, MeshCommunicator, hybrid_mesh
+from repro.core.mesh_exchange import (
+    MeshShardLayout,
+    dense_mesh_allreduce,
+    sparse_mesh_exchange,
+)
+from repro.core.sparse_exchange import UniqueExchange
+from repro.nn.parameter import SparseGrad
+
+
+def mesh_comm(spec, world):
+    return MeshCommunicator(
+        Communicator(world, track_memory=False), hybrid_mesh(spec, world)
+    )
+
+
+def sparse_grads(n, vocab, tokens, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        SparseGrad(
+            indices=rng.integers(0, vocab, tokens),
+            values=rng.standard_normal((tokens, dim)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestLayout:
+    def test_shard_and_data_coordinates(self):
+        mc = mesh_comm("pipe=2,tensor=2,data=2", 8)
+        layout = MeshShardLayout(mc.mesh)
+        assert layout.num_shards == 4
+        assert layout.data_size == 2
+        for rank in range(8):
+            shard, k = layout.shard_of[rank], layout.data_of[rank]
+            assert layout.rank_of[(shard, k)] == rank
+        # A data subgroup's members all carry the same shard index.
+        for g in mc.mesh.groups("data"):
+            assert len({layout.shard_of[r] for r in g.ranks}) == 1
+
+    def test_requires_hybrid_axes(self):
+        from repro.cluster import DeviceMesh
+
+        with pytest.raises(ValueError, match="hybrid_mesh"):
+            MeshShardLayout(DeviceMesh(("node", "local"), (2, 2)))
+
+
+class TestDenseExchange:
+    def test_trivial_mesh_matches_flat_allreduce_bitwise(self):
+        world = 4
+        mc = mesh_comm("pipe=1,tensor=1,data=G", world)
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal((5, 3)) for _ in range(world)]
+        flat = Communicator(world, track_memory=False).allreduce(
+            [g.copy() for g in grads]
+        )
+        out = dense_mesh_allreduce(mc, grads, average=False)
+        for o, f in zip(out, flat):
+            np.testing.assert_array_equal(o, f)
+
+    def test_hybrid_mesh_sums_per_data_subgroup(self):
+        mc = mesh_comm("pipe=2,tensor=2,data=2", 8)
+        rng = np.random.default_rng(1)
+        grads = [rng.standard_normal((4, 3)) for _ in range(2)]
+        out = dense_mesh_allreduce(mc, grads, average=False)
+        expected = grads[0] + grads[1]
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-12)
+
+    def test_average_divides_by_data_size(self):
+        mc = mesh_comm("data=G", 4)
+        grads = [np.full(6, 1.0) for _ in range(4)]
+        out = dense_mesh_allreduce(mc, grads, average=True)
+        np.testing.assert_array_equal(out[0], np.ones(6))
+
+    def test_replica_count_checked(self):
+        mc = mesh_comm("pipe=2,tensor=1,data=2", 4)
+        with pytest.raises(ValueError, match="replica"):
+            dense_mesh_allreduce(mc, [np.ones(4)] * 4)
+
+    def test_shape_preserved(self):
+        mc = mesh_comm("pipe=2,tensor=1,data=2", 4)
+        grads = [np.ones((3, 2, 5)) for _ in range(2)]
+        out = dense_mesh_allreduce(mc, grads, average=False)
+        assert out[0].shape == (3, 2, 5)
+
+    def test_charges_data_axis_collective(self):
+        mc = mesh_comm("pipe=2,tensor=1,data=2", 4)
+        dense_mesh_allreduce(mc, [np.ones(8)] * 2, tag="w")
+        ev = mc.comm.ledger.events[-1]
+        assert ev.op == "mesh_allreduce"
+        assert ev.tag == "data:w"
+
+
+class TestSparseExchange:
+    @given(
+        world=st.integers(1, 5),
+        vocab=st.integers(2, 30),
+        tokens=st.integers(1, 16),
+        seed=st.integers(0, 30),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_trivial_mesh_matches_flat_unique_exchange(
+        self, world, vocab, tokens, seed
+    ):
+        grads = sparse_grads(world, vocab, tokens, 3, seed=seed)
+        flat = UniqueExchange().exchange(
+            Communicator(world, track_memory=False), grads
+        )
+        mc = mesh_comm("pipe=1,tensor=1,data=G", world)
+        out = sparse_mesh_exchange(mc, grads, vocab, average=False)
+        for o, f in zip(out, flat):
+            np.testing.assert_array_equal(o.indices, f.indices)
+            np.testing.assert_array_equal(
+                o.to_dense(vocab), f.to_dense(vocab)
+            )
+
+    def test_indices_globally_sorted_and_unique(self):
+        mc = mesh_comm("pipe=2,tensor=2,data=2", 8)
+        grads = sparse_grads(2, 40, 20, 3, seed=2)
+        out = sparse_mesh_exchange(mc, grads, 40, average=False)
+        for o in out:
+            assert np.all(np.diff(o.indices) > 0)
+
+    def test_hybrid_mesh_sums_per_data_subgroup(self):
+        vocab = 25
+        mc = mesh_comm("pipe=2,tensor=1,data=2", 4)
+        grads = sparse_grads(2, vocab, 10, 3, seed=3)
+        out = sparse_mesh_exchange(mc, grads, vocab, average=False)
+        expected = grads[0].to_dense(vocab) + grads[1].to_dense(vocab)
+        for o in out:
+            np.testing.assert_allclose(
+                o.to_dense(vocab), expected, rtol=1e-12
+            )
+
+    def test_average_divides_by_data_size(self):
+        vocab = 10
+        mc = mesh_comm("data=G", 4)
+        grads = [
+            SparseGrad(indices=np.array([1]), values=np.ones((1, 2)))
+            for _ in range(4)
+        ]
+        out = sparse_mesh_exchange(mc, grads, vocab, average=True)
+        np.testing.assert_array_equal(out[0].values, np.ones((1, 2)))
+
+    def test_replica_count_checked(self):
+        mc = mesh_comm("pipe=2,tensor=1,data=2", 4)
+        with pytest.raises(ValueError, match="replica"):
+            sparse_mesh_exchange(mc, sparse_grads(4, 10, 5, 2), 10)
+
+    def test_empty_contributions_are_fine(self):
+        mc = mesh_comm("pipe=2,tensor=2,data=2", 8)
+        grads = [
+            SparseGrad(
+                indices=np.empty(0, dtype=np.int64),
+                values=np.empty((0, 3)),
+            )
+            for _ in range(2)
+        ]
+        out = sparse_mesh_exchange(mc, grads, 20, average=False)
+        for o in out:
+            assert o.indices.size == 0
+
+    def test_uses_allgather_then_allreduce_on_data_axis(self):
+        mc = mesh_comm("pipe=1,tensor=2,data=2", 4)
+        sparse_mesh_exchange(mc, sparse_grads(2, 12, 6, 2), 12, tag="emb")
+        ops = [(e.op, e.tag) for e in mc.comm.ledger.events]
+        assert ("mesh_allgather", "data:emb:indices") in ops
+        assert ("mesh_allreduce", "data:emb:values") in ops

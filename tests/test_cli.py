@@ -351,3 +351,80 @@ class TestVerifySpmd:
         out = capsys.readouterr().out
         assert "lockstep-verified" in out
         assert "fingerprint-verified" in out
+
+
+class TestTrainMesh:
+    """`train --mesh`: parse-time validation and end-to-end smoke."""
+
+    BASE = ["train", "--gpus", "4", "--steps", "2", "--vocab", "60",
+            "--corpus-tokens", "4000"]
+
+    def test_trivial_mesh_smoke(self, capsys):
+        rc = main(self.BASE + ["--mesh", "data=G"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mesh: data=G" in out
+
+    def test_hybrid_mesh_with_axis_verification(self, capsys):
+        rc = main(["train", "--gpus", "8", "--steps", "2", "--vocab", "60",
+                   "--corpus-tokens", "4000",
+                   "--mesh", "pipe=2,tensor=2,data=", "--verify-spmd"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-axis mesh subgroups verified" in out
+
+    def test_bad_spec_is_a_parse_time_error(self, capsys):
+        rc = main(self.BASE + ["--mesh", "pipe=3,data="])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--mesh" in err and "does not divide" in err
+
+    def test_unknown_axis_rejected(self, capsys):
+        rc = main(self.BASE + ["--mesh", "node=2,local=2"])
+        assert rc == 2
+        assert "training-mesh axis" in capsys.readouterr().err
+
+    def test_mesh_rejects_codec_flags(self, capsys):
+        rc = main(self.BASE + ["--mesh", "data=G", "--fp16"])
+        assert rc == 2
+        assert "raw values" in capsys.readouterr().err
+        rc = main(self.BASE + ["--mesh", "data=G", "--wire-codec", "delta"])
+        assert rc == 2
+        assert "raw values" in capsys.readouterr().err
+
+    def test_mesh_rejects_overlap_and_sanitize(self, capsys):
+        rc = main(self.BASE + ["--mesh", "data=G", "--overlap"])
+        assert rc == 2
+        assert "--overlap" in capsys.readouterr().err
+        rc = main(self.BASE + ["--mesh", "data=G", "--sanitize"])
+        assert rc == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_resilient_needs_shrinkable_data_axis(self, capsys):
+        rc = main(["train", "--gpus", "4", "--steps", "2", "--vocab", "60",
+                   "--corpus-tokens", "4000", "--resilient",
+                   "--mesh", "pipe=2,tensor=2,data=1"])
+        assert rc == 2
+        assert "data axis" in capsys.readouterr().err
+
+    def test_resilient_mesh_rank_loss_collapses_data_axis(self, capsys):
+        rc = main(["train", "--gpus", "8", "--steps", "6", "--vocab", "60",
+                   "--corpus-tokens", "4000", "--resilient",
+                   "--mesh", "pipe=2,tensor=2,data=2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "world 8 -> 4" in out
+
+    def test_nonpositive_counts_rejected(self, capsys):
+        rc = main(["train", "--gpus", "0", "--steps", "2"])
+        assert rc == 2
+        assert "--gpus" in capsys.readouterr().err
+        rc = main(["train", "--gpus", "2", "--steps", "0"])
+        assert rc == 2
+        assert "--steps" in capsys.readouterr().err
+
+    def test_wire_chunk_without_codec_rejected(self, capsys):
+        rc = main(["train", "--gpus", "2", "--steps", "2",
+                   "--wire-chunk-bytes", "4096"])
+        assert rc == 2
+        assert "--wire-codec" in capsys.readouterr().err
