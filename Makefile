@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-mesh test-telemetry lint verify-spmd bench bench-smoke bench-wire examples results clean
+.PHONY: install test test-chaos test-mesh test-telemetry test-serve lint verify-spmd bench bench-smoke bench-wire bench-serve examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -47,6 +47,19 @@ test-telemetry:
 	PYTHONPATH=src $(PYTHON) -m pytest -q \
 		tests/test_cli.py -k "telemetry or trace"
 
+# Serving suite (docs/SERVING.md): continuous-batching differential
+# (token-identical vs naive decode over 5 seeds), the 200-case property
+# suites (no silent drops, eviction safety, token conservation under
+# faults), the chaos-composition tests, the serve-bench CLI paths, the
+# traffic edge cases, and a 90% line-coverage floor on src/repro/serve.
+test-serve:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/serve \
+		tests/data/test_zipf.py tests/data/test_burstiness.py
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/test_cli.py -k "ServeBench"
+	PYTHONPATH=src $(PYTHON) tools/check_coverage.py \
+		--target src/repro/serve --min-percent 90 tests/serve
+
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint src/repro
 
@@ -74,6 +87,12 @@ bench-smoke:
 bench-wire:
 	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
 		benchmarks/bench_wire_compression.py --benchmark-only
+
+# Serving smoke: continuous-vs-naive makespan and p99-TTFT regression
+# gates plus the token-identity check (see docs/SERVING.md).
+bench-serve:
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_serving.py --benchmark-only
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done

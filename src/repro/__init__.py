@@ -19,7 +19,10 @@ simulated multi-GPU cluster:
   the runtime collective/compression sanitizer;
 * :mod:`repro.telemetry` — the unified observability layer: metrics
   registry, Prometheus/JSON exporters, merged multi-generation chrome
-  traces, and per-step JSONL sessions.
+  traces, and per-step JSONL sessions;
+* :mod:`repro.serve` — the inference serving path: continuous batching,
+  per-request state caching, replica-sharded embedding lookup, and
+  Zipfian/bursty traffic over the simulated cluster.
 """
 
 from . import (
@@ -31,6 +34,7 @@ from . import (
     optim,
     perf,
     report,
+    serve,
     sim,
     telemetry,
     train,
@@ -47,6 +51,7 @@ __all__ = [
     "optim",
     "perf",
     "report",
+    "serve",
     "sim",
     "telemetry",
     "train",

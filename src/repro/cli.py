@@ -7,6 +7,8 @@ Subcommands::
     python -m repro.cli perf     [--table 3|4|5]
     python -m repro.cli example  # the Section III-A worked example
     python -m repro.cli lint     [paths ... --rules REPRO001,REPRO006]
+    python -m repro.cli serve-bench [--model word --gpus 4 --requests 48
+                                     --slo 0.5 --fault-plan plan.json]
     python -m repro.cli trace    TELEMETRY_DIR [--out trace.json]
     python -m repro.cli verify-spmd [paths ... --gpus 4 --steps 8
                                      --fault-plan plan.json]
@@ -157,6 +159,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the dynamic lockstep replay")
     p_verify.add_argument("--dynamic-only", action="store_true",
                           help="skip the static taint lint")
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="continuous-batching inference benchmark: Zipfian/bursty "
+        "traffic through the serving engine vs. naive one-at-a-time "
+        "decode, with latency/goodput metrics from telemetry",
+    )
+    p_serve.add_argument("--model", default="word", choices=["word", "char"])
+    p_serve.add_argument("--gpus", type=int, default=4,
+                         help="replica-group size for the sharded lookup")
+    p_serve.add_argument("--requests", type=int, default=48)
+    p_serve.add_argument("--vocab", type=int, default=200)
+    p_serve.add_argument("--max-batch", type=int, default=8)
+    p_serve.add_argument("--temperature", type=float, default=0.0)
+    p_serve.add_argument("--slo", type=float, default=None, metavar="SECONDS",
+                         help="per-request SLO budget; queued requests "
+                         "past it are dropped (default: no deadline)")
+    p_serve.add_argument("--cache-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="state-cache budget (default: 4 MiB)")
+    p_serve.add_argument("--fault-plan", default=None, metavar="FILE",
+                         help="JSON FaultPlan replayed through a "
+                         "ChaosCommunicator during serving")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                         help="stream per-decode-step JSONL and metric "
+                         "exports into DIR")
 
     p_trace = sub.add_parser(
         "trace", help="merge and validate the traces of a telemetry dir"
@@ -708,6 +737,130 @@ def _verify_spmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Serve a deterministic traffic stream; print the latency story.
+
+    Runs the same requests through the continuous-batching engine and
+    the naive one-request-at-a-time baseline (token-identical by
+    construction — the differential suite enforces it), then prints the
+    telemetry-derived comparison: p50/p99 TTFT, per-token latency,
+    goodput under SLO, and the cache/recovery counters.
+    """
+    from repro.cluster.communicator import Communicator
+    from repro.cluster.failures import ChaosCommunicator, FaultPlan
+    from repro.serve import (
+        ArrivalSpec,
+        ServeConfig,
+        ServingEngine,
+        TrafficConfig,
+        generate_traffic,
+        naive_serve,
+        report_to_registry,
+    )
+    from repro.telemetry import MetricsRegistry, TelemetrySession
+
+    rng = np.random.default_rng(args.seed)
+    if args.model == "word":
+        from repro.train.config import WordLMConfig
+        from repro.train.word_lm import WordLanguageModel
+        from repro.serve import WordLMDecoder
+
+        model_config = WordLMConfig(
+            vocab_size=args.vocab,
+            embedding_dim=32,
+            hidden_dim=64,
+            projection_dim=32,
+            num_samples=16,
+        )
+        def make_decoder():
+            return WordLMDecoder(
+                WordLanguageModel(model_config, np.random.default_rng(args.seed))
+            )
+    else:
+        from repro.train.config import CharLMConfig
+        from repro.train.char_lm import CharLanguageModel
+        from repro.serve import CharLMDecoder
+
+        model_config = CharLMConfig(
+            vocab_size=args.vocab,
+            embedding_dim=16,
+            hidden_dim=48,
+            depth=3,
+            dropout=0.0,
+        )
+        def make_decoder():
+            return CharLMDecoder(
+                CharLanguageModel(model_config, np.random.default_rng(args.seed))
+            )
+
+    traffic = TrafficConfig(
+        num_requests=args.requests,
+        vocab_size=args.vocab,
+        prompt_pool=max(8, args.requests // 4),
+        arrivals=ArrivalSpec(
+            calm_rate=50.0, burst_rate=500.0, mean_calm_s=0.1, mean_burst_s=0.05
+        ),
+        slo_s=args.slo if args.slo is not None else float("inf"),
+        seed=args.seed,
+    )
+    requests = generate_traffic(traffic)
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        temperature=args.temperature,
+        seed=args.seed,
+        drop_expired=args.slo is not None,
+        cache_budget_bytes=(
+            args.cache_budget if args.cache_budget is not None else 1 << 22
+        ),
+        decode_token_s=2e-3,
+        prefill_token_s=5e-4,
+    )
+
+    if args.fault_plan is not None:
+        plan = FaultPlan.load(args.fault_plan)
+        comm = ChaosCommunicator(args.gpus, plan=plan)
+    else:
+        comm = Communicator(args.gpus)
+
+    session = None
+    if args.telemetry_dir is not None:
+        session = TelemetrySession(directory=Path(args.telemetry_dir))
+    engine = ServingEngine(make_decoder(), comm, config, telemetry=session)
+    report = engine.run(requests)
+    registry = session.registry if session is not None else MetricsRegistry()
+    summary = report_to_registry(report, registry)
+    naive = naive_serve(make_decoder(), requests, config)
+    if session is not None:
+        session.finalize()
+
+    print(f"serve-bench: {args.model} model, {args.gpus} GPUs, "
+          f"{args.requests} requests, max_batch={args.max_batch}")
+    print(f"  continuous: makespan {summary['makespan_s']:.4f}s, "
+          f"{summary['decode_steps']} decode steps, "
+          f"{summary['total_tokens']} tokens "
+          f"({summary['tokens_per_s']:.1f} tok/s)")
+    print(f"  naive:      makespan {naive.makespan_s:.4f}s "
+          f"({naive.makespan_s / max(summary['makespan_s'], 1e-12):.2f}x "
+          f"slower, token-identical)")
+    print(f"  ttft:       p50 {summary['p50_ttft_s']:.4f}s, "
+          f"p99 {summary['p99_ttft_s']:.4f}s")
+    print(f"  per-token:  p50 {summary['p50_token_latency_s']:.4f}s, "
+          f"p99 {summary['p99_token_latency_s']:.4f}s")
+    print(f"  goodput:    {summary['goodput_rps']:.2f} req/s SLO-met "
+          f"({summary['slo_met']}/{summary['requests']} requests, "
+          f"{summary['dropped']} dropped)")
+    cache = summary["cache"]
+    print(f"  cache:      {cache['hits']} hits, {cache['misses']} misses, "
+          f"{cache['evictions']} evictions; "
+          f"{summary['recomputes']} recomputes")
+    print(f"  cluster:    {summary['wire_bytes_per_rank']} wire B/rank, "
+          f"{summary['generations']} generation(s), "
+          f"{summary['readmissions']} readmission(s)")
+    if session is not None:
+        print(f"  telemetry:  {args.telemetry_dir}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Merge, validate, and cross-check the exports of a telemetry dir.
 
@@ -796,6 +949,7 @@ _COMMANDS = {
     "example": _cmd_example,
     "lint": _cmd_lint,
     "verify-spmd": _cmd_verify_spmd,
+    "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
 }
 

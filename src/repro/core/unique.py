@@ -36,10 +36,24 @@ from .wire.transfer import iencoded_allgather
 __all__ = [
     "PendingUniqueExchange",
     "UniqueExchangeResult",
+    "global_unique",
     "iunique_exchange",
     "local_unique_reduce",
     "unique_exchange",
 ]
+
+
+def global_unique(all_indices: np.ndarray) -> np.ndarray:
+    """Step 4: the globally-unique, totally-ordered type set Î.
+
+    Every rank derives the same ascending ``int64`` vector from the
+    gathered index traffic — the determinism the scatter/searchsorted
+    steps (5 and 7) rely on.  Shared by the training-side gradient
+    exchange and the serving-side replica-sharded embedding lookup
+    (:func:`repro.serve.embedding.sharded_embedding_lookup`), which runs
+    the same gather-unique-shard dance over decode-step token ids.
+    """
+    return np.unique(np.asarray(all_indices, dtype=np.int64))
 
 
 @dataclass(frozen=True)
@@ -130,7 +144,7 @@ class PendingUniqueExchange:
         all_indices = self._index_handle.wait()[0]
 
         # Step 4: global unique filter, totally ordered (ascending).
-        global_indices = np.unique(all_indices)
+        global_indices = global_unique(all_indices)
         ug = int(global_indices.size)
 
         # Step 5: local scatter Ĵ -> Î positions, zero-filling missing rows.

@@ -94,7 +94,10 @@ class ZipfMandelbrot:
             raise ValueError("n_tokens must be non-negative")
         if n_tokens == 0:
             return 0.0
-        log_miss = n_tokens * np.log1p(-self.pmf)
+        # p_r == 1 (single-type vocab) gives log1p(-1) = -inf, whose
+        # expm1 is exactly -1 — the correct certain-hit limit.
+        with np.errstate(divide="ignore"):
+            log_miss = n_tokens * np.log1p(-self.pmf)
         return float(-np.expm1(log_miss).sum())
 
 

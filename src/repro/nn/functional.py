@@ -17,7 +17,37 @@ __all__ = [
     "softmax",
     "log_softmax",
     "cross_entropy_from_logits",
+    "row_matmul",
 ]
+
+
+def row_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Batch-invariant matmul: row ``r`` of the result is ``x[r] @ w``.
+
+    BLAS gemm is *not* row-wise bit-identical across batch sizes — the
+    blocking/accumulation order of ``(B, H) @ (H, K)`` depends on ``B``,
+    so the same input row produces slightly different outputs in
+    different batches (observed at ~1e-15 for every ``B > 1``).  That
+    breaks any system whose correctness story is "batching is a
+    scheduling optimization, not a numerics change" — notably the
+    serving engine's continuous-batching differential test, which
+    requires token-identical decodes regardless of batch composition.
+
+    This kernel restores the invariant by computing each output row as
+    an independent vector-matrix product, making the result a pure
+    function of the row's values.  O(B) small gemv calls instead of one
+    gemm: decode-sized (``B <= max_batch``) workloads only.
+    """
+    x = np.asarray(x)
+    w = np.asarray(w)
+    if x.ndim != 2 or w.ndim != 2 or x.shape[1] != w.shape[0]:
+        raise ValueError(
+            f"row_matmul expects (B, H) @ (H, K); got {x.shape} @ {w.shape}"
+        )
+    out = np.empty((x.shape[0], w.shape[1]), dtype=np.result_type(x, w))
+    for r in range(x.shape[0]):
+        out[r] = x[r] @ w
+    return out
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:

@@ -15,7 +15,7 @@ import numpy as np
 
 from . import init
 from .dtypes import DTYPE
-from .functional import dsigmoid, dtanh, sigmoid, tanh
+from .functional import dsigmoid, dtanh, row_matmul, sigmoid, tanh
 from .module import Module
 from .parameter import Parameter
 
@@ -60,6 +60,35 @@ class LSTM(Module):
         bias = init.zeros((4 * h,), dtype)
         bias[h : 2 * h] = 1.0  # forget gate bias
         self.bias = Parameter(bias, name="lstm.bias")
+
+    def step(
+        self,
+        x: np.ndarray,
+        state: tuple[np.ndarray, np.ndarray],
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        """One decode time step over a ``(B, input_dim)`` batch of rows.
+
+        The inference kernel for the serving path: all matmuls go through
+        :func:`~repro.nn.functional.row_matmul`, so row ``r`` of the
+        output depends only on row ``r`` of ``x`` and ``state`` — the
+        result is bit-identical whatever batch the row is scheduled into.
+        Returns ``(h, (h, c))``; no caches, no gradients.
+        """
+        H = self.hidden_dim
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected (B, {self.input_dim}), got {x.shape}")
+        h_prev, c_prev = state
+        if h_prev.shape != x.shape[:1] + (H,) or c_prev.shape != h_prev.shape:
+            raise ValueError("state shape does not match the batch")
+        z = row_matmul(x, self.w_x.data) + self.bias.data
+        z += row_matmul(h_prev, self.w_h.data)
+        i = sigmoid(z[:, :H])
+        f = sigmoid(z[:, H : 2 * H])
+        g = tanh(z[:, 2 * H : 3 * H])
+        o = sigmoid(z[:, 3 * H :])
+        c = f * c_prev + i * g
+        h = o * tanh(c)
+        return h, (h, c)
 
     def forward(
         self,

@@ -24,7 +24,7 @@ import numpy as np
 
 from . import init
 from .dtypes import DTYPE
-from .functional import dsigmoid, dtanh, sigmoid, tanh
+from .functional import dsigmoid, dtanh, row_matmul, sigmoid, tanh
 from .module import Module
 from .parameter import Parameter
 
@@ -80,6 +80,33 @@ class RHN(Module):
         bias = np.zeros((depth, 2 * H), dtype)
         bias[:, H:] = -2.0  # open carry gates initially
         self.bias = Parameter(bias, name="rhn.bias")
+
+    def step(
+        self, x: np.ndarray, state: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One decode time step over a ``(B, input_dim)`` batch of rows.
+
+        Inference kernel for the serving path, mirroring
+        :meth:`repro.nn.lstm.LSTM.step`: every matmul runs through
+        :func:`~repro.nn.functional.row_matmul` so each row's output is
+        bit-identical regardless of the batch it rides in.  Returns
+        ``(s, s)`` — the RHN's per-step output *is* its new state.
+        """
+        H, L = self.hidden_dim, self.depth
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected (B, {self.input_dim}), got {x.shape}")
+        if state.shape != x.shape[:1] + (H,):
+            raise ValueError("state shape does not match the batch")
+        x_proj = row_matmul(x, self.w_x.data)
+        s = state
+        for l in range(L):
+            z = row_matmul(s, self.r.data[l]) + self.bias.data[l]
+            if l == 0:
+                z = z + x_proj
+            h = tanh(z[:, :H])
+            tg = sigmoid(z[:, H:])
+            s = h * tg + s * (1.0 - tg)
+        return s, s
 
     def forward(
         self, x: np.ndarray, state: np.ndarray | None = None

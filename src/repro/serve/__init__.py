@@ -1,0 +1,53 @@
+"""Production-style inference serving on the simulated cluster.
+
+Turns the training-only reproduction into a serving story (ROADMAP
+item 2): autoregressive decode over the existing LSTM/RHN models with
+
+* continuous batching (:mod:`repro.serve.scheduler`) — the active
+  batch re-forms every decode step;
+* per-request recurrent-state caching (:mod:`repro.serve.state_cache`)
+  — LRU under a simulated memory budget, pinned while active;
+* replica-sharded embedding lookup (:mod:`repro.serve.embedding`) —
+  the paper's uniqueness dance applied to decode-step token ids;
+* Zipfian/bursty traffic generation (:mod:`repro.serve.traffic`);
+* the engine itself (:mod:`repro.serve.engine`), whose collectives
+  ride the Timeline/CostLedger and whose latency metrics flow through
+  the telemetry layer (:mod:`repro.serve.metrics`).
+
+The correctness contract is *batching is a scheduling optimization,
+not a numerics change*: decode kernels are batch-invariant and
+sampling is keyed per ``(seed, request_id, position)``, so
+:func:`~repro.serve.engine.naive_serve` (one request at a time) is
+token-identical to the full engine — see ``tests/serve``.
+"""
+
+from .decoders import CharLMDecoder, WordLMDecoder, sample_token
+from .embedding import sharded_embedding_lookup
+from .engine import ServeConfig, ServingEngine, naive_serve
+from .metrics import ServingReport, percentile, report_to_registry
+from .request import CompletedRequest, RequestState, ServeRequest
+from .scheduler import ContinuousBatchingScheduler
+from .state_cache import CacheOverflowError, RecurrentStateCache
+from .traffic import ArrivalSpec, TrafficConfig, generate_traffic
+
+__all__ = [
+    "ArrivalSpec",
+    "CacheOverflowError",
+    "CharLMDecoder",
+    "CompletedRequest",
+    "ContinuousBatchingScheduler",
+    "RecurrentStateCache",
+    "RequestState",
+    "ServeConfig",
+    "ServeRequest",
+    "ServingEngine",
+    "ServingReport",
+    "TrafficConfig",
+    "WordLMDecoder",
+    "generate_traffic",
+    "naive_serve",
+    "percentile",
+    "report_to_registry",
+    "sample_token",
+    "sharded_embedding_lookup",
+]

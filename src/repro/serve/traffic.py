@@ -1,0 +1,168 @@
+"""Deterministic serving traffic: Zipfian prompts under bursty arrivals.
+
+The paper's load-bearing empirical fact — token frequency is Zipfian —
+applies to inference traffic too: prompt popularity is heavy-tailed
+(a few hot prompts dominate) and arrivals are bursty rather than
+Poisson-smooth.  This module composes the existing corpus models into a
+request stream:
+
+* a **prompt pool** whose token content is sampled from
+  :class:`repro.data.zipf.ZipfMandelbrot` (so replica-sharded embedding
+  lookups see realistic type skew);
+* **prompt choice** driven by a second Zipf–Mandelbrot distribution
+  over the pool, passed through
+  :func:`repro.data.burstiness.make_bursty_tokens` — hot prompts recur
+  in local bursts, exactly the structure popularity-aware caching and
+  the uniqueness exchange exploit;
+* a **two-state arrival process** (calm/burst phases with exponential
+  durations, Poisson arrivals within each phase) so the scheduler's
+  admission queue sees realistic pressure waves.
+
+Everything is a pure function of the config seed: the same
+:class:`TrafficConfig` always yields byte-identical request streams,
+which the differential and chaos suites rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.burstiness import make_bursty_tokens
+from ..data.zipf import ZipfMandelbrot
+from .request import ServeRequest
+
+__all__ = ["ArrivalSpec", "TrafficConfig", "generate_traffic", "make_arrival_times"]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Two-state (calm/burst) modulated Poisson arrival process.
+
+    Phases alternate calm → burst → calm …, each with an exponentially
+    distributed duration; within a phase, arrivals are Poisson at that
+    phase's rate.  A zero rate yields a silent interval (no arrivals
+    while the phase lasts) — at least one of the two rates must be
+    positive or the process can never produce a request.
+    """
+
+    calm_rate: float = 4.0
+    burst_rate: float = 20.0
+    mean_calm_s: float = 2.0
+    mean_burst_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.calm_rate < 0 or self.burst_rate < 0:
+            raise ValueError("arrival rates must be non-negative")
+        if self.calm_rate == 0 and self.burst_rate == 0:
+            raise ValueError("at least one arrival rate must be positive")
+        if self.mean_calm_s <= 0 or self.mean_burst_s <= 0:
+            raise ValueError("mean phase durations must be positive")
+
+
+def make_arrival_times(
+    n: int, spec: ArrivalSpec, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``n`` non-decreasing arrival times from the two-state process.
+
+    Returns a float64 vector of simulated seconds from run start;
+    ``n = 0`` yields an empty trace.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    times: list[float] = []
+    t = 0.0
+    burst = False
+    while len(times) < n:
+        rate = spec.burst_rate if burst else spec.calm_rate
+        duration = rng.exponential(
+            spec.mean_burst_s if burst else spec.mean_calm_s
+        )
+        if rate > 0:
+            tau = t
+            while len(times) < n:
+                tau += rng.exponential(1.0 / rate)
+                if tau > t + duration:
+                    break
+                times.append(tau)
+        t += duration
+        burst = not burst
+    return np.asarray(times, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Description of one deterministic request stream.
+
+    ``prompt_len`` and ``max_new_tokens`` are inclusive ``(lo, hi)``
+    ranges sampled uniformly per prompt/request; ``zipf_exponent`` and
+    ``zipf_shift`` parameterize both the token-content and the
+    prompt-popularity distributions; ``p_repeat``/``window`` feed the
+    burstiness cache model for prompt choice.
+    """
+
+    num_requests: int
+    vocab_size: int
+    prompt_pool: int = 32
+    prompt_len: tuple[int, int] = (4, 12)
+    max_new_tokens: tuple[int, int] = (4, 16)
+    zipf_exponent: float = 1.5
+    zipf_shift: float = 0.0
+    p_repeat: float = 0.3
+    window: int = 8
+    arrivals: ArrivalSpec = field(default_factory=ArrivalSpec)
+    slo_s: float = float("inf")
+    eos_token: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if self.vocab_size <= 0 or self.prompt_pool <= 0:
+            raise ValueError("vocab_size and prompt_pool must be positive")
+        for lo, hi in (self.prompt_len, self.max_new_tokens):
+            if lo < 1 or hi < lo:
+                raise ValueError("ranges must satisfy 1 <= lo <= hi")
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+
+
+def generate_traffic(config: TrafficConfig) -> list[ServeRequest]:
+    """Materialize the request stream described by ``config``.
+
+    Deterministic in ``config.seed``; requests come back in arrival
+    order with ids ``0 .. num_requests - 1``.  An empty trace
+    (``num_requests = 0``) returns ``[]``.
+    """
+    if config.num_requests == 0:
+        return []
+    rng = np.random.default_rng(config.seed)
+    n = config.num_requests
+
+    content = ZipfMandelbrot(
+        config.vocab_size, config.zipf_exponent, config.zipf_shift
+    )
+    lo, hi = config.prompt_len
+    lengths = rng.integers(lo, hi + 1, size=config.prompt_pool)
+    pool = [content.sample(int(length), rng) for length in lengths]
+
+    popularity = ZipfMandelbrot(config.prompt_pool, config.zipf_exponent)
+    choices = make_bursty_tokens(
+        popularity, n, rng, p_repeat=config.p_repeat, window=config.window
+    )
+    arrivals = make_arrival_times(n, config.arrivals, rng)
+    glo, ghi = config.max_new_tokens
+    budgets = rng.integers(glo, ghi + 1, size=n)
+
+    return [
+        ServeRequest(
+            request_id=i,
+            prompt=pool[int(choices[i])],
+            max_new_tokens=int(budgets[i]),
+            arrival_s=float(arrivals[i]),
+            slo_s=config.slo_s,
+            eos_token=config.eos_token,
+        )
+        for i in range(n)
+    ]

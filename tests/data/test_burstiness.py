@@ -95,3 +95,49 @@ class TestBatchDuplication:
             dist(200), 2000, np.random.default_rng(seed), p_repeat=p
         )
         assert batch_duplication(toks, 100) >= 1.0
+
+
+class TestDegenerateStreams:
+    """Edge cases the serving traffic model leans on (PR-8)."""
+
+    def test_single_token_stream(self):
+        """n_tokens=1: position 0 can never repeat, any p_repeat."""
+        out = make_bursty_tokens(
+            dist(100), 1, np.random.default_rng(0), p_repeat=0.9
+        )
+        assert out.shape == (1,)
+        assert 0 <= out[0] < 100
+
+    def test_window_one_copies_immediate_predecessor(self):
+        out = make_bursty_tokens(
+            dist(1000), 5000, np.random.default_rng(1), p_repeat=0.6, window=1
+        )
+        # window=1 repeats duplicate the previous token: runs abound
+        runs = np.mean(out[1:] == out[:-1])
+        iid = make_bursty_tokens(
+            dist(1000), 5000, np.random.default_rng(1), p_repeat=0.0
+        )
+        iid_runs = np.mean(iid[1:] == iid[:-1])
+        assert runs > iid_runs + 0.3
+
+    def test_single_type_vocab_is_constant(self):
+        out = make_bursty_tokens(
+            dist(1), 1000, np.random.default_rng(2), p_repeat=0.5
+        )
+        assert (out == 0).all()
+
+    def test_max_skew_base_distribution(self):
+        """Extreme-alpha base: stream collapses to the head type."""
+        extreme = ZipfMandelbrot(vocab_size=100, exponent=50.0)
+        out = make_bursty_tokens(
+            extreme, 2000, np.random.default_rng(3), p_repeat=0.3
+        )
+        assert (out == 0).all()
+
+    def test_p_repeat_just_below_one(self):
+        """Near-total repetition still terminates and stays in range."""
+        out = make_bursty_tokens(
+            dist(50), 2000, np.random.default_rng(4), p_repeat=0.999
+        )
+        assert out.min() >= 0 and out.max() < 50
+        assert np.unique(out).size < 20  # almost everything is a copy

@@ -109,3 +109,39 @@ class TestFitting:
             heaps_exponent_for_zipf(0.0)
         with pytest.raises(ValueError):
             zipf_exponent_for_heaps(1.5)
+
+
+class TestDegenerateDistributions:
+    """Edge cases the serving traffic model leans on (PR-8)."""
+
+    def test_single_type_vocab(self):
+        z = ZipfMandelbrot(vocab_size=1, exponent=1.5)
+        assert z.pmf.shape == (1,)
+        assert z.pmf[0] == pytest.approx(1.0)
+        ids = z.sample(100, np.random.default_rng(0))
+        assert (ids == 0).all()
+        assert z.expected_types(10) == pytest.approx(1.0)
+
+    def test_max_skew_exponent_degenerates_to_head(self):
+        """At extreme skew essentially all mass sits on rank 0."""
+        z = ZipfMandelbrot(vocab_size=100, exponent=50.0)
+        assert z.pmf[0] == pytest.approx(1.0, abs=1e-12)
+        ids = z.sample(10_000, np.random.default_rng(1))
+        assert (ids == 0).all()
+        # expected types saturates at ~1 no matter the sample size
+        assert z.expected_types(10**6) == pytest.approx(1.0, abs=1e-6)
+
+    def test_expected_types_zero_tokens(self):
+        z = ZipfMandelbrot(vocab_size=10)
+        assert z.expected_types(0) == 0.0
+        with pytest.raises(ValueError):
+            z.expected_types(-1)
+
+    def test_near_uniform_low_exponent(self):
+        """The opposite extreme: tiny s approaches uniform."""
+        z = ZipfMandelbrot(vocab_size=50, exponent=1e-6)
+        np.testing.assert_allclose(z.pmf, 1.0 / 50, rtol=1e-4)
+
+    def test_huge_shift_flattens_to_uniform(self):
+        z = ZipfMandelbrot(vocab_size=20, exponent=1.5, shift=1e9)
+        np.testing.assert_allclose(z.pmf, 1.0 / 20, rtol=1e-6)

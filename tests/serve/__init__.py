@@ -1,0 +1,1 @@
+"""Serving-path test suite: differential, property, chaos, and unit tiers."""

@@ -1,0 +1,191 @@
+"""Decoder kernel tests: batch invariance, sampling, sharded lookup."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.communicator import Communicator
+from repro.serve import sample_token, sharded_embedding_lookup
+from repro.serve.decoders import stack_states, unstack_state
+
+from .helpers import make_char_decoder, make_word_decoder
+
+
+def random_rows(decoder, n, rng):
+    ids = rng.integers(0, decoder.vocab_size, size=n)
+    return decoder.embedding_weight[ids]
+
+
+class TestStackUnstack:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        rows = [
+            (rng.standard_normal(4), rng.standard_normal(4)) for _ in range(3)
+        ]
+        stacked = stack_states(rows)
+        assert stacked[0].shape == (3, 4)
+        for i, row in enumerate(rows):
+            out = unstack_state(stacked, i)
+            np.testing.assert_array_equal(out[0], row[0])
+            np.testing.assert_array_equal(out[1], row[1])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            stack_states([])
+
+    def test_unstack_copies(self):
+        stacked = stack_states([(np.zeros(2),)])
+        row = unstack_state(stacked, 0)
+        row[0][:] = 7.0
+        assert stacked[0][0, 0] == 0.0
+
+
+class TestSampleToken:
+    def test_greedy_argmax_no_rng(self):
+        logits = np.array([0.1, 3.0, -1.0])
+        assert sample_token(logits, None, temperature=0.0) == 1
+
+    def test_sampled_needs_rng(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros(3), None, temperature=1.0)
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros(3), np.random.default_rng(0), temperature=-1.0)
+
+    def test_batched_logits_rejected(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros((2, 3)), None)
+
+    def test_deterministic_in_rng_state(self):
+        logits = np.random.default_rng(1).standard_normal(20)
+        a = sample_token(logits, np.random.default_rng(42), temperature=0.8)
+        b = sample_token(logits, np.random.default_rng(42), temperature=0.8)
+        assert a == b
+
+    def test_sampled_tokens_follow_distribution(self):
+        # A huge logit should win almost always at low temperature.
+        logits = np.zeros(10)
+        logits[3] = 50.0
+        rng = np.random.default_rng(2)
+        draws = [sample_token(logits, rng, temperature=1.0) for _ in range(50)]
+        assert all(d == 3 for d in draws)
+
+
+@pytest.mark.parametrize(
+    "make_decoder", [make_word_decoder, make_char_decoder],
+    ids=["word-lstm", "char-rhn"],
+)
+class TestBatchInvariance:
+    """Row r of step() is a bitwise-pure function of row r of the inputs."""
+
+    def test_rows_identical_across_batch_compositions(self, make_decoder):
+        decoder = make_decoder()
+        rng = np.random.default_rng(3)
+        n = 6
+        x = random_rows(decoder, n, rng)
+        rows = [decoder.init_state() for _ in range(n)]
+        # fold one warmup step so states are non-trivial
+        _, warm = decoder.step(x, stack_states(rows))
+        warm_rows = [unstack_state(warm, i) for i in range(n)]
+
+        x2 = random_rows(decoder, n, rng)
+        ref_logits, ref_states = decoder.step(x2, stack_states(warm_rows))
+
+        # every contiguous sub-batch, plus a permuted composition
+        compositions = [list(range(i, j)) for i in range(n) for j in range(i + 1, n + 1)]
+        compositions.append([4, 0, 2])
+        for members in compositions:
+            logits, states = decoder.step(
+                x2[members], stack_states([warm_rows[m] for m in members])
+            )
+            for pos, member in enumerate(members):
+                np.testing.assert_array_equal(
+                    logits[pos], ref_logits[member], strict=True
+                )
+                for part, ref_part in zip(
+                    unstack_state(states, pos),
+                    unstack_state(ref_states, member),
+                ):
+                    np.testing.assert_array_equal(part, ref_part, strict=True)
+
+    def test_multi_step_trajectory_schedule_independent(self, make_decoder):
+        # Decoding a request alone vs inside changing batches must give
+        # bitwise-identical states after several steps.
+        decoder = make_decoder()
+        rng = np.random.default_rng(4)
+        tokens = rng.integers(0, decoder.vocab_size, size=5)
+
+        solo = stack_states([decoder.init_state()])
+        for t in tokens:
+            x = decoder.embedding_weight[int(t)][np.newaxis, :]
+            _, solo = decoder.step(x, solo)
+
+        # same request in slot 1 of a 3-wide batch with random companions
+        state = decoder.init_state()
+        for t in tokens:
+            companions = [decoder.init_state() for _ in range(2)]
+            batch = stack_states([companions[0], state, companions[1]])
+            x = np.vstack(
+                [
+                    random_rows(decoder, 1, rng),
+                    decoder.embedding_weight[int(t)][np.newaxis, :],
+                    random_rows(decoder, 1, rng),
+                ]
+            )
+            _, new = decoder.step(x, batch)
+            state = unstack_state(new, 1)
+
+        for part, ref in zip(state, unstack_state(solo, 0)):
+            np.testing.assert_array_equal(part, ref, strict=True)
+
+
+class TestShardedEmbeddingLookup:
+    def test_bitwise_equal_to_direct_gather(self):
+        decoder = make_word_decoder()
+        rng = np.random.default_rng(5)
+        comm = Communicator(3)
+        ids_per_rank = [
+            rng.integers(0, decoder.vocab_size, size=k).astype(np.int64)
+            for k in (4, 2, 5)
+        ]
+        rows = sharded_embedding_lookup(
+            comm, decoder.embedding_weight, ids_per_rank
+        )
+        for ids, out in zip(ids_per_rank, rows):
+            np.testing.assert_array_equal(
+                out, decoder.embedding_weight[ids], strict=True
+            )
+
+    def test_empty_rank_vector(self):
+        decoder = make_word_decoder()
+        comm = Communicator(2)
+        ids_per_rank = [
+            np.array([3, 3, 7], dtype=np.int64),
+            np.array([], dtype=np.int64),
+        ]
+        rows = sharded_embedding_lookup(
+            comm, decoder.embedding_weight, ids_per_rank
+        )
+        assert rows[1].shape == (0, decoder.embedding_weight.shape[1])
+        np.testing.assert_array_equal(
+            rows[0], decoder.embedding_weight[[3, 3, 7]], strict=True
+        )
+
+    def test_wrong_rank_count_rejected(self):
+        decoder = make_word_decoder()
+        comm = Communicator(2)
+        with pytest.raises(ValueError):
+            sharded_embedding_lookup(
+                comm, decoder.embedding_weight, [np.array([1], dtype=np.int64)]
+            )
+
+    def test_collectives_land_on_ledger(self):
+        decoder = make_word_decoder()
+        comm = Communicator(2)
+        before = comm.ledger.total_wire_bytes_per_rank
+        sharded_embedding_lookup(
+            comm,
+            decoder.embedding_weight,
+            [np.array([1, 2], dtype=np.int64), np.array([2], dtype=np.int64)],
+        )
+        assert comm.ledger.total_wire_bytes_per_rank > before

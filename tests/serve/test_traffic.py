@@ -1,0 +1,152 @@
+"""Traffic-generator unit tests: determinism, edge cases, validation."""
+
+import numpy as np
+import pytest
+
+from repro.serve import ArrivalSpec, TrafficConfig, generate_traffic
+from repro.serve.traffic import make_arrival_times
+
+
+class TestArrivalSpec:
+    def test_defaults_valid(self):
+        spec = ArrivalSpec()
+        assert spec.burst_rate > spec.calm_rate
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(calm_rate=-1.0)
+
+    def test_both_rates_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(calm_rate=0.0, burst_rate=0.0)
+
+    def test_nonpositive_phase_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(mean_calm_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(mean_burst_s=-1.0)
+
+
+class TestMakeArrivalTimes:
+    def test_empty_trace(self):
+        times = make_arrival_times(0, ArrivalSpec(), np.random.default_rng(0))
+        assert times.shape == (0,)
+        assert times.dtype == np.float64
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival_times(-1, ArrivalSpec(), np.random.default_rng(0))
+
+    def test_single_request_burst(self):
+        # A lone request must still get a finite, non-negative arrival.
+        spec = ArrivalSpec(calm_rate=0.0, burst_rate=100.0, mean_calm_s=0.01)
+        times = make_arrival_times(1, spec, np.random.default_rng(1))
+        assert times.shape == (1,)
+        assert np.isfinite(times[0]) and times[0] >= 0.0
+
+    def test_zero_rate_interval_is_silent(self):
+        # Calm phases at rate 0 produce no arrivals: every arrival falls
+        # inside a burst phase, so gaps cluster at burst spacing with
+        # occasional calm-phase silences in between.
+        spec = ArrivalSpec(
+            calm_rate=0.0, burst_rate=1000.0, mean_calm_s=1.0, mean_burst_s=0.05
+        )
+        times = make_arrival_times(200, spec, np.random.default_rng(2))
+        gaps = np.diff(times)
+        # Silent calm intervals show up as gaps far above burst spacing.
+        assert gaps.max() > 20 * np.median(gaps)
+
+    def test_monotone_nondecreasing(self):
+        times = make_arrival_times(500, ArrivalSpec(), np.random.default_rng(3))
+        assert np.all(np.diff(times) >= 0)
+
+    def test_deterministic_in_rng_seed(self):
+        spec = ArrivalSpec()
+        a = make_arrival_times(100, spec, np.random.default_rng(7))
+        b = make_arrival_times(100, spec, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTrafficConfigValidation:
+    def test_negative_num_requests_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=-1, vocab_size=10)
+
+    def test_nonpositive_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=1, vocab_size=0)
+
+    def test_nonpositive_pool_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=1, vocab_size=10, prompt_pool=0)
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=1, vocab_size=10, prompt_len=(0, 4))
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=1, vocab_size=10, max_new_tokens=(5, 2))
+
+    def test_nonpositive_slo_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(num_requests=1, vocab_size=10, slo_s=0.0)
+
+
+class TestGenerateTraffic:
+    def test_empty_trace(self):
+        assert generate_traffic(TrafficConfig(num_requests=0, vocab_size=10)) == []
+
+    def test_ids_sequential_in_arrival_order(self):
+        requests = generate_traffic(TrafficConfig(num_requests=20, vocab_size=40))
+        assert [r.request_id for r in requests] == list(range(20))
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_in_seed(self):
+        config = TrafficConfig(num_requests=15, vocab_size=30, seed=11)
+        a = generate_traffic(config)
+        b = generate_traffic(config)
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.prompt, rb.prompt)
+            assert ra.max_new_tokens == rb.max_new_tokens
+            assert ra.arrival_s == rb.arrival_s
+
+    def test_seed_changes_stream(self):
+        base = TrafficConfig(num_requests=15, vocab_size=30, seed=0)
+        other = TrafficConfig(num_requests=15, vocab_size=30, seed=1)
+        a = generate_traffic(base)
+        b = generate_traffic(other)
+        assert any(
+            ra.prompt.shape != rb.prompt.shape
+            or not np.array_equal(ra.prompt, rb.prompt)
+            or ra.arrival_s != rb.arrival_s
+            for ra, rb in zip(a, b)
+        )
+
+    def test_fields_respect_config(self):
+        config = TrafficConfig(
+            num_requests=25,
+            vocab_size=12,
+            prompt_len=(2, 5),
+            max_new_tokens=(3, 6),
+            slo_s=0.5,
+            eos_token=0,
+            seed=4,
+        )
+        for req in generate_traffic(config):
+            assert 2 <= req.prompt.size <= 5
+            assert np.all(req.prompt >= 0) and np.all(req.prompt < 12)
+            assert 3 <= req.max_new_tokens <= 6
+            assert req.slo_s == 0.5
+            assert req.eos_token == 0
+
+    def test_prompt_popularity_is_skewed(self):
+        # Zipfian prompt choice: the hottest prompt should dominate.
+        requests = generate_traffic(
+            TrafficConfig(num_requests=200, vocab_size=50, prompt_pool=16, seed=5)
+        )
+        counts: dict[bytes, int] = {}
+        for req in requests:
+            counts[req.prompt.tobytes()] = counts.get(req.prompt.tobytes(), 0) + 1
+        top = max(counts.values())
+        assert top > 200 / 16 * 2  # far above the uniform share

@@ -428,3 +428,59 @@ class TestTrainMesh:
                    "--wire-chunk-bytes", "4096"])
         assert rc == 2
         assert "--wire-codec" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.model == "word"
+        assert args.gpus == 4
+        assert args.requests == 48
+        assert args.slo is None
+        assert args.fault_plan is None
+
+    def test_word_smoke(self, capsys):
+        rc = main(["serve-bench", "--requests", "12", "--gpus", "2",
+                   "--vocab", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "continuous: makespan" in out
+        assert "token-identical" in out
+        assert "ttft:" in out and "p99" in out
+        assert "goodput:" in out
+
+    def test_char_smoke(self, capsys):
+        rc = main(["serve-bench", "--model", "char", "--requests", "8",
+                   "--gpus", "2", "--vocab", "40"])
+        assert rc == 0
+        assert "char model" in capsys.readouterr().out
+
+    def test_slo_drops_reported(self, capsys):
+        rc = main(["serve-bench", "--requests", "24", "--gpus", "2",
+                   "--vocab", "60", "--slo", "0.01"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+
+    def test_telemetry_dir_written(self, capsys, tmp_path):
+        rc = main(["serve-bench", "--requests", "8", "--gpus", "2",
+                   "--vocab", "50", "--telemetry-dir", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "steps.jsonl").exists()
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "repro_serve_p99_ttft_seconds" in prom
+
+    def test_fault_plan_served(self, capsys, tmp_path):
+        import json
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "seed": 0,
+            "events": [{"kind": "rank_loss", "collective_index": 4,
+                        "rank": 1}],
+        }))
+        rc = main(["serve-bench", "--requests", "16", "--gpus", "3",
+                   "--vocab", "60", "--fault-plan", str(plan_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 generation(s)" in out
