@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-chaos test-mesh test-telemetry test-serve lint verify-spmd bench bench-smoke bench-wire bench-serve examples results clean
+.PHONY: install test test-chaos test-mesh test-telemetry test-serve lint verify-spmd bench bench-smoke bench-wire bench-serve bench-sim examples results clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -87,6 +87,12 @@ bench-smoke:
 bench-wire:
 	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
 		benchmarks/bench_wire_compression.py --benchmark-only
+
+# Simulator fast-path smoke: batched-vs-per-rank speedup gates at
+# G=512 plus the bit-exactness differential (see docs/PERFORMANCE.md).
+bench-sim:
+	PYTHONPATH=src REPRO_BENCH_FAST=1 $(PYTHON) -m pytest -q \
+		benchmarks/bench_micro_simulator.py --benchmark-only
 
 # Serving smoke: continuous-vs-naive makespan and p99-TTFT regression
 # gates plus the token-identity check (see docs/SERVING.md).

@@ -1,0 +1,248 @@
+"""Micro-benchmark: the batched rank-execution fast path at G >= 512.
+
+Measures the simulator's steps/sec on the Table-V miniature config
+(``bench_table5_tieba_weak_scaling``) at ``world_size=512``, three ways:
+
+* **per_rank** — the slow path: one Python forward/backward/optimizer
+  pass per simulated rank (``batched=False``);
+* **batched** — the fast path: all ranks' numpy work stacked along a
+  leading rank axis (``batched=True``), with stacked-block gradient
+  sync, shared post-sync gradients and group-pooled optimizer
+  replication;
+* **exec phase** — the two rank-execution loops in isolation (no sync,
+  no optimizer), the part the batched executor actually replaces.
+
+The fast path must be **bit-exact**: a differential arm re-trains
+per-rank vs batched over several seeds and asserts identical losses,
+parameters and optimizer step counts, bit for bit.
+
+Headline figures land in ``results/BENCH_simulator.json`` via the
+``bench_metrics`` fixture.  ``PRE_PR_MS_PER_STEP`` pins the measured
+full-step latency of this config *before* the fast path existed (the
+per-rank loop plus the then-current per-parameter sync and per-replica
+optimizer updates, measured on the reference box; methodology in
+``docs/PERFORMANCE.md``) so the recorded speedup-vs-baseline survives
+later slow-path improvements.  Gates assert conservative floors —
+roughly half the speedups measured on the reference box — so CI noise
+does not flake the job; the JSON records the true measured factors.
+
+Set ``REPRO_BENCH_FAST=1`` for the CI smoke mode (fewer measured steps
+and differential seeds).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.data import BatchSpec, TIEBA, make_corpus
+from repro.optim import Adam
+from repro.report import format_table
+from repro.train import (
+    CharLanguageModel,
+    CharLMConfig,
+    DistributedTrainer,
+    TrainConfig,
+)
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+WORLD = 512
+MINI_VOCAB = 150
+MINI_CFG = CharLMConfig(
+    vocab_size=MINI_VOCAB, embedding_dim=8, hidden_dim=12, depth=2, dropout=0.0
+)
+
+#: Full-step ms/step of this exact config before the batched fast path
+#: (per-rank execution, per-parameter stacked sync, per-replica Adam).
+PRE_PR_MS_PER_STEP = 530.4
+
+WARMUP_STEPS = 1 if FAST else 2
+MEASURE_BATCHED = 4 if FAST else 8
+MEASURE_PER_RANK = 2 if FAST else 3
+DIFF_SEEDS = 2 if FAST else 5
+DIFF_WORLD = 16
+DIFF_STEPS = 3
+
+
+def make_trainer(batched: bool, world: int = WORLD, seed: int = 3):
+    corpus = make_corpus(TIEBA.scaled(MINI_VOCAB), 20_000, seed=seed)
+    cfg = TrainConfig(
+        world_size=world, batch=BatchSpec(2, 8), base_lr=4e-3, batched=batched
+    )
+    return DistributedTrainer(
+        lambda rng, rank: CharLanguageModel(
+            MINI_CFG, rng, dropout_rng=np.random.default_rng(rank)
+        ),
+        lambda params, lr: Adam(params, lr),
+        corpus.train,
+        corpus.valid,
+        cfg,
+    )
+
+
+def time_steps(trainer, n: int) -> float:
+    """Best (min) wall-clock seconds per ``train_step`` over ``n`` steps.
+
+    Min-over-rounds is the robust estimator here: noise on a loaded CI
+    runner only ever *adds* time, so the minimum tracks the true cost.
+    """
+    for _ in range(WARMUP_STEPS):
+        trainer.train_step()
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        trainer.train_step()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_exec_phase() -> tuple[float, float]:
+    """Seconds per rank-execution phase: (per_rank_loop, batched_step)."""
+    rounds = 2 if FAST else 3
+    slow = make_trainer(batched=False)
+    slow.train_step()  # warm caches and arena-equivalents
+    rngs = slow.seed_assignment.rank_generators(step=slow.data_step)
+    per_rank_s = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for rank, replica in enumerate(slow.replicas):
+            batch = slow.batcher.batch(rank, 0)
+            replica.step(batch, rngs[rank], loss_scale=1.0)
+        per_rank_s = min(per_rank_s, time.perf_counter() - start)
+        for replica in slow.replicas:
+            replica.zero_grad()
+
+    fast = make_trainer(batched=True)
+    fast.train_step()
+    batched_s = float("inf")
+    for _ in range(rounds + 2):
+        start = time.perf_counter()
+        fast.batched_executor.step(fast.batcher.step_batches(0))
+        batched_s = min(batched_s, time.perf_counter() - start)
+        for replica in fast.replicas:
+            replica.zero_grad()
+    return per_rank_s, batched_s
+
+
+def differential(seed: int) -> None:
+    """Assert per-rank and batched training are bit-identical."""
+    slow = make_trainer(batched=False, world=DIFF_WORLD, seed=seed)
+    fast = make_trainer(batched=True, world=DIFF_WORLD, seed=seed)
+    assert fast.batched_executor is not None
+    for step in range(DIFF_STEPS):
+        slow_loss = slow.train_step()
+        fast_loss = fast.train_step()
+        assert slow_loss == fast_loss, (
+            f"seed {seed}, step {step}: losses diverged"
+        )
+    for rs, rf in zip(slow.replicas, fast.replicas):
+        for (name, ps), (_, pf) in zip(
+            rs.named_parameters(), rf.named_parameters()
+        ):
+            assert np.array_equal(ps.data, pf.data), (
+                f"seed {seed}: param {name} diverged"
+            )
+    for os_, of in zip(slow.optimizers, fast.optimizers):
+        assert os_._t == of._t, f"seed {seed}: optimizer step count diverged"
+
+
+def run_arms():
+    per_rank_s = time_steps(make_trainer(batched=False), MEASURE_PER_RANK)
+    batched_s = time_steps(make_trainer(batched=True), MEASURE_BATCHED)
+    exec_per_rank_s, exec_batched_s = time_exec_phase()
+    return per_rank_s, batched_s, exec_per_rank_s, exec_batched_s
+
+
+def test_simulator(benchmark, report, bench_metrics):
+    per_rank_s, batched_s, exec_slow_s, exec_fast_s = benchmark.pedantic(
+        run_arms, rounds=1, iterations=1
+    )
+    for seed in range(DIFF_SEEDS):
+        differential(seed)
+
+    speedup = per_rank_s / batched_s
+    exec_speedup = exec_slow_s / exec_fast_s
+    vs_pre_pr = PRE_PR_MS_PER_STEP / (batched_s * 1e3)
+
+    ms = bench_metrics.gauge(
+        "repro_bench_sim_ms_per_step",
+        "Full train_step wall-clock at G=512, by arm",
+        labelnames=("arm",),
+    )
+    ms.set(per_rank_s * 1e3, arm="per_rank")
+    ms.set(batched_s * 1e3, arm="batched")
+    sps = bench_metrics.gauge(
+        "repro_bench_sim_steps_per_s",
+        "Training steps per second at G=512, by arm",
+        labelnames=("arm",),
+    )
+    sps.set(1.0 / per_rank_s, arm="per_rank")
+    sps.set(1.0 / batched_s, arm="batched")
+    ex = bench_metrics.gauge(
+        "repro_bench_sim_exec_ms",
+        "Rank-execution phase wall-clock (no sync/optimizer), by arm",
+        labelnames=("arm",),
+    )
+    ex.set(exec_slow_s * 1e3, arm="per_rank")
+    ex.set(exec_fast_s * 1e3, arm="batched")
+    bench_metrics.gauge(
+        "repro_bench_sim_full_step_speedup",
+        "per_rank / batched full-step time, same tree",
+    ).set(speedup)
+    bench_metrics.gauge(
+        "repro_bench_sim_exec_speedup",
+        "per_rank / batched rank-execution-phase time",
+    ).set(exec_speedup)
+    bench_metrics.gauge(
+        "repro_bench_sim_pre_pr_ms_per_step",
+        "Pinned pre-fast-path full-step baseline (reference box)",
+    ).set(PRE_PR_MS_PER_STEP)
+    bench_metrics.gauge(
+        "repro_bench_sim_speedup_vs_pre_pr",
+        "Pinned pre-fast-path baseline / measured batched step",
+    ).set(vs_pre_pr)
+    bench_metrics.gauge(
+        "repro_bench_sim_differential_seeds",
+        "Seeds over which per-rank vs batched was verified bit-exact",
+    ).set(DIFF_SEEDS)
+
+    table = format_table(
+        ["arm", "full step (ms)", "steps/s", "exec phase (ms)"],
+        [
+            [
+                "per_rank",
+                round(per_rank_s * 1e3, 1),
+                round(1.0 / per_rank_s, 2),
+                round(exec_slow_s * 1e3, 1),
+            ],
+            [
+                "batched",
+                round(batched_s * 1e3, 1),
+                round(1.0 / batched_s, 2),
+                round(exec_fast_s * 1e3, 1),
+            ],
+        ],
+        title=f"Simulator fast path at G={WORLD} (Table-V mini config)",
+    )
+    footer = (
+        f"\nfull-step speedup:  {speedup:.2f}x (same tree)"
+        f"\nexec-phase speedup: {exec_speedup:.2f}x"
+        f"\nvs pre-fast-path baseline {PRE_PR_MS_PER_STEP:.1f} ms: "
+        f"{vs_pre_pr:.2f}x"
+        f"\nbit-exact differential: {DIFF_SEEDS} seeds x {DIFF_STEPS} steps"
+    )
+    report("micro_simulator", table + footer)
+
+    # Gates: conservative floors (roughly half the reference-box
+    # factors) so shared-runner noise cannot flake CI; the JSON above
+    # records the true measured numbers.
+    assert speedup >= 3.5, (
+        f"batched full step only {speedup:.2f}x faster than per-rank"
+    )
+    assert exec_speedup >= 3.5, (
+        f"batched execution only {exec_speedup:.2f}x faster than per-rank"
+    )
+    assert batched_s * 1e3 < PRE_PR_MS_PER_STEP, (
+        "batched step slower than the pinned pre-fast-path baseline"
+    )

@@ -11,6 +11,8 @@ Two halves:
   plus the compression-ratio metric of Section V-C.
 """
 
+import os
+
 import numpy as np
 
 from repro.data import BatchSpec, TIEBA, make_corpus
@@ -41,6 +43,11 @@ MINI_CFG = CharLMConfig(
     vocab_size=MINI_VOCAB, embedding_dim=8, hidden_dim=12, depth=2, dropout=0.0
 )
 
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+#: Training steps for the miniature accuracy run.  The weak-scaling
+#: ordering (8-GPU ppl < 2-GPU ppl) already holds at the smoke budget.
+MINI_STEPS = 40 if FAST else 80
+
 
 def model_hours():
     rows = {}
@@ -67,7 +74,7 @@ def mini_weak_scaling():
             corpus.valid,
             cfg,
         )
-        for _ in range(80):
+        for _ in range(MINI_STEPS):
             trainer.train_step()
         results[world] = perplexity(trainer.evaluate())
     return results

@@ -434,11 +434,19 @@ class Sanitizer:
         arrays: Sequence[np.ndarray],
         tag: str = "",
         payload_bytes: int | None = None,
+        shared_result: bool = False,
+        stacked: np.ndarray | None = None,
     ) -> SanitizedWorkHandle:
         """Validated non-blocking allreduce; the handle is tracked."""
         self._validate("allreduce", arrays, tag)
         return self._issue_checked(
-            self._comm.iallreduce(arrays, tag=tag, payload_bytes=payload_bytes)
+            self._comm.iallreduce(
+                arrays,
+                tag=tag,
+                payload_bytes=payload_bytes,
+                shared_result=shared_result,
+                stacked=stacked,
+            )
         )
 
     def iallgather(
@@ -446,11 +454,17 @@ class Sanitizer:
         arrays: Sequence[np.ndarray],
         tag: str = "",
         payload_bytes: int | None = None,
+        shared_result: bool = False,
     ) -> SanitizedWorkHandle:
         """Validated non-blocking allgather; the handle is tracked."""
         self._validate("allgather", arrays, tag, ragged_leading=True)
         return self._issue_checked(
-            self._comm.iallgather(arrays, tag=tag, payload_bytes=payload_bytes)
+            self._comm.iallgather(
+                arrays,
+                tag=tag,
+                payload_bytes=payload_bytes,
+                shared_result=shared_result,
+            )
         )
 
     def ibroadcast(

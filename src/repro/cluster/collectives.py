@@ -18,6 +18,13 @@ Cost-model conventions: ``G`` ranks, message of ``n`` bytes *per rank*
 ``beta`` = unidirectional bandwidth (bytes/s), ``alpha`` = per-hop
 latency (s).
 
+The cost and wire-byte models are pure functions of hashable arguments
+(:class:`~repro.cluster.interconnect.LinkSpec` is frozen), and a training
+step at large ``G`` evaluates them with the *same* (world, nbytes, link)
+key on every collective — so they are all memoized with ``lru_cache``.
+Invalid inputs still raise on every call (``lru_cache`` does not cache
+exceptions).
+
 =================  =====================================================
 Collective         Ring cost (time)
 =================  =====================================================
@@ -32,6 +39,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Sequence
+from functools import lru_cache
 
 import numpy as np
 
@@ -73,27 +81,77 @@ def _check_uniform(arrays: Sequence[np.ndarray], op: str) -> None:
             )
 
 
-def allreduce_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+def allreduce_arrays(
+    arrays: Sequence[np.ndarray],
+    shared_result: bool = False,
+    stacked: np.ndarray | None = None,
+) -> list[np.ndarray]:
     """Sum-allreduce: every rank receives the elementwise sum of all inputs.
 
     The reduction is performed in rank order, which is deterministic —
     matching NCCL's behaviour of a fixed reduction order along the ring.
-    Each returned array is an independent copy (ranks own their buffers).
+    Each returned array is an independent copy (ranks own their buffers),
+    unless ``shared_result`` is set: then every rank receives the *same*
+    array object — a host-side optimization for callers that treat the
+    (identical-on-every-rank) result as read-only, skipping ``world``
+    buffer copies.
+
+    ``stacked`` lets a caller that already holds the per-rank inputs as
+    rows of one contiguous ``(world, ...)`` block (the batched executor's
+    gradient blocks, the unique exchange's scatter matrix) skip the
+    ``np.stack`` of ``world`` views — the dominant Python-side cost of a
+    large-G allreduce.  The caller asserts ``arrays[r] is stacked[r]``
+    row-for-row; reduction bits are identical either way because
+    ``np.stack(arrays)`` would reproduce exactly this block.
     """
     _check_uniform(arrays, "allreduce")
     # Accumulate in the input dtype to mirror on-wire reduction precision.
-    total = arrays[0].copy()
-    for arr in arrays[1:]:
-        total += arr
-    return [total.copy() for _ in arrays]
+    # np.add.reduce over a stacked leading axis accumulates element-wise
+    # in index order — bit-identical to the sequential rank-order fold —
+    # except for size-1 arrays, where the reduction axis is contiguous
+    # and numpy switches to pairwise summation; keep the explicit fold
+    # for that case.
+    if len(arrays) > 2 and arrays[0].size > 1:
+        if stacked is None:
+            stacked = np.stack(arrays)
+        elif stacked.shape != (len(arrays),) + arrays[0].shape:
+            raise ValueError(
+                f"allreduce: stacked block shape {stacked.shape} does not "
+                f"match {len(arrays)} ranks of {arrays[0].shape}"
+            )
+        total = np.add.reduce(stacked, axis=0)
+    else:
+        total = arrays[0].copy()
+        for arr in arrays[1:]:
+            total += arr
+    if shared_result:
+        return [total] * len(arrays)
+    return _fan_out(total, len(arrays))
 
 
-def allgather_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
+def _fan_out(result: np.ndarray, world: int) -> list[np.ndarray]:
+    """Per-rank buffers of one shared result via a single allocation.
+
+    Rows of one ``(world, ...)`` block are handed out as disjoint views:
+    each rank can mutate its own buffer freely, and the simulator pays
+    one allocation + one broadcast copy instead of ``world`` of each.
+    """
+    stacked = np.empty((world,) + result.shape, dtype=result.dtype)
+    stacked[:] = result
+    return list(stacked)
+
+
+def allgather_arrays(
+    arrays: Sequence[np.ndarray], shared_result: bool = False
+) -> list[np.ndarray]:
     """Allgather: every rank receives the rank-order concatenation.
 
     Per-rank contributions must agree in dtype and trailing dimensions but
     may differ in leading length (an allgatherv), which the uniqueness
     algorithm relies on when ranks hold different numbers of local types.
+    ``shared_result`` returns one shared (read-only by convention) array
+    object for all ranks instead of per-rank copies — see
+    :func:`allreduce_arrays`.
     """
     if len(arrays) == 0:
         raise ValueError("allgather: need at least one rank")
@@ -110,7 +168,9 @@ def allgather_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
                 f"rank 0 {trailing}"
             )
     gathered = np.concatenate([np.atleast_1d(a) for a in arrays], axis=0)
-    return [gathered.copy() for _ in arrays]
+    if shared_result:
+        return [gathered] * len(arrays)
+    return _fan_out(gathered, len(arrays))
 
 
 def broadcast_arrays(
@@ -120,7 +180,7 @@ def broadcast_arrays(
     if not 0 <= root < len(arrays):
         raise ValueError(f"broadcast: root {root} out of range 0..{len(arrays) - 1}")
     src = arrays[root]
-    return [src.copy() for _ in arrays]
+    return _fan_out(src, len(arrays))
 
 
 def reduce_scatter_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
@@ -146,6 +206,7 @@ def reduce_scatter_arrays(arrays: Sequence[np.ndarray]) -> list[np.ndarray]:
 # Wire-byte accounting (per rank, one direction)
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=4096)
 def allreduce_wire_bytes(world: int, nbytes: int) -> int:
     """Bytes each rank sends during a ring allreduce of an n-byte buffer."""
     _check_world(world)
@@ -154,12 +215,14 @@ def allreduce_wire_bytes(world: int, nbytes: int) -> int:
     return math.ceil(2 * (world - 1) / world * nbytes)
 
 
+@lru_cache(maxsize=4096)
 def allgather_wire_bytes(world: int, nbytes_per_rank: int) -> int:
     """Bytes each rank sends during a ring allgather (its shard, G-1 times)."""
     _check_world(world)
     return (world - 1) * nbytes_per_rank
 
 
+@lru_cache(maxsize=4096)
 def reduce_scatter_wire_bytes(world: int, nbytes: int) -> int:
     """Bytes each rank sends during a ring reduce-scatter of an n-byte buffer."""
     _check_world(world)
@@ -168,6 +231,7 @@ def reduce_scatter_wire_bytes(world: int, nbytes: int) -> int:
     return math.ceil((world - 1) / world * nbytes)
 
 
+@lru_cache(maxsize=4096)
 def broadcast_wire_bytes(world: int, nbytes: int) -> int:
     """Bytes the root effectively injects for a scatter+allgather broadcast."""
     _check_world(world)
@@ -185,6 +249,7 @@ def _check_world(world: int) -> None:
 # Time models
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=4096)
 def ring_allreduce_time(world: int, nbytes: int, link: LinkSpec) -> float:
     """Ring allreduce: reduce-scatter pass + allgather pass.
 
@@ -199,6 +264,7 @@ def ring_allreduce_time(world: int, nbytes: int, link: LinkSpec) -> float:
     return bw_term + lat_term
 
 
+@lru_cache(maxsize=4096)
 def ring_allgather_time(world: int, nbytes_per_rank: int, link: LinkSpec) -> float:
     """Ring allgather of ``nbytes_per_rank`` from each rank: G-1 shard hops."""
     _check_world(world)
@@ -209,6 +275,7 @@ def ring_allgather_time(world: int, nbytes_per_rank: int, link: LinkSpec) -> flo
     return bw_term + lat_term
 
 
+@lru_cache(maxsize=4096)
 def ring_reduce_scatter_time(world: int, nbytes: int, link: LinkSpec) -> float:
     """Ring reduce-scatter of an n-byte buffer: half of a ring allreduce."""
     _check_world(world)
@@ -219,6 +286,7 @@ def ring_reduce_scatter_time(world: int, nbytes: int, link: LinkSpec) -> float:
     return bw_term + lat_term
 
 
+@lru_cache(maxsize=4096)
 def ring_broadcast_time(world: int, nbytes: int, link: LinkSpec) -> float:
     """Scatter + ring-allgather broadcast (van de Geijn), pipelined."""
     _check_world(world)
@@ -229,6 +297,7 @@ def ring_broadcast_time(world: int, nbytes: int, link: LinkSpec) -> float:
     return bw_term + lat_term
 
 
+@lru_cache(maxsize=4096)
 def recursive_doubling_allreduce_time(
     world: int, nbytes: int, link: LinkSpec
 ) -> float:

@@ -178,6 +178,11 @@ class Communicator:
             SimulatedDevice(device_id=r, spec=device_spec) for r in range(world_size)  # mesh-ok: one simulated device per flat rank by definition
         ]
         self._pending: set[WorkHandle] = set()
+        # Hot-path caches: the ring link for this (fabric, world) pair is
+        # immutable, and the telemetry counter families resolve to the
+        # same objects on every issue — derive both once, not per call.
+        self._ring_link_cache = None
+        self._metric_counters = None
         #: Optional telemetry registry (set by TelemetrySession.track).
         self.metrics = None
         #: Optional lockstep verifier (set by LockstepVerifier.attach);
@@ -196,7 +201,10 @@ class Communicator:
             )
 
     def _ring_link(self):
-        return self.fabric.ring_link(self.world_size)
+        link = self._ring_link_cache
+        if link is None:
+            link = self._ring_link_cache = self.fabric.ring_link(self.world_size)
+        return link
 
     def _issue(
         self,
@@ -235,16 +243,23 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
             payload_bytes_per_rank=payload_bytes_per_rank,
         )
         if self.metrics is not None:
-            self.metrics.counter(
-                "repro_collectives_total",
-                "Collectives issued, by op",
-                labelnames=("op",),
-            ).inc(op=op)
-            self.metrics.counter(
-                "repro_collective_wire_bytes_total",
-                "Per-rank wire bytes issued, by op",
-                labelnames=("op",),
-            ).inc(wire_bytes_per_rank, op=op)
+            cached = self._metric_counters
+            if cached is None or cached[0] is not self.metrics:
+                cached = self._metric_counters = (
+                    self.metrics,
+                    self.metrics.counter(
+                        "repro_collectives_total",
+                        "Collectives issued, by op",
+                        labelnames=("op",),
+                    ),
+                    self.metrics.counter(
+                        "repro_collective_wire_bytes_total",
+                        "Per-rank wire bytes issued, by op",
+                        labelnames=("op",),
+                    ),
+                )
+            cached[1].inc(op=op)
+            cached[2].inc(wire_bytes_per_rank, op=op)
         handle = WorkHandle(
             self, op, results, scratch, scratch_bytes, ticket, tag
         )
@@ -262,6 +277,8 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
         arrays: Sequence[np.ndarray],
         tag: str = "",
         payload_bytes: int | None = None,
+        shared_result: bool = False,
+        stacked: np.ndarray | None = None,
     ) -> WorkHandle:
         """Non-blocking sum-allreduce; ring algorithm cost model.
 
@@ -273,12 +290,24 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
         ``payload_bytes`` is the optional pre-codec (logical) per-rank
         payload size: codec layers pass it so the ledger can report the
         measured compression factor alongside the encoded wire bytes.
+
+        ``shared_result`` hands every rank the *same* result array (the
+        values are identical anyway); callers promise read-only use.
+        Accounting (scratch, wire bytes, timeline) is unchanged — only
+        host-side buffer copies are skipped.
+
+        ``stacked`` is the caller's assertion that ``arrays`` are, in
+        order, the rows of this one ``(world, ...)`` block — letting the
+        reduction skip restacking ``world`` views.  Bits, accounting and
+        results are identical to the unstacked call.
         """
         self._check_ranks(arrays, "allreduce")
         nbytes = int(arrays[0].nbytes)
         return self._issue(
             op="allreduce",
-            results=coll.allreduce_arrays(arrays),
+            results=coll.allreduce_arrays(
+                arrays, shared_result=shared_result, stacked=stacked
+            ),
             scratch_bytes=nbytes,
             scratch_tag=f"allreduce-recv:{tag}",
             wire_bytes_per_rank=coll.allreduce_wire_bytes(self.world_size, nbytes),
@@ -299,6 +328,7 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
         arrays: Sequence[np.ndarray],
         tag: str = "",
         payload_bytes: int | None = None,
+        shared_result: bool = False,
     ) -> WorkHandle:
         """Non-blocking allgather (allgatherv).
 
@@ -308,7 +338,8 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
 
         ``payload_bytes`` is the optional pre-codec (logical) max
         per-rank contribution, recorded for measured-compression
-        reporting (see :meth:`iallreduce`).
+        reporting (see :meth:`iallreduce`).  ``shared_result`` is as for
+        :meth:`iallreduce`: one shared result object, read-only callers.
         """
         self._check_ranks(arrays, "allgather")
         per_rank_bytes = [int(np.atleast_1d(a).nbytes) for a in arrays]
@@ -316,7 +347,7 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
         max_contrib = max(per_rank_bytes)
         return self._issue(
             op="allgather",
-            results=coll.allgather_arrays(arrays),
+            results=coll.allgather_arrays(arrays, shared_result=shared_result),
             scratch_bytes=total_bytes,
             scratch_tag=f"allgather-recv:{tag}",
             wire_bytes_per_rank=coll.allgather_wire_bytes(

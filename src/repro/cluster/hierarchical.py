@@ -27,6 +27,7 @@ the bespoke index arithmetic used to spell out by hand.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from functools import lru_cache
 
 import numpy as np
 
@@ -45,6 +46,7 @@ from .mesh import DeviceMesh
 __all__ = ["hierarchical_allreduce_time", "hierarchical_allreduce"]
 
 
+@lru_cache(maxsize=4096)
 def hierarchical_allreduce_time(
     world: int, nbytes: int, fabric: Interconnect
 ) -> float:
@@ -53,6 +55,8 @@ def hierarchical_allreduce_time(
     Falls back to a flat intra-node ring when the job fits on one node.
     For simplicity the model assumes full nodes (world divisible by the
     node width); partially-filled nodes are rounded to the slower case.
+    Memoized: pure in (world, nbytes, fabric), and the trainer calls it
+    with an identical key for every bucket of every step.
     """
     if world <= 0:
         raise ValueError("world must be positive")

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import product
 
 import numpy as np
@@ -269,7 +270,14 @@ class DeviceMesh:
         Each group lists the ranks whose coordinates agree on every axis
         except ``axis``, ordered by their ``axis`` coordinate.  Together
         the groups partition ``range(size)`` exactly (property-tested).
+
+        The mesh is frozen, so the decomposition is memoized per
+        ``(mesh, axis)`` — :class:`MeshCommunicator` asks for the same
+        grouping on every collective of every step.
         """
+        return _mesh_axis_groups(self, axis)
+
+    def _build_groups(self, axis: str) -> tuple[ProcessGroup, ...]:
         i = self.axis_index(axis)
         other = [
             range(s) for j, s in enumerate(self.axis_sizes) if j != i
@@ -306,6 +314,12 @@ class DeviceMesh:
 
     def __str__(self) -> str:
         return f"DeviceMesh({self.describe()})"
+
+
+@lru_cache(maxsize=1024)
+def _mesh_axis_groups(mesh: DeviceMesh, axis: str) -> tuple[ProcessGroup, ...]:
+    """Memoized :meth:`DeviceMesh.groups` (meshes are immutable)."""
+    return mesh._build_groups(axis)
 
 
 class MeshCommunicator:

@@ -31,12 +31,29 @@ Contention rules (the same constraints a ring over one fabric imposes):
 Durations come from the caller — the communicator passes the existing
 :class:`~repro.cluster.interconnect.LinkSpec` alpha-beta cost models —
 so the timeline adds *ordering*, never new cost constants.
+
+Performance notes
+-----------------
+The append paths are hot at large ``G`` (a G=512 training step issues
+collectives whose naive bookkeeping would build 512 event objects and
+re-scan 512-entry clock lists each).  Three measures keep them cheap:
+
+* :class:`TimelineEvent` is a ``NamedTuple`` (tuple-backed, no
+  per-instance ``__dict__``);
+* all-rank collectives are journaled as **one** compact record and only
+  expanded into per-participant events lazily when :attr:`Timeline.events`
+  (or a chrome trace) is actually read;
+* running maxima (``makespan``) and per-rank busy totals are maintained
+  incrementally, so measurement queries never scan the event journal.
+
+See ``docs/PERFORMANCE.md`` for the profile-before/after methodology.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = [
     "COMPUTE_STREAM",
@@ -52,9 +69,14 @@ COMPUTE_STREAM = "compute"
 COMM_STREAM = "comm"
 
 
-@dataclass(frozen=True)
-class TimelineEvent:
-    """One interval on one rank's compute or comm stream."""
+class TimelineEvent(NamedTuple):
+    """One interval on one rank's compute or comm stream.
+
+    Tuple-backed for cheap construction on the recording hot path;
+    field order is part of the serialization contract of
+    :mod:`repro.telemetry.spans` (which writes ``[rank, stream, name,
+    start, end]`` rows and reconstructs events positionally).
+    """
 
     rank: int
     stream: str
@@ -82,6 +104,20 @@ class CollectiveTicket:
     end: float
 
 
+class _CollectiveRecord(NamedTuple):
+    """Compact journal entry: one collective, all participants.
+
+    ``ranks`` is ``None`` for the common all-ranks case — the expansion
+    to per-participant :class:`TimelineEvent` rows happens lazily in
+    :meth:`Timeline._materialize_events`.
+    """
+
+    name: str
+    start: float
+    end: float
+    ranks: tuple[int, ...] | None
+
+
 class Timeline:
     """Simulated two-stream (compute + comm) schedule over all ranks.
 
@@ -105,9 +141,17 @@ class Timeline:
         self.compute_clock = [0.0] * world_size
         self.comm_clock = [0.0] * world_size
         self.compute_scale = [1.0] * world_size
-        self.events: list[TimelineEvent] = []
         self._link_free = 0.0
         self._next_index = 0
+        # Journal: TimelineEvent for compute, _CollectiveRecord for
+        # collectives; expanded lazily by the ``events`` property.
+        self._journal: list = []
+        self._events_cache: list[TimelineEvent] | None = []
+        # Incremental measurement state (never rescans the journal).
+        self._max_compute = 0.0
+        self._max_comm = 0.0
+        self._busy_compute = [0.0] * world_size
+        self._busy_comm = [0.0] * world_size
 
     # ------------------------------------------------------------------
     # stream advancement
@@ -139,8 +183,13 @@ class Timeline:
         start = self.compute_clock[rank]
         end = start + seconds * self.compute_scale[rank]
         self.compute_clock[rank] = end
+        if end > self._max_compute:
+            self._max_compute = end
+        self._busy_compute[rank] += end - start
         event = TimelineEvent(rank, COMPUTE_STREAM, name, start, end)
-        self.events.append(event)
+        self._journal.append(event)
+        if self._events_cache is not None:
+            self._events_cache.append(event)
         return event
 
     def schedule_collective(
@@ -157,24 +206,49 @@ class Timeline:
         """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        participants = range(self.world_size) if ranks is None else ranks  # mesh-ok: default participant set is every rank; callers pass subgroups
-        participants = list(participants)
-        for r in participants:
-            self._check_rank(r)
-        if not participants:
-            raise ValueError("a collective needs at least one participant")
-        start = max(
-            max(self.compute_clock[r] for r in participants),
-            max(self.comm_clock[r] for r in participants),
-            self._link_free,
-        )
-        end = start + duration
-        for r in participants:
-            self.comm_clock[r] = end
-            self.events.append(
-                TimelineEvent(r, COMM_STREAM, name or "collective", start, end)
-            )
+        comm_clock = self.comm_clock
+        if ranks is None:
+            # Fast path for the common all-ranks collective: running
+            # maxima replace the per-participant scans, and no
+            # participant list is materialized at all.
+            start = self._max_compute
+            if self._max_comm > start:
+                start = self._max_comm
+            if self._link_free > start:
+                start = self._link_free
+            end = start + duration
+            dur = end - start
+            busy = self._busy_comm
+            for r in range(self.world_size):  # mesh-ok: default participant set is every rank; callers pass subgroups
+                comm_clock[r] = end
+                busy[r] += dur
+            participants = None
+        else:
+            participants = tuple(ranks)
+            for r in participants:
+                self._check_rank(r)
+            if not participants:
+                raise ValueError("a collective needs at least one participant")
+            compute_clock = self.compute_clock
+            start = self._link_free
+            for r in participants:
+                if compute_clock[r] > start:
+                    start = compute_clock[r]
+                if comm_clock[r] > start:
+                    start = comm_clock[r]
+            end = start + duration
+            dur = end - start
+            busy = self._busy_comm
+            for r in participants:
+                comm_clock[r] = end
+                busy[r] += dur
+        if end > self._max_comm:
+            self._max_comm = end
         self._link_free = end
+        self._journal.append(
+            _CollectiveRecord(name or "collective", start, end, participants)
+        )
+        self._events_cache = None
         ticket = CollectiveTicket(self._next_index, name, start, end)
         self._next_index += 1
         return ticket
@@ -188,23 +262,61 @@ class Timeline:
         advances to at least the collective's end time.  Returns the end
         time.  Idempotent — waiting twice is a no-op.
         """
-        participants = range(self.world_size) if ranks is None else ranks  # mesh-ok: default participant set is every rank; callers pass subgroups
-        for r in participants:
-            self._check_rank(r)
-            self.compute_clock[r] = max(self.compute_clock[r], ticket.end)
-        return ticket.end
+        end = ticket.end
+        compute_clock = self.compute_clock
+        if ranks is None:
+            for r in range(self.world_size):  # mesh-ok: default participant set is every rank; callers pass subgroups
+                if compute_clock[r] < end:
+                    compute_clock[r] = end
+        else:
+            for r in ranks:
+                self._check_rank(r)
+                if compute_clock[r] < end:
+                    compute_clock[r] = end
+        if end > self._max_compute:
+            self._max_compute = end
+        return end
 
     # ------------------------------------------------------------------
     # measurement
     # ------------------------------------------------------------------
 
     @property
+    def events(self) -> list[TimelineEvent]:
+        """All events in historical order (collectives expanded per rank).
+
+        Materialized lazily from the compact journal and cached until
+        the next collective is scheduled; treat the returned list as
+        read-only.
+        """
+        cache = self._events_cache
+        if cache is None:
+            cache = self._materialize_events()
+            self._events_cache = cache
+        return cache
+
+    def _materialize_events(self) -> list[TimelineEvent]:
+        out: list[TimelineEvent] = []
+        world = range(self.world_size)  # mesh-ok: expanding all-rank collectives into per-rank rows
+        for entry in self._journal:
+            if type(entry) is TimelineEvent:
+                out.append(entry)
+            else:
+                name, start, end, ranks = entry
+                for r in (world if ranks is None else ranks):  # mesh-ok: expanding an all-rank collective into per-rank rows
+                    out.append(
+                        TimelineEvent(r, COMM_STREAM, name, start, end)
+                    )
+        return out
+
+    @property
     def makespan(self) -> float:
         """End of the schedule: the latest point any stream reaches."""
-        span = 0.0
-        if self.compute_clock:
-            span = max(span, max(self.compute_clock), max(self.comm_clock))
-        span = max(span, self._link_free)
+        span = self._max_compute
+        if self._max_comm > span:
+            span = self._max_comm
+        if self._link_free > span:
+            span = self._link_free
         return span
 
     def mark(self) -> float:
@@ -218,11 +330,11 @@ class Timeline:
     def busy_time(self, rank: int, stream: str) -> float:
         """Total occupied seconds of one rank's compute or comm stream."""
         self._check_rank(rank)
-        return sum(
-            e.duration
-            for e in self.events
-            if e.rank == rank and e.stream == stream
-        )
+        if stream == COMPUTE_STREAM:
+            return self._busy_compute[rank]
+        if stream == COMM_STREAM:
+            return self._busy_comm[rank]
+        return 0.0
 
     def exposed_comm_time(self) -> float:
         """Comm seconds *not* hidden behind compute, over the whole run.
@@ -231,10 +343,7 @@ class Timeline:
         stream: with perfect overlap it is zero; with no compute
         recorded it equals the serialized comm span.
         """
-        busiest = max(
-            (self.busy_time(r, COMPUTE_STREAM) for r in range(self.world_size)),  # mesh-ok: utilization maximizes over all simulated clocks
-            default=0.0,
-        )
+        busiest = max(self._busy_compute, default=0.0)
         return max(0.0, self.makespan - busiest)
 
     # ------------------------------------------------------------------
@@ -253,6 +362,8 @@ class Timeline:
         structure renders as paired tracks in ``chrome://tracing``.
         ``pid_base``/``time_offset_s``/``generation`` support the merged
         multi-generation exporter in :mod:`repro.telemetry.spans`.
+        The trace rows are built on demand from the compact journal —
+        nothing is materialized while the simulation is running.
         """
         return events_to_chrome(
             self.events,
@@ -270,7 +381,7 @@ class Timeline:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Timeline(world_size={self.world_size}, "
-            f"events={len(self.events)}, makespan={self.makespan:.3e}s)"
+            f"events={len(self._journal)}, makespan={self.makespan:.3e}s)"
         )
 
 

@@ -11,12 +11,25 @@ quantities the paper's analysis is built on:
 
 The ledger also supports *scopes* (named intervals) so a trainer can
 attribute cost to phases: ``embedding-sync``, ``dense-allreduce``, …
+
+Performance notes
+-----------------
+``record`` runs once per collective per step — at G=512 with overlap it
+is one of the simulator's hottest non-numpy call sites.  The ledger
+therefore keeps **incremental running totals** (overall, by op, and by
+scope) updated on append, so ``total_time_s``/``bytes_by_op``/
+``snapshot``/``delta_since`` are O(1) instead of re-scanning the event
+list, and :class:`CommEvent` is a tuple-backed ``NamedTuple``.  Chrome
+traces are still materialized lazily from the stored events — nothing
+trace-shaped is built while the simulation runs.  See
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 __all__ = [
     "CommEvent",
@@ -48,14 +61,16 @@ class LedgerResetError(RuntimeError):
     """
 
 
-@dataclass(frozen=True)
-class CommEvent:
+class CommEvent(NamedTuple):
     """One collective operation as observed by the ledger.
 
     ``start_s``/``end_s`` are the collective's placement on the
     per-rank :class:`~repro.cluster.timeline.Timeline` (simulated
     seconds); both are negative when the recording communicator carried
     no timeline (pure cost accounting).
+
+    Tuple-backed (no per-instance ``__dict__``) because one of these is
+    built per collective on the simulator's hot path.
     """
 
     op: str
@@ -89,11 +104,39 @@ class CommEvent:
 
 @dataclass
 class CostLedger:
-    """Accumulates communication events and exposes aggregate views."""
+    """Accumulates communication events and exposes aggregate views.
+
+    Aggregates (totals, per-op and per-scope breakdowns) are maintained
+    incrementally on :meth:`record`, so every aggregate query — and in
+    particular the :meth:`snapshot`/:meth:`delta_since` pair the
+    telemetry layer calls once per step — is O(1) in the number of
+    recorded events.
+    """
 
     events: list[CommEvent] = field(default_factory=list)
     _scope_stack: list[str] = field(default_factory=list)
     _generation: int = 0
+
+    def __post_init__(self) -> None:
+        # Seed the running totals from any pre-filled events (the merged
+        # trace exporter constructs ledgers from deserialized parts).
+        self._scope_str = "/".join(self._scope_stack)
+        self._total_wire = 0
+        self._total_time = 0.0
+        self._bytes_by_op: defaultdict[str, int] = defaultdict(int)
+        self._time_by_op: defaultdict[str, float] = defaultdict(float)
+        self._bytes_by_scope: defaultdict[str, int] = defaultdict(int)
+        self._time_by_scope: defaultdict[str, float] = defaultdict(float)
+        for e in self.events:
+            self._accumulate(e)
+
+    def _accumulate(self, e: CommEvent) -> None:
+        self._total_wire += e.wire_bytes_per_rank
+        self._total_time += e.time_s
+        self._bytes_by_op[e.op] += e.wire_bytes_per_rank
+        self._time_by_op[e.op] += e.time_s
+        self._bytes_by_scope[e.scope] += e.wire_bytes_per_rank
+        self._time_by_scope[e.scope] += e.time_s
 
     def record(
         self,
@@ -106,33 +149,40 @@ class CostLedger:
         end_s: float = -1.0,
         payload_bytes_per_rank: int | None = None,
     ) -> CommEvent:
+        # Validate before touching any state: a rejected record must
+        # leave the running totals exactly as they were.
         if wire_bytes_per_rank < 0:
             raise ValueError("wire_bytes_per_rank must be non-negative")
         if time_s < 0:
             raise ValueError("time_s must be non-negative")
         if payload_bytes_per_rank is not None and payload_bytes_per_rank < 0:
             raise ValueError("payload_bytes_per_rank must be non-negative")
+        scope = self._scope_str
         event = CommEvent(
-            op=op,
-            world=world,
-            wire_bytes_per_rank=wire_bytes_per_rank,
-            time_s=time_s,
-            tag=tag,
-            scope=self.current_scope,
-            start_s=start_s,
-            end_s=end_s,
-            payload_bytes_per_rank=(
-                -1 if payload_bytes_per_rank is None else payload_bytes_per_rank
-            ),
+            op,
+            world,
+            wire_bytes_per_rank,
+            time_s,
+            tag,
+            scope,
+            start_s,
+            end_s,
+            -1 if payload_bytes_per_rank is None else payload_bytes_per_rank,
         )
         self.events.append(event)
+        self._total_wire += wire_bytes_per_rank
+        self._total_time += time_s
+        self._bytes_by_op[op] += wire_bytes_per_rank
+        self._time_by_op[op] += time_s
+        self._bytes_by_scope[scope] += wire_bytes_per_rank
+        self._time_by_scope[scope] += time_s
         return event
 
     # -- scopes -------------------------------------------------------------
 
     @property
     def current_scope(self) -> str:
-        return "/".join(self._scope_stack)
+        return self._scope_str
 
     @property
     def scope_depth(self) -> int:
@@ -146,7 +196,9 @@ class CostLedger:
         """Enter a named scope (prefer the :meth:`scope` context manager)."""
         if "/" in name:
             raise LedgerScopeError("scope names must not contain '/'")
-        self._scope_stack.append(name)
+        stack = self._scope_stack
+        stack.append(name)
+        self._scope_str = name if len(stack) == 1 else self._scope_str + "/" + name
 
     def pop_scope(self, expected: str | None = None) -> str:
         """Leave the innermost scope, optionally checking its name.
@@ -169,7 +221,9 @@ class CostLedger:
                 f"{expected!r} but the innermost open scope is {top!r} "
                 f"(open stack: {self.current_scope!r})"
             )
-        return self._scope_stack.pop()
+        popped = self._scope_stack.pop()
+        self._scope_str = "/".join(self._scope_stack)
+        return popped
 
     def assert_balanced(self) -> None:
         """Raise :class:`LedgerScopeError` if any scope is still open.
@@ -189,35 +243,23 @@ class CostLedger:
 
     @property
     def total_wire_bytes_per_rank(self) -> int:
-        return sum(e.wire_bytes_per_rank for e in self.events)
+        return self._total_wire
 
     @property
     def total_time_s(self) -> float:
-        return sum(e.time_s for e in self.events)
+        return self._total_time
 
     def bytes_by_op(self) -> dict[str, int]:
-        out: dict[str, int] = defaultdict(int)
-        for e in self.events:
-            out[e.op] += e.wire_bytes_per_rank
-        return dict(out)
+        return dict(self._bytes_by_op)
 
     def time_by_op(self) -> dict[str, float]:
-        out: dict[str, float] = defaultdict(float)
-        for e in self.events:
-            out[e.op] += e.time_s
-        return dict(out)
+        return dict(self._time_by_op)
 
     def bytes_by_scope(self) -> dict[str, int]:
-        out: dict[str, int] = defaultdict(int)
-        for e in self.events:
-            out[e.scope] += e.wire_bytes_per_rank
-        return dict(out)
+        return dict(self._bytes_by_scope)
 
     def time_by_scope(self) -> dict[str, float]:
-        out: dict[str, float] = defaultdict(float)
-        for e in self.events:
-            out[e.scope] += e.time_s
-        return dict(out)
+        return dict(self._time_by_scope)
 
     def compression_factor(self, tag_contains: str = "") -> float:
         """Measured byte reduction, ``logical / wire``, over matching events.
@@ -250,19 +292,28 @@ class CostLedger:
         :class:`LedgerResetError`).
         """
         self.events.clear()
+        self._total_wire = 0
+        self._total_time = 0.0
+        self._bytes_by_op.clear()
+        self._time_by_op.clear()
+        self._bytes_by_scope.clear()
+        self._time_by_scope.clear()
         self._generation += 1
 
     def snapshot(self) -> "LedgerSnapshot":
-        """Immutable point-in-time totals, for before/after deltas."""
+        """Immutable point-in-time totals, for before/after deltas.
+
+        O(1): reads the running totals, never the event list.
+        """
         return LedgerSnapshot(
             n_events=len(self.events),
-            wire_bytes_per_rank=self.total_wire_bytes_per_rank,
-            time_s=self.total_time_s,
+            wire_bytes_per_rank=self._total_wire,
+            time_s=self._total_time,
             generation=self._generation,
         )
 
     def delta_since(self, snap: "LedgerSnapshot") -> "LedgerSnapshot":
-        """Totals accumulated since ``snap`` was taken.
+        """Totals accumulated since ``snap`` was taken.  O(1).
 
         Raises
         ------
@@ -278,9 +329,8 @@ class CostLedger:
             )
         return LedgerSnapshot(
             n_events=len(self.events) - snap.n_events,
-            wire_bytes_per_rank=self.total_wire_bytes_per_rank
-            - snap.wire_bytes_per_rank,
-            time_s=self.total_time_s - snap.time_s,
+            wire_bytes_per_rank=self._total_wire - snap.wire_bytes_per_rank,
+            time_s=self._total_time - snap.time_s,
             generation=self._generation,
         )
 

@@ -59,7 +59,11 @@ def concat_token_grads(param: Parameter) -> SparseGrad | None:
         return None
     if len(param.sparse_grads) == 1:
         s = param.sparse_grads[0]
-        return SparseGrad(indices=s.indices, values=s.values)
+        out = SparseGrad._unsafe(s.indices, s.values)
+        cached = getattr(s, "_coalesced", None)
+        if cached is not None:
+            out._coalesced = cached
+        return out
     indices = np.concatenate([s.indices for s in param.sparse_grads])
     values = np.concatenate([s.values for s in param.sparse_grads])
     return SparseGrad(indices=indices, values=values)
@@ -141,9 +145,16 @@ class GradientSynchronizer:
             self._layout = MeshShardLayout(mesh_comm.mesh)
 
     def _issue_dense(
-        self, params: list[Parameter], tag: str
+        self, params: list[Parameter], tag: str, shared: bool = False
     ) -> Callable[[], None]:
-        """Issue one dense allreduce; return the finisher that applies it."""
+        """Issue one dense allreduce; return the finisher that applies it.
+
+        ``shared`` applies the reduced gradient as **one array object on
+        every rank** instead of per-rank buffer copies — valid only under
+        the caller's promise that post-sync grads are read-only (the
+        trainer's fused-apply path: rank 0's optimizer consumes them,
+        every other rank's are cleared by state replication).
+        """
         grads = []
         for p in params:
             if p.grad is None:
@@ -158,7 +169,20 @@ class GradientSynchronizer:
                 encoded, tag=tag, payload_bytes=grads[0].nbytes
             )
         else:
-            handle = self.comm.iallreduce(grads, tag=tag)
+            # The batched executor hands out per-rank grads as rank-order
+            # rows of one contiguous block and marks rank 0's parameter
+            # with it; verifying every grad still aliases that block (an
+            # accumulated ``old + new`` grad does not) lets the allreduce
+            # skip restacking G views.  Bit-identical either way.
+            block = getattr(params[0], "_grad_block", None)
+            if block is not None and (
+                block.shape != (len(params),) + grads[0].shape
+                or any(g.base is not block for g in grads)
+            ):
+                block = None
+            handle = self.comm.iallreduce(
+                grads, tag=tag, stacked=block, shared_result=shared
+            )
 
         def finish() -> None:
             reduced = handle.wait()[0]
@@ -166,15 +190,32 @@ class GradientSynchronizer:
                 reduced = codec.decode(reduced, grads[0].dtype)
             if self.average:
                 reduced = reduced / self.comm.world_size
-            for p in params:
-                p.grad = reduced.copy()
+            if shared:
+                # Caller promised read-only consumption: every rank gets
+                # the same buffer, skipping world-1 copies.
+                for p in params:
+                    p.grad = reduced
+                return
+            # One stacked buffer, fanned out as disjoint per-rank views:
+            # same values as per-rank copies at a fraction of the cost.
+            stacked = np.empty(
+                (len(params),) + reduced.shape, dtype=reduced.dtype
+            )
+            stacked[:] = reduced
+            for p, row in zip(params, stacked):
+                p.grad = row
 
         return finish
 
     def _issue_sparse(
-        self, params: list[Parameter], tag: str
+        self, params: list[Parameter], tag: str, shared: bool = False
     ) -> Callable[[], None]:
-        """Start one sparse exchange; return the finisher that applies it."""
+        """Start one sparse exchange; return the finisher that applies it.
+
+        ``shared`` hands every rank the same post-exchange
+        :class:`SparseGrad` object (read-only by the caller's promise) —
+        see :meth:`_issue_dense`.
+        """
         grads = []
         for p in params:
             g = concat_token_grads(p)
@@ -185,6 +226,26 @@ class GradientSynchronizer:
 
         def finish() -> None:
             exchanged = pending.wait()
+            # Both strategies return one shared result object per rank;
+            # hoist the (identical) averaging out of the rank loop and
+            # fan the values out as disjoint per-rank views.
+            result_shared = all(r is exchanged[0] for r in exchanged[1:])
+            if result_shared and self.average:
+                first = exchanged[0]
+                values = first.values / self.comm.world_size
+                if shared:
+                    sg = SparseGrad._unsafe(first.indices, values)
+                    for p in params:
+                        p.sparse_grads = [sg]
+                    return
+                stacked = np.empty(
+                    (len(params),) + values.shape, dtype=values.dtype
+                )
+                stacked[:] = values
+                unsafe = SparseGrad._unsafe
+                for p, rows in zip(params, stacked):
+                    p.sparse_grads = [unsafe(first.indices, rows)]
+                return
             for p, result in zip(params, exchanged):
                 values = (
                     result.values / self.comm.world_size
@@ -197,17 +258,34 @@ class GradientSynchronizer:
 
         return finish
 
-    def sync_dense(self, params: list[Parameter], tag: str) -> None:
+    def sync_dense(
+        self, params: list[Parameter], tag: str, shared: bool = False
+    ) -> None:
         """ALLREDUCE one dense-grad parameter across ranks, in place."""
-        self._issue_dense(params, tag)()
+        self._issue_dense(params, tag, shared=shared)()
 
-    def sync_sparse(self, params: list[Parameter], tag: str) -> None:
+    def sync_sparse(
+        self, params: list[Parameter], tag: str, shared: bool = False
+    ) -> None:
         """Exchange one sparse-grad parameter across ranks, in place."""
-        self._issue_sparse(params, tag)()
+        self._issue_sparse(params, tag, shared=shared)()
 
-    @staticmethod
-    def _named_params(replicas: list[Module], world: int) -> tuple[list[dict], list[str]]:
-        """Validate replica structure; return per-rank name->param maps."""
+    _named_cache: tuple[tuple[int, ...], list[dict], list[str]] | None = None
+
+    def _named_params(
+        self, replicas: list[Module], world: int
+    ) -> tuple[list[dict], list[str]]:
+        """Validate replica structure; return per-rank name->param maps.
+
+        Walking ``named_parameters`` over every replica costs a module
+        tree traversal per rank per sync — a real hot path at large G.
+        Module structure is fixed after construction, so the walk is
+        memoized per replica-identity list.
+        """
+        cached = self._named_cache
+        key = tuple(id(r) for r in replicas)
+        if cached is not None and cached[0] == key:
+            return cached[1], cached[2]
         if len(replicas) != world:
             raise ValueError(
                 f"{len(replicas)} replicas for world size {world}"
@@ -217,15 +295,26 @@ class GradientSynchronizer:
         for d in named[1:]:
             if list(d.keys()) != names:
                 raise ValueError("replicas are not structurally identical")
+        self._named_cache = (key, named, names)
         return named, names
 
-    def sync_replicas(self, replicas: list[Module]) -> None:
+    def sync_replicas(
+        self, replicas: list[Module], shared_grads: bool = False
+    ) -> None:
         """Synchronize every parameter of per-rank replicas of one model.
 
         Walks parameters by name (replicas are structurally identical);
         a parameter is synced sparse if *any* rank produced sparse grads
         for it this step, dense if any rank produced dense grads —
         tied-embedding setups can hit both paths for one parameter.
+
+        ``shared_grads`` is the caller's promise that every rank's
+        post-sync gradient is consumed **read-only** (and at most once —
+        the trainer's fused-apply path, where rank 0's optimizer steps
+        and the rest replicate its state).  Synced values then land as
+        one shared object per parameter instead of world copies; bits
+        are identical.  Ignored on the mesh path, which rebuilds per-rank
+        buffers anyway.
 
         With ``overlap=True`` this uses the issue-all-then-drain
         schedule described in the module docstring.  With ``mesh_comm``
@@ -237,7 +326,9 @@ class GradientSynchronizer:
             return
         named, names = self._named_params(replicas, self.comm.world_size)
         if self.overlap:
-            self._sync_replicas_overlapped(named, names)
+            self._sync_replicas_overlapped(
+                named, names, shared_grads=shared_grads
+            )
             return
         for name in names:
             params = [d[name] for d in named]
@@ -245,12 +336,14 @@ class GradientSynchronizer:
             has_dense = any(p.grad is not None for p in params)
             with self.comm.ledger.scope(name.replace("/", "-")):
                 if has_dense:
-                    self.sync_dense(params, tag=f"{name}:dense")
+                    self.sync_dense(
+                        params, tag=f"{name}:dense", shared=shared_grads
+                    )
                 if has_sparse:
-                    self.sync_sparse(params, tag=name)
+                    self.sync_sparse(params, tag=name, shared=shared_grads)
 
     def _sync_replicas_overlapped(
-        self, named: list[dict], names: list[str]
+        self, named: list[dict], names: list[str], shared_grads: bool = False
     ) -> None:
         """Issue every parameter's collectives first, then drain.
 
@@ -274,11 +367,23 @@ class GradientSynchronizer:
             with self.comm.ledger.scope(scope_name):
                 if has_dense:
                     issued.append(
-                        (scope_name, self._issue_dense(params, tag=f"{name}:dense"))
+                        (
+                            scope_name,
+                            self._issue_dense(
+                                params,
+                                tag=f"{name}:dense",
+                                shared=shared_grads,
+                            ),
+                        )
                     )
                 if has_sparse:
                     issued.append(
-                        (scope_name, self._issue_sparse(params, tag=name))
+                        (
+                            scope_name,
+                            self._issue_sparse(
+                                params, tag=name, shared=shared_grads
+                            ),
+                        )
                     )
         for scope_name, finish in issued:
             with self.comm.ledger.scope(scope_name):

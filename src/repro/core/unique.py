@@ -147,17 +147,34 @@ class PendingUniqueExchange:
         global_indices = global_unique(all_indices)
         ug = int(global_indices.size)
 
-        # Step 5: local scatter Ĵ -> Î positions, zero-filling missing rows.
+        # Step 5: local scatter Ĵ -> Î positions, zero-filling missing
+        # rows.  All ranks' scatters run as one vectorized assignment
+        # into a stacked (G, Ug, D) block: per-rank indices are unique,
+        # so the fancy assignment writes each (rank, row) cell at most
+        # once — value-identical to the per-rank loop.
         dim = self._grads[0].dim
         dtype = self._grads[0].values.dtype
-        scattered: list[np.ndarray] = []
-        for g in self._local:
-            m = np.zeros((ug, dim), dtype=dtype)
-            pos = np.searchsorted(global_indices, g.indices)
-            # Every local type must be present globally by construction.
-            assert (global_indices[pos] == g.indices).all()
-            m[pos] = g.values
-            scattered.append(m)
+        world = len(self._local)
+        cat_idx = np.concatenate([g.indices for g in self._local])
+        cat_val = (
+            np.concatenate([g.values for g in self._local])
+            if cat_idx.size
+            else np.zeros((0, dim), dtype=dtype)
+        )
+        pos = np.searchsorted(global_indices, cat_idx)
+        # Every local type must be present globally by construction.
+        assert (global_indices[pos] == cat_idx).all()
+        rank_of = np.repeat(
+            np.arange(world),
+            np.fromiter(
+                (g.indices.size for g in self._local),
+                dtype=np.int64,
+                count=world,
+            ),
+        )
+        stacked = np.zeros((world, ug, dim), dtype=dtype)
+        stacked[rank_of, pos] = cat_val
+        scattered = list(stacked)
 
         # Step 6: allreduce the aligned Ug x D matrices (optionally in
         # the codec's wire precision).  An explicit codec wins; else the
@@ -171,11 +188,19 @@ class PendingUniqueExchange:
                 encoded,
                 tag=f"{self._tag}:values",
                 payload_bytes=scattered[0].nbytes,
+                shared_result=True,
             ).wait()[0]
             reduced = codec.decode(reduced_wire, dtype)
         else:
+            # Only rank 0's (identical) copy is consumed — skip the
+            # per-rank fan-out on the host.  ``scattered`` rows are views
+            # of the contiguous block built above; passing it avoids
+            # restacking G views.
             reduced = self._comm.iallreduce(
-                scattered, tag=f"{self._tag}:values"
+                scattered,
+                tag=f"{self._tag}:values",
+                shared_result=True,
+                stacked=stacked,
             ).wait()[0]
 
         self._result = UniqueExchangeResult(
@@ -222,7 +247,7 @@ def iunique_exchange(
     # Step 3 issues: allgather the raw K-length index vectors.  The
     # paper gathers token-level J (not Ĵ) — cost Θ(G·K) — so we do the
     # same.
-    index_vectors = [g.indices.astype(np.int64) for g in grads]
+    index_vectors = [g.indices.astype(np.int64, copy=False) for g in grads]
     index_codec = (
         None
         if wire is None
@@ -238,7 +263,10 @@ def iunique_exchange(
             charge_compute=wire.charge_codec_compute,
         )
     else:
-        index_handle = comm.iallgather(index_vectors, tag=f"{tag}:indices")
+        # wait() consumes only rank 0's (identical) gathered vector.
+        index_handle = comm.iallgather(
+            index_vectors, tag=f"{tag}:indices", shared_result=True
+        )
     return PendingUniqueExchange(
         comm, grads, local, index_handle, tag, codec, wire=wire
     )

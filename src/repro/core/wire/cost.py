@@ -27,6 +27,7 @@ holds the primitive pieces shared by the selector (which must live in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ...cluster.collectives import ring_allgather_time
 from ...cluster.interconnect import LinkSpec
@@ -94,6 +95,7 @@ def codec_throughput(
     return table.get(name, DEFAULT_CODEC_THROUGHPUTS["delta"])
 
 
+@lru_cache(maxsize=4096)
 def compressed_transfer_seconds(
     logical_bytes: int,
     encoded_bytes: int,
@@ -108,7 +110,8 @@ def compressed_transfer_seconds(
     ``world * logical_bytes``.  The chunked pipelined schedule of
     :func:`repro.perf.codec_model.pipelined_transfer_time` beats this;
     the serial figure is the cheap upper bound the adaptive selector's
-    crossover test uses.
+    crossover test uses.  Memoized — pure in its (hashable) arguments,
+    and the selector re-evaluates the same key for every bucket.
     """
     return (
         throughput.encode_seconds(logical_bytes)
@@ -117,6 +120,7 @@ def compressed_transfer_seconds(
     )
 
 
+@lru_cache(maxsize=4096)
 def compression_wins(
     logical_bytes: int,
     encoded_bytes: int,

@@ -2,6 +2,7 @@
 LSTM and Recurrent Highway layers, full and sampled softmax losses."""
 
 from . import functional, init
+from .batched import BatchedCharLMExecutor, build_batched_executor
 from .dropout import Dropout
 from .dtypes import ACC_DTYPE, DTYPE
 from .embedding import Embedding
@@ -30,6 +31,8 @@ __all__ = [
     "Module",
     "Parameter",
     "SparseGrad",
+    "BatchedCharLMExecutor",
+    "build_batched_executor",
     "Embedding",
     "Linear",
     "LSTM",

@@ -46,6 +46,20 @@ class SparseGrad:
         if not np.issubdtype(self.indices.dtype, np.integer):
             raise ValueError("indices must be integers")
 
+    @classmethod
+    def _unsafe(cls, indices: np.ndarray, values: np.ndarray) -> "SparseGrad":
+        """Construct without validation — hot-path internal use only.
+
+        ``__post_init__``'s dtype/shape checks cost more than the rest of
+        a per-rank loop iteration at G=512; producers whose invariants
+        hold by construction (fan-out of an already-validated exchange,
+        the batched executor's own gradients) skip them.
+        """
+        sg = cls.__new__(cls)
+        sg.indices = indices
+        sg.values = values
+        return sg
+
     @property
     def n_tokens(self) -> int:
         return int(self.indices.size)
@@ -63,8 +77,14 @@ class SparseGrad:
 
         Returns a new :class:`SparseGrad` whose indices are unique and
         sorted ascending.  This is the per-GPU Ui x D matrix of the
-        uniqueness algorithm.
+        uniqueness algorithm.  A producer that already knows the reduced
+        form (the batched executor computes all ranks' reductions in one
+        vectorized pass) may pre-attach it as ``_coalesced``; the result
+        is bit-identical either way.
         """
+        cached = getattr(self, "_coalesced", None)
+        if cached is not None:
+            return cached
         unique, inverse = np.unique(self.indices, return_inverse=True)
         reduced = np.zeros((unique.size, self.values.shape[1]), self.values.dtype)
         np.add.at(reduced, inverse, self.values)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from functools import lru_cache
 
 import numpy as np
 
@@ -231,7 +232,46 @@ def pipelined_transfer_time(
     encoded_chunk_bytes:
         Exact per-chunk encoded sizes (e.g. measured frame sizes), for
         validating against a data-dependent run.
+
+    Notes
+    -----
+    Calls without ``encoded_chunk_bytes`` (the common, fully-hashable
+    key) are memoized; a data-dependent per-chunk size list bypasses the
+    cache since sequences are unhashable and rarely repeat anyway.
     """
+    if encoded_chunk_bytes is None:
+        return _pipelined_transfer_time_cached(
+            logical_bytes, world, link, throughput, chunk_bytes, encoded_ratio
+        )
+    return _pipelined_transfer_time_impl(
+        logical_bytes, world, link, throughput, chunk_bytes, encoded_ratio,
+        encoded_chunk_bytes,
+    )
+
+
+@lru_cache(maxsize=4096)
+def _pipelined_transfer_time_cached(
+    logical_bytes: int,
+    world: int,
+    link: LinkSpec,
+    throughput: CodecThroughput,
+    chunk_bytes: int | None,
+    encoded_ratio: float,
+) -> float:
+    return _pipelined_transfer_time_impl(
+        logical_bytes, world, link, throughput, chunk_bytes, encoded_ratio, None
+    )
+
+
+def _pipelined_transfer_time_impl(
+    logical_bytes: int,
+    world: int,
+    link: LinkSpec,
+    throughput: CodecThroughput,
+    chunk_bytes: int | None,
+    encoded_ratio: float,
+    encoded_chunk_bytes: Sequence[int] | None,
+) -> float:
     logical, encoded = _chunk_plan(
         logical_bytes, chunk_bytes, encoded_ratio, encoded_chunk_bytes
     )

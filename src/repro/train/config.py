@@ -159,6 +159,14 @@ class TrainConfig:
         compose with ``codec``/``wire_codec`` (the sharded exchange
         carries raw values) or ``overlap`` (the mesh sync is blocking)
         — those combinations are rejected eagerly.
+    batched:
+        Batched rank execution (the simulator fast path).  ``None``
+        (default) auto-enables it when the replicas qualify (two or more
+        flat data-parallel :class:`~repro.train.char_lm.CharLanguageModel`
+        replicas); ``False`` forces the per-rank loop; ``True`` requires
+        the fast path and raises at trainer construction if the model
+        does not support it.  Numerics are bit-identical either way
+        (regression-pinned) — this knob only trades host wall-clock.
     """
 
     world_size: int
@@ -181,6 +189,7 @@ class TrainConfig:
     wire_chunk_bytes: int | None = None
     wire_sanitize: bool = False
     mesh: str | None = None
+    batched: bool | None = None
 
     def __post_init__(self) -> None:
         if (

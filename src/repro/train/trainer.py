@@ -35,6 +35,7 @@ from ..core.seeding import assign_seeds
 from ..core.sparse_exchange import AllGatherExchange, UniqueExchange
 from ..core.wire.policy import WirePolicy
 from ..data.batching import Batch, ShardedBatcher, make_eval_batches
+from ..nn.batched import build_batched_executor
 from ..nn.module import Module
 from ..optim.loss_scaler import (
     DynamicLossScaler,
@@ -235,6 +236,25 @@ class DistributedTrainer:
         self.seed_assignment = assign_seeds(
             config.seed_strategy, self.data_parallel, base_seed=config.data_seed
         )
+        # Simulator fast path: run all replicas' numpy work as one
+        # stacked pass (bit-identical to the per-rank loop).  Orthogonal
+        # to sync scheduling — overlap/mesh/codec configs still qualify.
+        self.batched_executor = None
+        if config.batched is not False:
+            self.batched_executor = build_batched_executor(self.replicas)
+        if config.batched is True and self.batched_executor is None:
+            raise ValueError(
+                "batched=True but the model does not support batched "
+                "execution (needs >=2 CharLanguageModel replicas with "
+                "identical configs)"
+            )
+        # When every replica's optimizer supports state replication, a
+        # fully-batched step can apply rank 0's update once and copy it,
+        # instead of re-running the identical update per replica.
+        self._fused_apply = all(
+            callable(getattr(opt, "replicate_from", None))
+            for opt in self.optimizers
+        )
         self.scaler: StaticLossScaler | None
         if config.loss_scale is None:
             self.scaler = None
@@ -334,20 +354,48 @@ class DistributedTrainer:
         accum = self.config.accumulation_steps
         scale = self.scaler.scale if self.scaler is not None else 1.0
         losses = []
+        all_batched = self.batched_executor is not None
         for _ in range(accum):
             step_in_epoch = self.data_step % self.batcher.steps_per_epoch
-            sample_rngs = self.seed_assignment.rank_generators(
-                step=self.data_step
-            )
-            for rank, replica in enumerate(self.replicas):
-                batch = self.batcher.batch(rank, step_in_epoch)
-                losses.append(
-                    replica.step(batch, sample_rngs[rank], loss_scale=scale)
+            batched_losses = None
+            if self.batched_executor is not None:
+                batched_losses = self.batched_executor.step(
+                    self.batcher.step_batches(step_in_epoch),
+                    loss_scale=scale,
                 )
+            if batched_losses is not None:
+                losses.extend(batched_losses)
+            else:
+                # Per-rank fallback.  rank_generators is stateless per
+                # call, so skipping it on batched micro-steps is safe.
+                all_batched = False
+                sample_rngs = self.seed_assignment.rank_generators(
+                    step=self.data_step
+                )
+                for rank, replica in enumerate(self.replicas):
+                    batch = self.batcher.batch(rank, step_in_epoch)
+                    losses.append(
+                        replica.step(
+                            batch, sample_rngs[rank], loss_scale=scale
+                        )
+                    )
             self.data_step += 1
         self._record_step_compute()
+        # When the fused apply will consume post-sync grads exactly once
+        # (rank 0 steps, the rest replicate its state) and nothing else
+        # mutates them afterwards (no accumulation rescale, no loss-scale
+        # unscale), synced grads can be shared objects across ranks —
+        # same bits, world-1 fewer buffer copies per parameter.
+        shared_grads = (
+            all_batched
+            and self._fused_apply
+            and accum == 1
+            and self.scaler is None
+        )
         with self.comm.ledger.scope("sync"):
-            self.synchronizer.sync_replicas(self.replicas)
+            self.synchronizer.sync_replicas(
+                self.replicas, shared_grads=shared_grads
+            )
         if accum > 1:
             self._scale_grads(1.0 / accum)
         skipped = False
@@ -367,8 +415,23 @@ class DistributedTrainer:
                 self.skipped_steps += 1
                 skipped = True
         if not skipped:
-            for opt in self.optimizers:
-                opt.step()
+            if all_batched and self._fused_apply:
+                # Post-sync gradients are identical across replicas, so
+                # one real update + state replication is bit-equivalent
+                # to G independent (identical) updates.  A homogeneous
+                # optimizer group replicates in bulk (``replicate_group``
+                # pools every replica's state onto one block); otherwise
+                # fall back to pairwise replication.
+                self.optimizers[0].step()
+                group = getattr(
+                    type(self.optimizers[0]), "replicate_group", None
+                )
+                if group is None or not group(self.optimizers):
+                    for opt in self.optimizers[1:]:
+                        opt.replicate_from(self.optimizers[0])
+            else:
+                for opt in self.optimizers:
+                    opt.step()
         self.global_step += 1
         mean_loss = float(np.mean(losses))
         if telemetry is not None:

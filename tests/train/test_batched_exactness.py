@@ -1,0 +1,174 @@
+"""Regression pin: batched rank execution is bit-identical to the loop.
+
+The simulator fast path (:mod:`repro.nn.batched`) stacks all replicas'
+forward/backward along a leading rank axis and — when every micro-step
+of an optimizer step took the fast path — applies rank 0's optimizer
+update once and replicates the state.  Its contract is **bit-for-bit**
+equivalence with the per-rank loop: losses, parameters, optimizer
+moments, dropout RNG consumption and carried BPTT state must all match
+exactly, across seeds.  Anything weaker would make a "performance"
+toggle silently change training results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import BatchSpec
+from repro.nn.batched import build_batched_executor
+from repro.optim.adam import Adam
+from repro.train.char_lm import CharLanguageModel
+from repro.train.config import CharLMConfig, TrainConfig
+from repro.train.trainer import DistributedTrainer, max_replica_divergence
+
+MODEL_CFG = CharLMConfig(
+    vocab_size=61, embedding_dim=7, hidden_dim=11, depth=3, dropout=0.2
+)
+
+
+def _make_trainer(batched, seed, **overrides):
+    rng = np.random.default_rng(seed)
+    train = rng.integers(0, MODEL_CFG.vocab_size, size=6000).astype(np.int64)
+    valid = rng.integers(0, MODEL_CFG.vocab_size, size=900).astype(np.int64)
+    cfg = TrainConfig(
+        world_size=overrides.pop("world_size", 4),
+        batch=BatchSpec(3, 5),
+        base_lr=4e-3,
+        init_seed=seed,
+        data_seed=seed + 1,
+        batched=batched,
+        **overrides,
+    )
+
+    def factory(init_rng, rank):
+        return CharLanguageModel(
+            MODEL_CFG,
+            init_rng,
+            dropout_rng=np.random.default_rng((seed, rank)),
+            stateful=True,
+        )
+
+    return DistributedTrainer(
+        factory, lambda p, lr: Adam(p, lr), train, valid, cfg
+    )
+
+
+def _assert_identical(fast, slow):
+    for ra, rb in zip(fast.replicas, slow.replicas):
+        for (name, pa), (_, pb) in zip(
+            ra.named_parameters(), rb.named_parameters()
+        ):
+            assert np.array_equal(pa.data, pb.data), name
+        sa, sb = ra._state, rb._state
+        assert (sa is None) == (sb is None)
+        if sa is not None:
+            assert np.array_equal(sa, sb)
+    for oa, ob in zip(fast.optimizers, slow.optimizers):
+        da, db = oa.state_dict(), ob.state_dict()
+        assert da.keys() == db.keys()
+        for key in da:
+            va, vb = da[key], db[key]
+            if isinstance(va, np.ndarray):
+                assert np.array_equal(va, vb), key
+            else:
+                assert va == vb, key
+    assert max_replica_divergence(fast.replicas) == 0.0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_batched_matches_per_rank_loop(seed):
+    """Five-seed differential: losses + full state identical after 8 steps."""
+    fast = _make_trainer(True, seed, accumulation_steps=2)
+    slow = _make_trainer(False, seed, accumulation_steps=2)
+    assert fast.batched_executor is not None
+    assert slow.batched_executor is None
+    fast_losses = [fast.train_step() for _ in range(8)]
+    slow_losses = [slow.train_step() for _ in range(8)]
+    assert fast_losses == slow_losses
+    _assert_identical(fast, slow)
+
+
+def test_batched_matches_under_overlap_and_loss_scale():
+    fast = _make_trainer(
+        True, 11, overlap=True, compute_seconds_per_step=1e-3,
+        loss_scale=256.0,
+    )
+    slow = _make_trainer(
+        False, 11, overlap=True, compute_seconds_per_step=1e-3,
+        loss_scale=256.0,
+    )
+    assert [fast.train_step() for _ in range(5)] == [
+        slow.train_step() for _ in range(5)
+    ]
+    _assert_identical(fast, slow)
+    # The overlapped schedule's *ledger* must agree too: the fast path
+    # only changes host wall-clock, never simulated cost accounting.
+    assert (
+        fast.comm.ledger.total_wire_bytes_per_rank
+        == slow.comm.ledger.total_wire_bytes_per_rank
+    )
+    assert fast.comm.ledger.total_time_s == slow.comm.ledger.total_time_s
+
+
+def test_batched_epoch_with_evals_matches():
+    """Full epoch incl. eval (training-flag flips) stays bit-exact."""
+    fast = _make_trainer(True, 21)
+    slow = _make_trainer(False, 21)
+    sa = fast.train_epoch(max_steps=6, evals_per_epoch=2)
+    sb = slow.train_epoch(max_steps=6, evals_per_epoch=2)
+    assert sa.mean_train_loss == sb.mean_train_loss
+    assert [e.nll for e in sa.eval_points] == [e.nll for e in sb.eval_points]
+    _assert_identical(fast, slow)
+
+
+def test_batched_true_requires_support():
+    with pytest.raises(ValueError, match="batched"):
+        _make_trainer(True, 3, world_size=1)
+
+
+def test_batched_false_disables():
+    t = _make_trainer(False, 3)
+    assert t.batched_executor is None
+
+
+def test_single_replica_has_no_executor():
+    t = _make_trainer(None, 3, world_size=1)
+    assert t.batched_executor is None
+    t.train_step()  # per-rank loop still works
+
+
+def test_executor_disables_on_divergence():
+    t = _make_trainer(True, 5)
+    ex = t.batched_executor
+    t.train_step()
+    assert ex.active
+    # Corrupt one replica past the sync invariant; the next verification
+    # window must trip the tripwire and fall back permanently.
+    next(iter(t.replicas[1].parameters())).data += 1.0
+    ex._calls = 0  # force the verification window
+    for _ in range(2):
+        t.train_step()
+    assert not ex.active
+    assert "diverged" in ex.fallback_reason
+
+
+def test_ragged_batches_fall_back():
+    t = _make_trainer(True, 6)
+    ex = t.batched_executor
+    batches = t.batcher.step_batches(0)
+    short = batches[0].__class__(
+        inputs=batches[0].inputs[:, :-1], targets=batches[0].targets[:, :-1]
+    )
+    assert ex.step([short] + list(batches[1:])) is None
+    assert ex.active  # per-step fallback, not a permanent disable
+
+
+def test_build_rejects_mixed_configs():
+    rng = np.random.default_rng(0)
+    other_cfg = CharLMConfig(
+        vocab_size=61, embedding_dim=7, hidden_dim=13, depth=3, dropout=0.2
+    )
+    a = CharLanguageModel(MODEL_CFG, np.random.default_rng(0))
+    b = CharLanguageModel(other_cfg, np.random.default_rng(0))
+    assert build_batched_executor([a, b]) is None
+    assert build_batched_executor([a]) is None
+    assert build_batched_executor([object(), object()]) is None
