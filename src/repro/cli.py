@@ -57,17 +57,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--fp16", action="store_true",
                          help="enable FP16 compression-scaling on the wire")
     p_train.add_argument("--wire-codec", default=None,
-                         choices=["auto", "fp16", "delta", "rle", "none"],
+                         choices=["auto", "fp16", "delta", "rle", "entropy",
+                                  "none"],
                          help="wire-compression policy: 'fp16' compresses "
-                         "value traffic, 'delta'/'rle' losslessly compress "
-                         "the index allgather, 'auto' selects per message "
-                         "from the crossover cost model, 'none' is the "
-                         "explicit uncompressed baseline")
+                         "value traffic, 'delta'/'rle'/'entropy' losslessly "
+                         "compress the index allgather, 'auto' selects per "
+                         "message from the crossover cost model, 'none' is "
+                         "the explicit uncompressed baseline")
     p_train.add_argument("--wire-chunk-bytes", type=int, default=None,
                          metavar="N",
                          help="chunk the compressed index gather into N-byte "
                          "pieces so encode of chunk i+1 overlaps transmit "
                          "of chunk i (requires --wire-codec)")
+    p_train.add_argument("--fused-reduce", action="store_true",
+                         help="run dense gradient allreduces as fused "
+                         "compress-reduce rings: the value codec is applied "
+                         "inside the collective and partial sums travel "
+                         "compressed (bit-identical numerics; flat ring "
+                         "only, not with --mesh)")
+    p_train.add_argument("--wire-learn", action="store_true",
+                         help="after each epoch, feed measured wire "
+                         "telemetry back into the adaptive selector's "
+                         "throughput table (requires --wire-codec auto)")
     p_train.add_argument("--mesh", default=None, metavar="SPEC",
                          help="hybrid-parallelism mesh over the world, e.g. "
                          "'pipe=2,tensor=2,data=G/4' (axes default to 1; "
@@ -244,6 +255,9 @@ def _validate_train_args(args: argparse.Namespace) -> str | None:
     if args.wire_chunk_bytes is not None and args.wire_codec is None:
         return ("--wire-chunk-bytes only chunks the compressed index "
                 "gather; add --wire-codec (e.g. --wire-codec delta)")
+    if args.wire_learn and args.wire_codec != "auto":
+        return ("--wire-learn feeds the adaptive selector's throughput "
+                "table; it requires --wire-codec auto")
     if args.mesh is None:
         return None
     from repro.cluster import hybrid_mesh
@@ -256,6 +270,9 @@ def _validate_train_args(args: argparse.Namespace) -> str | None:
         return ("--mesh does not compose with --fp16/--wire-codec: the "
                 "sharded data-axis exchange carries raw values; drop the "
                 "codec flags or the mesh")
+    if args.fused_reduce:
+        return ("--fused-reduce rides the flat ring; it does not compose "
+                "with --mesh")
     if args.overlap:
         return ("--mesh uses the blocking sync schedule; drop --overlap "
                 "(numerics are identical either way)")
@@ -325,6 +342,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         wire_codec=args.wire_codec,
         wire_chunk_bytes=args.wire_chunk_bytes,
         wire_sanitize=args.sanitize,
+        fused_reduce=args.fused_reduce,
+        wire_learn=args.wire_learn,
         mesh=args.mesh,
     )
     if is_word:
@@ -370,6 +389,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
     trainer = make_trainer(cfg, comm)
     if session is not None:
         session.adopt_trainer(trainer)
+    elif args.wire_learn:
+        # Learning needs the wire metrics even without a telemetry dir.
+        from repro.telemetry import MetricsRegistry
+
+        trainer.comm.metrics = MetricsRegistry()
     if args.verify_spmd and trainer.mesh_comm is not None:
         trainer.mesh_comm.attach_axis_verifiers()
 
@@ -377,6 +401,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
           f"| exchange: {'allgather' if args.baseline else 'unique'}"
           f"{' + fp16' if args.fp16 else ''}"
           f"{f' | wire: {args.wire_codec}' if args.wire_codec else ''}"
+          f"{' | fused-reduce' if args.fused_reduce else ''}"
+          f"{' | wire-learn' if args.wire_learn else ''}"
           f"{f' | mesh: {args.mesh}' if args.mesh else ''}"
           f"{' | overlapped' if args.overlap else ''}"
           f"{' | sanitized' if args.sanitize else ''}"
@@ -393,6 +419,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.wire_codec:
         factor = trainer.comm.ledger.compression_factor(":indices")
         print(f"index compression: {factor:.2f}x (measured, logical/wire)")
+    if args.wire_learn:
+        learned = trainer.learn_wire_throughputs()
+        if not learned:
+            print("learned: no encoded wire traffic this run "
+                  "(selector kept its prior throughput table)")
+        for cname in sorted(learned):
+            tp = learned[cname]
+            print(f"learned {cname}: encode {tp.encode_bps / 1e6:.1f} MB/s, "
+                  f"decode {tp.decode_bps / 1e6:.1f} MB/s")
     print(f"replica divergence: {max_replica_divergence(trainer.replicas):.1e}")
     if args.sanitize:
         op_log = trainer.comm.finish()

@@ -407,6 +407,51 @@ LockstepVerifier` so it can fingerprint the envelope and hash the
             payload=arrays,
         )
 
+    def issue_scheduled(
+        self,
+        op: str,
+        results: Sequence[np.ndarray] | None = None,
+        *,
+        time_s: float,
+        wire_bytes_per_rank: int,
+        scratch_bytes: int = 0,
+        scratch_tag: str = "",
+        tag: str = "",
+        payload_bytes_per_rank: int | None = None,
+        payload: Sequence[np.ndarray] | None = None,
+    ) -> WorkHandle:
+        """Issue one explicitly-costed collective step.
+
+        Entry point for composite transfer schedules — e.g. the per-hop
+        ring steps of the fused compressed reductions in
+        :mod:`repro.core.wire.fused` — whose numerics the caller has
+        already computed and whose wire time/bytes the caller derives
+        from data-dependent encoded frame sizes.  Accounting is the
+        standard :meth:`_issue` funnel: scratch charged to every device
+        until ``wait()``, one ``time_s`` collective placed on the shared
+        link (normal Timeline contention rules apply), a ledger event
+        with the encoded ``wire_bytes_per_rank`` (``payload_bytes_per_rank``
+        rides along for measured-compression reporting), collective
+        metrics counters, and lockstep-verifier observation of
+        ``payload``.  ``wait()`` advances every rank's compute clock to
+        the step's end, exactly like any other collective.
+        """
+        if time_s < 0:
+            raise ValueError("time_s must be non-negative")
+        if wire_bytes_per_rank < 0:
+            raise ValueError("wire_bytes_per_rank must be non-negative")
+        return self._issue(
+            op=op,
+            results=[] if results is None else list(results),
+            scratch_bytes=scratch_bytes,
+            scratch_tag=scratch_tag or f"{op}-recv:{tag}",
+            wire_bytes_per_rank=wire_bytes_per_rank,
+            time_s=time_s,
+            tag=tag,
+            payload_bytes_per_rank=payload_bytes_per_rank,
+            payload=payload,
+        )
+
     # ------------------------------------------------------------------
     # blocking collectives (issue + wait; numerics and accounting are
     # bit-identical to the pre-async engine)

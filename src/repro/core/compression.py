@@ -37,6 +37,17 @@ class WireCodec:
     #: wire ratio and :func:`wire_bytes_ratio` needs a sample.
     data_dependent: bool = False
 
+    #: True when encoded tensors may be **summed in the wire domain**:
+    #: ``encode`` maps each element to a fixed-position numeric slot
+    #: (identity pass-through, FP16 cast), so adding wire tensors is a
+    #: well-defined elementwise reduction — the same reduction the
+    #: unfused encode→allreduce→decode path already performs.  The
+    #: self-delimiting frame codecs are NOT summable — adding two
+    #: bitstreams is meaningless — so fused reductions must
+    #: decode/re-encode at each hop boundary instead (see
+    #: :mod:`repro.core.wire.fused`).
+    summable: bool = False
+
     def encode(self, arr: np.ndarray) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
 
@@ -59,6 +70,9 @@ class WireCodec:
 @dataclass(frozen=True)
 class IdentityCodec(WireCodec):
     """FP32/FP64 pass-through — the no-compression baseline."""
+
+    #: Pass-through slots sum on the wire trivially.
+    summable = True
 
     def encode(self, arr: np.ndarray) -> np.ndarray:
         return arr
@@ -89,6 +103,11 @@ class Fp16Codec(WireCodec):
     """
 
     scale: float = 512.0
+
+    #: FP16 slots are positional: summing wire tensors is FP16-domain
+    #: addition, which the fused reduction path exploits (the *scale*
+    #: divides out once at decode since it is uniform across ranks).
+    summable = True
 
     def __post_init__(self) -> None:
         if self.scale <= 0:

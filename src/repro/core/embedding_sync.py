@@ -42,6 +42,7 @@ from .mesh_exchange import (
     sparse_mesh_exchange,
 )
 from .sparse_exchange import AllGatherExchange, ExchangeStrategy
+from .wire.fused import icompressed_allreduce
 from .wire.policy import WirePolicy
 
 __all__ = ["GradientSynchronizer", "concat_token_grads"]
@@ -109,6 +110,14 @@ class GradientSynchronizer:
         combined model axes, bit-exact to the flat path on a
         ``(1, 1, G)`` mesh.  Incompatible with codecs, wire policies,
         and the overlapped schedule (the mesh path is blocking).
+    fused_reduce:
+        Route dense allreduces through the fused compress-reduce ring
+        (:func:`~repro.core.wire.fused.icompressed_allreduce`): the
+        value codec is applied *inside* the collective, summed in the
+        compressed domain, with per-hop wire bytes on the ledger.
+        Requires the resolved value codec to be summable (fp16 /
+        identity / None); bit-identical numerics to the unfused path
+        by construction.  Incompatible with ``mesh_comm``.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class GradientSynchronizer:
         on_issue: Callable[[str], None] | None = None,
         wire: WirePolicy | None = None,
         mesh_comm=None,
+        fused_reduce: bool = False,
     ):
         self.comm = comm
         self.strategy = strategy if strategy is not None else AllGatherExchange()
@@ -130,6 +140,7 @@ class GradientSynchronizer:
         self.overlap = overlap
         self.on_issue = on_issue
         self.mesh_comm = mesh_comm
+        self.fused_reduce = fused_reduce
         self._layout = None
         if mesh_comm is not None:
             if codec is not None or wire is not None:
@@ -141,6 +152,11 @@ class GradientSynchronizer:
                 raise ValueError(
                     "mesh gradient sync is blocking; overlap=True is not "
                     "supported with mesh_comm"
+                )
+            if fused_reduce:
+                raise ValueError(
+                    "fused_reduce rides the flat ring; it does not "
+                    "compose with mesh_comm"
                 )
             self._layout = MeshShardLayout(mesh_comm.mesh)
 
@@ -163,6 +179,44 @@ class GradientSynchronizer:
         codec = self.codec
         if codec is None and self.wire is not None:
             codec = self.wire.resolve_value_codec(grads, self.comm)
+        if self.fused_reduce:
+            if codec is not None and not getattr(codec, "summable", False):
+                raise ValueError(
+                    f"fused_reduce needs a summable value codec (fp16 / "
+                    f"identity / none); {codec.name!r} frames cannot be "
+                    "summed on the wire"
+                )
+            fused_handle = icompressed_allreduce(
+                self.comm,
+                grads,
+                codec=codec,
+                tag=tag,
+                chunk_bytes=(
+                    self.wire.chunk_bytes if self.wire is not None else None
+                ),
+                charge_compute=(
+                    self.wire.charge_codec_compute
+                    if self.wire is not None
+                    else True
+                ),
+                shared_result=shared,
+            )
+
+            def finish_fused() -> None:
+                outs = fused_handle.wait()  # already decoded per rank
+                if shared:
+                    reduced = outs[0]
+                    if self.average:
+                        reduced = reduced / self.comm.world_size
+                    for p in params:
+                        p.grad = reduced
+                    return
+                for p, out in zip(params, outs):
+                    p.grad = (
+                        out / self.comm.world_size if self.average else out
+                    )
+
+            return finish_fused
         if codec is not None:
             encoded = [codec.encode(g) for g in grads]
             handle = self.comm.iallreduce(

@@ -4,8 +4,8 @@ Generalizes the single §III-C :class:`~repro.core.compression.Fp16Codec`
 into a registry of codecs with distinct roles:
 
 * :mod:`~repro.core.wire.codecs` — lossless, self-delimiting integer
-  frame codecs (delta-bitpack, run-length) for the uniqueness
-  exchange's Θ(G·K) index ALLGATHER;
+  frame codecs (delta-bitpack, run-length, canonical-Huffman entropy)
+  for the uniqueness exchange's Θ(G·K) index ALLGATHER;
 * :mod:`~repro.core.wire.registry` — name -> codec factories and the
   composable :class:`CodecPipeline`;
 * :mod:`~repro.core.wire.cost` — per-codec throughput constants and the
@@ -14,6 +14,8 @@ into a registry of codecs with distinct roles:
   size, dtype, and a sampled compressibility estimate;
 * :mod:`~repro.core.wire.transfer` — the chunked encoded allgather that
   pipelines encode/transmit/decode on the two-stream timeline;
+* :mod:`~repro.core.wire.fused` — fused compress-reduce collectives
+  (compressed ring reduce-scatter / allreduce with per-hop recoding);
 * :mod:`~repro.core.wire.policy` — the :class:`WirePolicy` object the
   trainer/CLI hand down (``--wire-codec``, ``--wire-chunk-bytes``).
 
@@ -25,6 +27,7 @@ from .codecs import (
     DELTA_BLOCK,
     FRAME_HEADER_BYTES,
     DeltaBitpackCodec,
+    EntropyCodec,
     LosslessIntCodec,
     RunLengthCodec,
     decode_frames,
@@ -35,6 +38,15 @@ from .cost import (
     codec_throughput,
     compressed_transfer_seconds,
     compression_wins,
+    slowest_throughput,
+    throughput_from_metrics,
+)
+from .fused import (
+    FusedReducePlan,
+    PendingFusedReduce,
+    icompressed_allreduce,
+    icompressed_reduce_scatter,
+    plan_fused_reduce,
 )
 from .policy import WirePolicy
 from .registry import CodecPipeline, available_codecs, make_codec, register_codec
@@ -47,9 +59,12 @@ __all__ = [
     "DEFAULT_CODEC_THROUGHPUTS",
     "DELTA_BLOCK",
     "DeltaBitpackCodec",
+    "EntropyCodec",
     "FRAME_HEADER_BYTES",
+    "FusedReducePlan",
     "LosslessIntCodec",
     "PendingEncodedGather",
+    "PendingFusedReduce",
     "RunLengthCodec",
     "WirePolicy",
     "available_codecs",
@@ -57,7 +72,12 @@ __all__ = [
     "compressed_transfer_seconds",
     "compression_wins",
     "decode_frames",
+    "icompressed_allreduce",
+    "icompressed_reduce_scatter",
     "iencoded_allgather",
+    "plan_fused_reduce",
+    "slowest_throughput",
+    "throughput_from_metrics",
     "wire_instruments",
     "make_codec",
     "register_codec",

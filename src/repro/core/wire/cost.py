@@ -38,6 +38,8 @@ __all__ = [
     "codec_throughput",
     "compressed_transfer_seconds",
     "compression_wins",
+    "slowest_throughput",
+    "throughput_from_metrics",
 ]
 
 
@@ -78,21 +80,89 @@ DEFAULT_CODEC_THROUGHPUTS: dict[str, CodecThroughput] = {
     "fp16": CodecThroughput(encode_bps=150e9, decode_bps=200e9),
     "delta": CodecThroughput(encode_bps=50e9, decode_bps=80e9),
     "rle": CodecThroughput(encode_bps=80e9, decode_bps=100e9),
+    "entropy": CodecThroughput(encode_bps=30e9, decode_bps=40e9),
 }
+
+
+def slowest_throughput(
+    throughputs: dict[str, CodecThroughput],
+) -> CodecThroughput:
+    """The most conservative entry of a throughput table.
+
+    "Slowest" compares each entry's worse direction, so an asymmetric
+    codec (fast encode, slow decode) is ranked by its bottleneck.
+    """
+    if not throughputs:
+        raise ValueError("throughput table is empty")
+    return min(
+        throughputs.values(),
+        key=lambda tp: min(tp.encode_bps, tp.decode_bps),
+    )
 
 
 def codec_throughput(
     name: str,
     throughputs: dict[str, CodecThroughput] | None = None,
 ) -> CodecThroughput:
-    """Look up a codec's throughput, falling back to the delta entry.
+    """Look up a codec's throughput, falling back to the slowest entry.
 
     Unknown codecs (e.g. a user-registered one) inherit the slowest
-    default rather than raising — an unmeasured codec should look
-    expensive, not free.
+    entry of the table actually in use rather than raising — an
+    unmeasured codec should look expensive, not free.  Before the fix
+    this fell back to ``DEFAULT_CODEC_THROUGHPUTS["delta"]`` even when a
+    *calibrated* table was supplied, silently crediting unknown codecs
+    with accelerator-class default speed instead of the calibrated
+    table's own worst case.  An empty calibrated table degrades to the
+    slowest default.
     """
     table = DEFAULT_CODEC_THROUGHPUTS if throughputs is None else throughputs
-    return table.get(name, DEFAULT_CODEC_THROUGHPUTS["delta"])
+    try:
+        return table[name]
+    except KeyError:
+        if not table:
+            table = DEFAULT_CODEC_THROUGHPUTS
+        return slowest_throughput(table)
+
+
+def throughput_from_metrics(registry, codec_name: str) -> CodecThroughput:
+    """Recover a codec's effective throughput from run telemetry.
+
+    Divides the ``repro_wire_encode_bytes_total`` /
+    ``repro_wire_decode_bytes_total`` counters by the summed
+    ``repro_wire_*_seconds`` histograms that the wire layer
+    (:func:`repro.core.wire.transfer.iencoded_allgather` and the fused
+    collectives of :mod:`repro.core.wire.fused`) records for
+    ``codec_name`` — i.e. the *measured* bytes-per-second of what
+    actually ran, the profile-driven input ZipCCL-style codec selection
+    wants instead of a modelled constant.  Also re-exported as
+    :func:`repro.perf.throughput_from_metrics`; the implementation lives
+    here so :meth:`AdaptiveCodecSelector.learn_from_metrics
+    <repro.core.wire.adaptive.AdaptiveCodecSelector.learn_from_metrics>`
+    can feed the measurement back without ``core`` importing ``perf``.
+
+    Raises :class:`ValueError` when the run recorded no encode or
+    decode activity for the codec.
+    """
+    encode_bytes = registry.get("repro_wire_encode_bytes_total").value(
+        codec=codec_name
+    )
+    decode_bytes = registry.get("repro_wire_decode_bytes_total").value(
+        codec=codec_name
+    )
+    encode_s = registry.get("repro_wire_encode_seconds").value(
+        codec=codec_name
+    ).sum
+    decode_s = registry.get("repro_wire_decode_seconds").value(
+        codec=codec_name
+    ).sum
+    if encode_s <= 0 or decode_s <= 0:
+        raise ValueError(
+            f"no recorded encode/decode activity for codec {codec_name!r}"
+        )
+    return CodecThroughput(
+        encode_bps=encode_bytes / encode_s,
+        decode_bps=decode_bytes / decode_s,
+    )
 
 
 @lru_cache(maxsize=4096)

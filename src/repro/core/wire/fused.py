@@ -1,0 +1,564 @@
+"""Fused compressed reduction collectives (compress-reduce, ZipCCL-style).
+
+PR 4's wire stack compresses payloads *outside* the collective: encode,
+allgather the frames, decode.  For reductions that is the wrong shape —
+a ring reduce-scatter moves *partial sums*, and what can be compressed
+is each hop's partial, not the caller's input.  This module fuses the
+codec into the ring schedule:
+
+* :func:`icompressed_reduce_scatter` — chunked ring reduce-scatter with
+  per-hop compression;
+* :func:`icompressed_allreduce` — compressed ring allreduce
+  (reduce-scatter phase + allgather phase over encoded reduced shards).
+
+Two codec regimes, selected by :attr:`WireCodec.summable
+<repro.core.compression.WireCodec.summable>`:
+
+* **Summable value codecs** (identity, FP16): ``encode`` maps elements
+  to fixed-position numeric slots, so partials are reduced *in the
+  compressed domain* — each rank encodes its contribution once, hops
+  add wire tensors directly, and one decode at the end recovers the
+  result.  Numerics are identical to the unfused
+  encode → allreduce → decode path by construction: the reduction is
+  the same rank-order wire-domain fold.
+* **Frame codecs** (delta, rle, entropy — *not* summable: adding two
+  bitstreams is meaningless): the ring **recodes at every hop
+  boundary** — decode the incoming partial, add, re-encode for the next
+  hop.  Only integer payloads are accepted; integer addition is exact,
+  so the result is bit-identical to the plain rank-order fold.
+
+``codec=None`` runs the same chunked hop schedule on raw bytes — the
+accounting baseline whose makespan equals the classic ring cost models
+(summing ``G-1`` hops of ``α + shard/β`` reproduces
+:func:`~repro.cluster.collectives.ring_reduce_scatter_time` exactly).
+
+Accounting.  Every hop is one explicitly-costed collective step through
+:meth:`Communicator.issue_scheduled
+<repro.cluster.communicator.Communicator.issue_scheduled>`: the ledger
+is charged the **encoded** hop bytes (data-dependent for frame codecs —
+each hop's partial sums are actually encoded to measure them), with the
+logical chunk bytes riding along for measured-compression reporting;
+encode/decode compute lands on every rank's Timeline compute stream, so
+the PR-2 contention rules pipeline chunk ``c+1``'s recode under chunk
+``c``'s transfer with no special machinery.  The analytic twin of this
+schedule is :func:`repro.perf.codec_model.fused_reduce_time`, validated
+``≡`` the executed Timeline schedule by the wire benches.
+
+Like everything in the simulator, numerics are eager at issue;
+:meth:`PendingFusedReduce.wait` defers the *accounting* of the final
+hops and decode so callers can overlap them with their own compute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...cluster.collectives import allreduce_arrays, reduce_scatter_arrays
+from .cost import CodecThroughput, codec_throughput
+from .transfer import wire_instruments
+
+__all__ = [
+    "FusedReducePlan",
+    "PendingFusedReduce",
+    "icompressed_allreduce",
+    "icompressed_reduce_scatter",
+    "plan_fused_reduce",
+]
+
+
+@dataclass(frozen=True)
+class FusedReducePlan:
+    """The data-dependent schedule of one fused compressed reduction.
+
+    Byte-level description shared by three consumers that must agree
+    exactly: the live collectives here (which execute it on the
+    communicator), :func:`repro.perf.codec_model.fused_reduce_time`
+    (the closed-form makespan recurrence), and
+    :func:`repro.perf.codec_model.timeline_fused_reduce` (the same
+    schedule replayed on a fresh Timeline).  Ranks are uniform in the
+    cost model, so per-hop wire sizes are the max over ranks.
+
+    ``chunk_logical`` are the logical (pre-codec) bytes of one *shard
+    piece* per chunk — the ring's unit of transfer; a rank's full
+    contribution is ``world * sum(chunk_logical)`` bytes.
+    """
+
+    world: int
+    #: True for the compressed allreduce (reduce-scatter + allgather
+    #: phases); False for reduce-scatter only.
+    allgather: bool
+    #: True when the schedule decodes + re-encodes at hop boundaries
+    #: (frame codecs); False for summable/raw wire-domain reduction.
+    hop_recode: bool
+    #: Logical bytes of one shard piece, per chunk.
+    chunk_logical: tuple[int, ...]
+    #: Logical bytes encoded on each rank before a chunk's first hop
+    #: (summable: the chunk's slice of all ``world`` shards; recode:
+    #: the first partial, one shard piece; raw: 0).
+    pre_encode: tuple[int, ...]
+    #: Encoded wire bytes of each reduce-scatter hop, ``[chunk][hop]``,
+    #: max over ranks; ``world - 1`` hops per chunk.
+    rs_hop_bytes: tuple[tuple[int, ...], ...]
+    #: Encoded wire bytes of each allgather hop, ``[chunk][hop]``;
+    #: None when ``allgather`` is False.
+    ag_hop_bytes: tuple[tuple[int, ...], ...] | None
+    #: Logical bytes decoded on each rank at drain, per chunk.
+    final_decode: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.world < 1:
+            raise ValueError("world must be >= 1")
+        hops = self.world - 1
+        n = len(self.chunk_logical)
+        if any(b < 0 for b in self.chunk_logical):
+            raise ValueError("chunk_logical bytes must be non-negative")
+        for name, rows in (
+            ("rs_hop_bytes", self.rs_hop_bytes),
+            ("ag_hop_bytes", self.ag_hop_bytes),
+        ):
+            if rows is None:
+                continue
+            if len(rows) != n or any(len(row) != hops for row in rows):
+                raise ValueError(
+                    f"{name} must hold {n} chunks x {hops} hops"
+                )
+        if self.allgather and self.ag_hop_bytes is None and hops:
+            raise ValueError("allgather plan needs ag_hop_bytes")
+        if len(self.pre_encode) != n or len(self.final_decode) != n:
+            raise ValueError(
+                "pre_encode/final_decode must have one entry per chunk"
+            )
+
+
+def _chunk_elems(shard_elems: int, itemsize: int, chunk_bytes: int | None):
+    """Per-chunk element counts splitting one shard piece."""
+    if chunk_bytes is not None and chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    if shard_elems == 0:
+        return [0]
+    if chunk_bytes is None:
+        return [shard_elems]
+    per = max(1, chunk_bytes // itemsize)
+    counts = [per] * (shard_elems // per)
+    if shard_elems % per:
+        counts.append(shard_elems % per)
+    return counts
+
+
+def _flat_padded(arrays: Sequence[np.ndarray], world: int) -> list[np.ndarray]:
+    """Flatten each rank's array, zero-padding to a world multiple.
+
+    Padding mirrors what a real ring implementation does to get equal
+    shards; it affects accounting (shard sizes, encoded partials) only —
+    results are always computed from the unpadded inputs.
+    """
+    total = int(arrays[0].size)
+    pad = (-total) % world
+    out = []
+    for a in arrays:
+        flat = np.ascontiguousarray(a).reshape(-1)
+        if pad:
+            flat = np.concatenate([flat, np.zeros(pad, dtype=a.dtype)])
+        out.append(flat)
+    return out
+
+
+def _frame_hop_sizes(
+    flats: list[np.ndarray],
+    codec,
+    world: int,
+    chunks: list[int],
+    allgather: bool,
+) -> tuple[list[list[int]], list[list[int]] | None]:
+    """Measure encoded bytes of every ring hop's partial sums.
+
+    Walks each shard's accumulation chain — the partial sent at hop
+    ``h`` for shard ``j`` covers ranks ``j .. j+h-1`` — encoding every
+    in-flight partial to charge the wire what a recoding ring actually
+    ships.  Returns ``(rs[chunk][hop], ag[chunk][hop] | None)`` maxima
+    over ranks.
+    """
+    hops = world - 1
+    shard = flats[0].size // world
+    bounds = np.concatenate(([0], np.cumsum(chunks))).astype(np.intp)
+    rs = [[0] * hops for _ in chunks]
+    ag = [[0] * hops for _ in chunks] if allgather and hops else None
+    for c in range(len(chunks)):
+        lo, hi = bounds[c], bounds[c + 1]
+        ag_max = 0
+        for j in range(world):
+            base = j * shard
+            part = flats[j][base + lo:base + hi].copy()
+            for h in range(1, world):
+                rs[c][h - 1] = max(rs[c][h - 1], int(codec.encode(part).size))
+                part += flats[(j + h) % world][base + lo:base + hi]
+            if ag is not None:
+                ag_max = max(ag_max, int(codec.encode(part).size))
+        if ag is not None:
+            for h in range(hops):
+                ag[c][h] = ag_max
+    return rs, ag
+
+
+def plan_fused_reduce(
+    arrays: Sequence[np.ndarray],
+    codec,
+    allgather: bool = True,
+    chunk_bytes: int | None = None,
+) -> FusedReducePlan:
+    """Build the byte-level schedule for one fused reduction.
+
+    ``codec`` may be None (raw ring), a summable value codec, or a
+    lossless integer frame codec (hop recoding).  See the module
+    docstring for the validation rules each regime imposes.
+    """
+    world = len(arrays)
+    dtype = arrays[0].dtype
+    itemsize = dtype.itemsize
+    summable = codec is not None and getattr(codec, "summable", False)
+    recode = codec is not None and not summable
+    if recode:
+        if not getattr(codec, "lossless", False):
+            raise ValueError(
+                f"codec {codec.name!r} is lossy and not summable: it can "
+                "neither be reduced in the compressed domain nor recoded "
+                "exactly at hop boundaries"
+            )
+        if dtype not in (np.dtype(np.int32), np.dtype(np.int64)):
+            raise ValueError(
+                "index frames are not summable on the wire and cannot "
+                f"carry {dtype} payloads through a fused reduction; use a "
+                "summable value codec (fp16/identity) or codec=None"
+            )
+    flats = _flat_padded(arrays, world)
+    shard_elems = flats[0].size // world
+    chunks = _chunk_elems(shard_elems, itemsize, chunk_bytes)
+    chunk_logical = tuple(n * itemsize for n in chunks)
+    hops = world - 1
+    if summable:
+        wire_dt = codec.wire_dtype(dtype)
+        if wire_dt is None:
+            raise ValueError(
+                f"summable codec {codec.name!r} must report wire_dtype"
+            )
+        wire_item = np.dtype(wire_dt).itemsize
+        hop_row = [
+            tuple(n * wire_item for _ in range(hops)) for n in chunks
+        ]
+        rs_hop = tuple(hop_row)
+        ag_hop = tuple(hop_row) if allgather else None
+        pre = tuple(world * lb for lb in chunk_logical)
+        final = tuple(
+            (world * lb if allgather else lb) for lb in chunk_logical
+        )
+    elif recode:
+        rs, ag = _frame_hop_sizes(flats, codec, world, chunks, allgather)
+        rs_hop = tuple(tuple(row) for row in rs)
+        ag_hop = (
+            tuple(tuple(row) for row in ag) if ag is not None
+            else ((tuple(),) * len(chunks) if allgather else None)
+        )
+        pre = tuple(chunk_logical)
+        # Allreduce: decode the world-1 foreign reduced-shard frames at
+        # drain (the own shard is raw after the last hop's add, which
+        # is charged at the pre-allgather recode).  Reduce-scatter:
+        # decode the last incoming partial.
+        final = tuple(
+            ((world - 1) * lb if allgather else lb) for lb in chunk_logical
+        )
+    else:  # raw
+        hop_row = [tuple(n * itemsize for _ in range(hops)) for n in chunks]
+        rs_hop = tuple(hop_row)
+        ag_hop = tuple(hop_row) if allgather else None
+        pre = tuple(0 for _ in chunks)
+        final = tuple(0 for _ in chunks)
+    if world == 1:
+        # Degenerate ring: no hops; the codec roundtrip (if any) is
+        # still charged so G=1 matches the unfused encode/decode path.
+        if summable:
+            lb = flats[0].size * itemsize
+            pre = (lb,)
+            final = (lb,)
+        else:
+            pre = (0,)
+            final = (0,)
+        return FusedReducePlan(
+            world=1, allgather=allgather, hop_recode=False,
+            chunk_logical=(flats[0].size * itemsize,),
+            pre_encode=pre, rs_hop_bytes=((),),
+            ag_hop_bytes=((),) if allgather else None,
+            final_decode=final,
+        )
+    return FusedReducePlan(
+        world=world,
+        allgather=allgather,
+        hop_recode=recode,
+        chunk_logical=chunk_logical,
+        pre_encode=pre,
+        rs_hop_bytes=rs_hop,
+        ag_hop_bytes=ag_hop,
+        final_decode=final,
+    )
+
+
+class PendingFusedReduce:
+    """An in-flight fused compressed reduction.
+
+    The intermediate hops were issued (and, for recoding rings, waited)
+    eagerly — what remains at :meth:`wait` is completing each chunk's
+    final hop ticket, charging the final decode compute, and handing
+    back the per-rank results.  Idempotent, like every handle here.
+    """
+
+    def __init__(
+        self,
+        comm,
+        issued: list,
+        drain_upto: list[int],
+        plan: FusedReducePlan,
+        results: list[np.ndarray],
+        throughput: CodecThroughput | None,
+        instruments: dict | None,
+    ):
+        self._comm = comm
+        self._issued = issued
+        self._drain_upto = drain_upto
+        self._plan = plan
+        self._results = results
+        self._throughput = throughput
+        self._instruments = instruments
+        self._done = False
+
+    def is_complete(self) -> bool:
+        """Whether :meth:`wait` has run to completion."""
+        return self._done
+
+    def wait(self) -> list[np.ndarray]:
+        """Drain the final hops, charge final decodes, return results.
+
+        Handles are completed in issue order up to each chunk's cut
+        point before that chunk's decode is charged — link end times
+        are monotone in issue order, so chunk ``c``'s decode overlaps
+        the still-in-flight transfers of chunks ``> c``, exactly as the
+        analytic recurrence assumes.  ``wait()`` on already-completed
+        hop handles (the recoding ring waits intermediates eagerly) is
+        an idempotent no-op.
+        """
+        if self._done:
+            return self._results
+        world = self._comm.world_size
+        ins = self._instruments
+        i = 0
+        for upto, lb in zip(self._drain_upto, self._plan.final_decode):
+            while i < upto:
+                self._issued[i].wait()
+                i += 1
+            if self._throughput is not None and lb:
+                decode_s = self._throughput.decode_seconds(lb)
+                for rank in range(world):
+                    self._comm.timeline.record_compute(
+                        rank, decode_s, name="codec:decode"
+                    )
+                if ins is not None:
+                    ins["decode_s"].observe(decode_s, **ins["labels"])
+                    ins["decode_bytes"].inc(lb, **ins["labels"])
+        while i < len(self._issued):
+            self._issued[i].wait()
+            i += 1
+        self._done = True
+        return self._results
+
+
+def _fused_reduce(
+    comm,
+    arrays: Sequence[np.ndarray],
+    codec,
+    allgather: bool,
+    tag: str,
+    chunk_bytes: int | None,
+    throughput: CodecThroughput | None,
+    charge_compute: bool,
+    shared_result: bool,
+) -> PendingFusedReduce:
+    """Shared engine of the two fused collectives (see module docstring)."""
+    if len(arrays) != comm.world_size:
+        raise ValueError(
+            f"got {len(arrays)} per-rank arrays for a "
+            f"{comm.world_size}-rank communicator"
+        )
+    world = comm.world_size
+    dtype = arrays[0].dtype
+    if not allgather and arrays[0].shape[0] % world != 0:
+        raise ValueError(
+            f"reduce_scatter: leading dim {arrays[0].shape[0]} not "
+            f"divisible by world size {world}"
+        )
+    plan = plan_fused_reduce(
+        arrays, codec, allgather=allgather, chunk_bytes=chunk_bytes
+    )
+    summable = codec is not None and getattr(codec, "summable", False)
+
+    # ---- numerics (eager, rank-order fold — see module docstring) ----
+    if summable:
+        encoded = [codec.encode(a) for a in arrays]
+        if allgather:
+            reduced_enc = allreduce_arrays(encoded, shared_result=True)[0]
+            decoded = codec.decode(reduced_enc, dtype)
+            if shared_result:
+                results = [decoded] * world
+            else:
+                stackd = np.empty((world,) + decoded.shape, dtype=dtype)
+                stackd[:] = decoded
+                results = list(stackd)
+        else:
+            shards = reduce_scatter_arrays(encoded)
+            results = [codec.decode(s, dtype) for s in shards]
+    else:
+        if allgather:
+            results = allreduce_arrays(
+                arrays, shared_result=shared_result
+            )
+        else:
+            results = reduce_scatter_arrays(arrays)
+
+    name = codec.name if codec is not None else "raw"
+    tp = (
+        (throughput if throughput is not None else codec_throughput(name))
+        if charge_compute and codec is not None
+        else None
+    )
+    ins = (
+        wire_instruments(getattr(comm, "metrics", None), name)
+        if codec is not None
+        else None
+    )
+    op = "fused_allreduce" if allgather else "fused_reduce_scatter"
+
+    def charge(kind: str, lb: int) -> None:
+        if tp is None or lb == 0:
+            return
+        secs = (
+            tp.encode_seconds(lb) if kind == "encode"
+            else tp.decode_seconds(lb)
+        )
+        for rank in range(world):
+            comm.timeline.record_compute(rank, secs, name=f"codec:{kind}")
+        if ins is not None:
+            ins[f"{kind}_s"].observe(secs, **ins["labels"])
+            ins[f"{kind}_bytes"].inc(lb, **ins["labels"])
+
+    chunks = plan.chunk_logical
+    hops = world - 1
+    link = comm.fabric.ring_link(world) if world > 1 else None
+    issued: list = []
+
+    def issue_hop(phase: str, c: int, h: int, eb: int, lb: int):
+        handle = comm.issue_scheduled(
+            op,
+            time_s=link.transfer_time(eb),
+            wire_bytes_per_rank=eb,
+            scratch_bytes=eb,
+            scratch_tag=f"{op}-recv:{tag}",
+            tag=f"{tag}:{phase}{h}" + (f"[{c}]" if len(chunks) > 1 else ""),
+            payload_bytes_per_rank=lb,
+        )
+        if ins is not None:
+            ins["frame_bytes"].inc(world * eb, **ins["labels"])
+            ticket = getattr(handle, "ticket", None)
+            if ticket is not None:
+                ins["transfer_s"].observe(
+                    ticket.end - ticket.start, **ins["labels"]
+                )
+        issued.append(handle)
+        return handle
+
+    drain_upto = [0] * len(chunks)
+    ledger_scope = comm.ledger.scope(f"fused-{name}")
+    with ledger_scope:
+        # Reduce-scatter phase, hop-major: chunk c+1's (re)encode
+        # overlaps chunk c's transfer under the Timeline rules.
+        rs_handles: list[list] = [[None] * hops for _ in chunks]
+        for h in range(hops):
+            for c, lb in enumerate(chunks):
+                if h == 0:
+                    charge("encode", plan.pre_encode[c])
+                elif plan.hop_recode:
+                    rs_handles[c][h - 1].wait()
+                    charge("decode", lb)
+                    charge("encode", lb)
+                rs_handles[c][h] = issue_hop(
+                    "rs", c, h, plan.rs_hop_bytes[c][h], lb
+                )
+        if world == 1 and plan.pre_encode[0]:
+            charge("encode", plan.pre_encode[0])
+        if allgather and hops:
+            for c, lb in enumerate(chunks):
+                if plan.hop_recode:
+                    rs_handles[c][hops - 1].wait()
+                    charge("decode", lb)
+                    charge("encode", lb)
+                for h in range(hops):
+                    issue_hop("ag", c, h, plan.ag_hop_bytes[c][h], lb)
+                drain_upto[c] = len(issued)
+        else:
+            # RS-only (or G=1): chunk c drains at its last RS hop; the
+            # hop-major issue order means that cut covers every earlier
+            # chunk's hops of the same round too (ends are monotone).
+            for c in range(len(chunks)):
+                drain_upto[c] = (
+                    (hops - 1) * len(chunks) + c + 1 if hops else 0
+                )
+    return PendingFusedReduce(
+        comm, issued, drain_upto, plan, results, tp, ins
+    )
+
+
+def icompressed_reduce_scatter(
+    comm,
+    arrays: Sequence[np.ndarray],
+    codec=None,
+    tag: str = "",
+    chunk_bytes: int | None = None,
+    throughput: CodecThroughput | None = None,
+    charge_compute: bool = True,
+) -> PendingFusedReduce:
+    """Chunked ring reduce-scatter with in-collective compression.
+
+    Result contract matches :meth:`Communicator.ireduce_scatter`: rank
+    ``r`` receives the ``r``-th equal leading-axis shard of the
+    rank-order sum.  ``chunk_bytes`` splits each *shard* into pipeline
+    chunks of at most that many logical bytes.  See the module
+    docstring for codec regimes and accounting.
+    """
+    return _fused_reduce(
+        comm, arrays, codec, False, tag, chunk_bytes, throughput,
+        charge_compute, shared_result=False,
+    )
+
+
+def icompressed_allreduce(
+    comm,
+    arrays: Sequence[np.ndarray],
+    codec=None,
+    tag: str = "",
+    chunk_bytes: int | None = None,
+    throughput: CodecThroughput | None = None,
+    charge_compute: bool = True,
+    shared_result: bool = False,
+) -> PendingFusedReduce:
+    """Compressed ring allreduce: fused reduce-scatter + allgather.
+
+    ``wait()`` returns decoded per-rank sums (``shared_result`` hands
+    every rank the same read-only array, as :meth:`Communicator.
+    iallreduce` does).  With a summable codec the numerics equal the
+    unfused encode → allreduce → decode path bit for bit; with a frame
+    codec (integer payloads) or ``codec=None`` they equal the plain
+    rank-order fold bit for bit.
+    """
+    return _fused_reduce(
+        comm, arrays, codec, True, tag, chunk_bytes, throughput,
+        charge_compute, shared_result,
+    )

@@ -18,7 +18,8 @@ Spec strings accepted by :meth:`WirePolicy.from_spec`::
     fp16          FP16 value traffic, raw indices (the paper's §III-C)
     delta         raw values, delta-bitpacked indices
     rle           raw values, run-length indices
-    fp16+delta    both (also fp16+rle, etc.)
+    entropy       raw values, entropy-coded (Huffman) indices
+    fp16+delta    both (also fp16+rle, fp16+entropy, etc.)
     auto          adaptive per-message selection for both roles
 
 All slots default to None, so a default-constructed policy is inert and
@@ -39,7 +40,7 @@ from .registry import available_codecs, make_codec
 __all__ = ["WirePolicy"]
 
 _VALUE_SPECS = {"identity", "fp16"}
-_INDEX_SPECS = {"delta", "rle"}
+_INDEX_SPECS = {"delta", "rle", "entropy"}
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from collections.abc import Callable
 import numpy as np
 
 from ..compression import Fp16Codec, IdentityCodec, WireCodec
-from .codecs import DeltaBitpackCodec, RunLengthCodec
+from .codecs import DeltaBitpackCodec, EntropyCodec, RunLengthCodec
 
 __all__ = [
     "CodecPipeline",
@@ -80,6 +80,7 @@ register_codec("delta", lambda block=None: (
     DeltaBitpackCodec(int(block)) if block else DeltaBitpackCodec()
 ))
 register_codec("rle", RunLengthCodec)
+register_codec("entropy", EntropyCodec)
 
 
 class CodecPipeline(WireCodec):
@@ -98,6 +99,11 @@ class CodecPipeline(WireCodec):
         self.stages = tuple(stages)
         self.lossless = all(s.lossless for s in self.stages)
         self.data_dependent = any(s.data_dependent for s in self.stages)
+        # Wire-domain summation survives composition only if every
+        # stage's slots stay positional; any frame stage breaks it.
+        self.summable = all(
+            getattr(s, "summable", False) for s in self.stages
+        )
 
     @property
     def name(self) -> str:

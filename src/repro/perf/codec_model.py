@@ -17,7 +17,14 @@ layer.  This module adds the perf-layer pieces:
   a fresh :class:`~repro.cluster.timeline.Timeline`, as the overlap
   module does for bucketed allreduce.  The benches gate the two against
   each other within 5%, the same regression guard style as
-  ``bench_ablation_overlap``.
+  ``bench_ablation_overlap``;
+* :func:`fused_reduce_time` / :func:`timeline_fused_reduce` — the same
+  analytic-vs-executed pair for the **fused compressed reductions** of
+  :mod:`repro.core.wire.fused`, driven by a shared
+  :class:`~repro.core.wire.fused.FusedReducePlan` so all three views
+  (live collective, closed recurrence, Timeline replay) agree on every
+  hop byte count; :func:`uniform_fused_plan` builds such plans from
+  uniform byte arithmetic when no real payload exists (bench sweeps).
 
 Pipelined schedule (n chunks, per-chunk encode ``e``, transfer ``t``,
 decode ``d``)::
@@ -43,52 +50,24 @@ import numpy as np
 from ..cluster.collectives import ring_allgather_time
 from ..cluster.interconnect import LinkSpec
 from ..cluster.timeline import Timeline
-from ..core.wire.cost import CodecThroughput, compressed_transfer_seconds
+from ..core.wire.cost import (
+    CodecThroughput,
+    compressed_transfer_seconds,
+    throughput_from_metrics,
+)
+from ..core.wire.fused import FusedReducePlan
 
 __all__ = [
     "CodecThroughput",
     "calibrate_codec_throughput",
+    "fused_reduce_time",
     "pipelined_transfer_time",
     "serial_transfer_time",
     "throughput_from_metrics",
+    "timeline_fused_reduce",
     "timeline_pipelined_transfer",
+    "uniform_fused_plan",
 ]
-
-
-def throughput_from_metrics(registry, codec_name: str) -> CodecThroughput:
-    """Recover a codec's effective throughput from run telemetry.
-
-    Divides the ``repro_wire_encode_bytes_total`` /
-    ``repro_wire_decode_bytes_total`` counters by the summed
-    ``repro_wire_*_seconds`` histograms that the wire layer
-    (:func:`repro.core.wire.transfer.iencoded_allgather`) records for
-    ``codec_name`` — i.e. the *measured* bytes-per-second of what
-    actually ran, the profile-driven input ZipCCL-style codec selection
-    wants instead of a modelled constant.
-
-    Raises :class:`ValueError` when the run recorded no encode or
-    decode activity for the codec.
-    """
-    encode_bytes = registry.get("repro_wire_encode_bytes_total").value(
-        codec=codec_name
-    )
-    decode_bytes = registry.get("repro_wire_decode_bytes_total").value(
-        codec=codec_name
-    )
-    encode_s = registry.get("repro_wire_encode_seconds").value(
-        codec=codec_name
-    ).sum
-    decode_s = registry.get("repro_wire_decode_seconds").value(
-        codec=codec_name
-    ).sum
-    if encode_s <= 0 or decode_s <= 0:
-        raise ValueError(
-            f"no recorded encode/decode activity for codec {codec_name!r}"
-        )
-    return CodecThroughput(
-        encode_bps=encode_bytes / encode_s,
-        decode_bps=decode_bytes / decode_s,
-    )
 
 
 def calibrate_codec_throughput(
@@ -334,4 +313,247 @@ def timeline_pipelined_transfer(
             timeline.record_compute(
                 rank, throughput.decode_seconds(world * lb), name="codec:decode"
             )
+    return timeline.elapsed_since(start)
+
+
+def uniform_fused_plan(
+    logical_bytes: int,
+    world: int,
+    *,
+    encoded_ratio: float = 1.0,
+    chunk_bytes: int | None = None,
+    allgather: bool = True,
+    hop_recode: bool = False,
+    charge_codec: bool = True,
+) -> FusedReducePlan:
+    """Build a :class:`~repro.core.wire.fused.FusedReducePlan` from
+    uniform byte arithmetic — no payload arrays required.
+
+    Mirrors the geometry of
+    :func:`repro.core.wire.fused.plan_fused_reduce` for a per-rank
+    contribution of ``logical_bytes``: the shard piece is
+    ``ceil(logical_bytes / world)`` (the live planner zero-pads to a
+    world multiple), split into ``chunk_bytes`` pipeline chunks, with
+    every hop's encoded size modeled as ``logical / encoded_ratio``.
+    ``charge_codec=False`` reproduces the ``codec=None`` raw plan
+    (no encode/decode charges, wire ships logical bytes).  Use for
+    bench sweeps where materializing multi-hundred-MB gradients per
+    rank would be wasteful; the recurrence/Timeline pair consumes the
+    result exactly like a measured plan.
+    """
+    if logical_bytes <= 0:
+        raise ValueError("logical_bytes must be positive")
+    if world < 1:
+        raise ValueError("world must be >= 1")
+    if encoded_ratio <= 0:
+        raise ValueError("encoded_ratio must be positive")
+    if world == 1:
+        chg = logical_bytes if charge_codec and not hop_recode else 0
+        return FusedReducePlan(
+            world=1, allgather=allgather, hop_recode=False,
+            chunk_logical=(logical_bytes,), pre_encode=(chg,),
+            rs_hop_bytes=((),),
+            ag_hop_bytes=((),) if allgather else None,
+            final_decode=(chg,),
+        )
+    shard = -(-logical_bytes // world)
+    if chunk_bytes is None or chunk_bytes >= shard:
+        chunks = [shard]
+    else:
+        if chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        chunks = [chunk_bytes] * (shard // chunk_bytes)
+        if shard % chunk_bytes:
+            chunks.append(shard % chunk_bytes)
+    hops = world - 1
+    enc = [
+        (lb if not charge_codec else max(1, round(lb / encoded_ratio)))
+        for lb in chunks
+    ]
+    rs_hop = tuple(tuple(eb for _ in range(hops)) for eb in enc)
+    if not charge_codec:
+        pre = tuple(0 for _ in chunks)
+        final = tuple(0 for _ in chunks)
+        recode = False
+    elif hop_recode:
+        pre = tuple(chunks)
+        final = tuple(
+            ((world - 1) * lb if allgather else lb) for lb in chunks
+        )
+        recode = True
+    else:
+        pre = tuple(world * lb for lb in chunks)
+        final = tuple(
+            (world * lb if allgather else lb) for lb in chunks
+        )
+        recode = False
+    return FusedReducePlan(
+        world=world, allgather=allgather, hop_recode=recode,
+        chunk_logical=tuple(chunks), pre_encode=pre,
+        rs_hop_bytes=rs_hop,
+        ag_hop_bytes=rs_hop if allgather else None,
+        final_decode=final,
+    )
+
+
+@lru_cache(maxsize=1024)
+def fused_reduce_time(
+    plan: FusedReducePlan,
+    link: LinkSpec,
+    throughput: CodecThroughput | None = None,
+) -> float:
+    """Closed-form makespan of one fused compressed reduction.
+
+    Replays, in plain arithmetic, **exactly** the schedule
+    :func:`repro.core.wire.fused.icompressed_allreduce` /
+    :func:`~repro.core.wire.fused.icompressed_reduce_scatter` put on
+    the Timeline for ``plan`` — same hop-major issue order, same eager
+    recode waits, same drain cuts — so for an unscaled timeline the
+    result equals :func:`timeline_fused_reduce` *exactly*, not merely
+    within tolerance (the wire benches gate at ``1e-9`` relative).
+    Ranks are uniform: one compute clock stands for all, and a
+    collective's start is ``max(compute, link_free)`` (the Timeline's
+    extra ``_max_comm`` term never exceeds ``link_free``).
+
+    ``throughput=None`` evaluates the schedule with codec charges
+    suppressed, matching ``charge_compute=False`` (or ``codec=None``)
+    on the live path.  Memoized: plans, links and throughputs are all
+    frozen/hashable and bench sweeps repeat keys heavily.
+    """
+    world, hops = plan.world, plan.world - 1
+    chunks = plan.chunk_logical
+    tp = throughput
+
+    def enc_s(lb: int) -> float:
+        return tp.encode_seconds(lb) if tp is not None and lb else 0.0
+
+    def dec_s(lb: int) -> float:
+        return tp.decode_seconds(lb) if tp is not None and lb else 0.0
+
+    compute = 0.0
+    link_free = 0.0
+    rs_end = [[0.0] * hops for _ in chunks]
+    for h in range(hops):
+        for c, lb in enumerate(chunks):
+            if h == 0:
+                compute += enc_s(plan.pre_encode[c])
+            elif plan.hop_recode:
+                compute = max(compute, rs_end[c][h - 1])
+                compute += dec_s(lb)
+                compute += enc_s(lb)
+            start = max(compute, link_free)
+            link_free = start + link.transfer_time(plan.rs_hop_bytes[c][h])
+            rs_end[c][h] = link_free
+    if world == 1:
+        compute += enc_s(plan.pre_encode[0])
+    last_end = [0.0] * len(chunks)
+    if plan.allgather and hops:
+        for c, lb in enumerate(chunks):
+            if plan.hop_recode:
+                compute = max(compute, rs_end[c][hops - 1])
+                compute += dec_s(lb)
+                compute += enc_s(lb)
+            for h in range(hops):
+                start = max(compute, link_free)
+                link_free = start + link.transfer_time(
+                    plan.ag_hop_bytes[c][h]
+                )
+            last_end[c] = link_free
+    elif hops:
+        for c in range(len(chunks)):
+            last_end[c] = rs_end[c][hops - 1]
+    for c, lb in enumerate(plan.final_decode):
+        compute = max(compute, last_end[c])
+        compute += dec_s(lb)
+    return compute
+
+
+def timeline_fused_reduce(
+    plan: FusedReducePlan,
+    link: LinkSpec,
+    throughput: CodecThroughput | None = None,
+    timeline: Timeline | None = None,
+) -> float:
+    """Measure a fused reduction by *executing* its schedule.
+
+    Plays ``plan`` onto a real :class:`~repro.cluster.timeline.Timeline`
+    with the same issue order, eager recode completions and drain cuts
+    as the live collectives, and returns the measured makespan — the
+    executed half of the :func:`fused_reduce_time` cross-check.
+    """
+    world, hops = plan.world, plan.world - 1
+    chunks = plan.chunk_logical
+    if timeline is None:
+        timeline = Timeline(world)
+    elif timeline.world_size != world:
+        raise ValueError("timeline world size != plan world")
+    start = timeline.mark()
+
+    def charge(kind: str, lb: int) -> None:
+        if throughput is None or lb == 0:
+            return
+        secs = (
+            throughput.encode_seconds(lb) if kind == "encode"
+            else throughput.decode_seconds(lb)
+        )
+        for rank in range(world):
+            timeline.record_compute(rank, secs, name=f"codec:{kind}")
+
+    tickets: list = []
+    completed: set[int] = set()
+
+    def complete(i: int) -> None:
+        if i in completed:
+            return
+        timeline.complete(tickets[i])
+        completed.add(i)
+
+    rs_idx = [[0] * hops for _ in chunks]
+    for h in range(hops):
+        for c, lb in enumerate(chunks):
+            if h == 0:
+                charge("encode", plan.pre_encode[c])
+            elif plan.hop_recode:
+                complete(rs_idx[c][h - 1])
+                charge("decode", lb)
+                charge("encode", lb)
+            tickets.append(
+                timeline.schedule_collective(
+                    link.transfer_time(plan.rs_hop_bytes[c][h]),
+                    name=f"fused:rs{h}[{c}]",
+                )
+            )
+            rs_idx[c][h] = len(tickets) - 1
+    if world == 1:
+        charge("encode", plan.pre_encode[0])
+    drain_upto = [0] * len(chunks)
+    if plan.allgather and hops:
+        for c, lb in enumerate(chunks):
+            if plan.hop_recode:
+                complete(rs_idx[c][hops - 1])
+                charge("decode", lb)
+                charge("encode", lb)
+            for h in range(hops):
+                tickets.append(
+                    timeline.schedule_collective(
+                        link.transfer_time(plan.ag_hop_bytes[c][h]),
+                        name=f"fused:ag{h}[{c}]",
+                    )
+                )
+            drain_upto[c] = len(tickets)
+    elif hops:
+        for c in range(len(chunks)):
+            drain_upto[c] = (hops - 1) * len(chunks) + c + 1
+    i = 0
+    for upto, lb in zip(drain_upto, plan.final_decode):
+        while i < upto:
+            complete(i)
+            i += 1
+        if throughput is not None and lb:
+            secs = throughput.decode_seconds(lb)
+            for rank in range(world):
+                timeline.record_compute(rank, secs, name="codec:decode")
+    while i < len(tickets):
+        complete(i)
+        i += 1
     return timeline.elapsed_since(start)

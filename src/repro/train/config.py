@@ -146,6 +146,21 @@ class TrainConfig:
     wire_sanitize:
         Wrap the policy's codecs with the runtime sanitizer's checking
         variants (bit-exact roundtrip / FP16 overflow detection).
+    fused_reduce:
+        Run dense gradient allreduces as fused compress-reduce rings
+        (:func:`repro.core.wire.fused.icompressed_allreduce`): the
+        value codec is applied inside the collective and partials are
+        summed in the compressed domain.  Numerics are bit-identical
+        to the unfused path; only the simulated schedule and ledger
+        change.  Requires a summable value codec (fp16 / identity /
+        none) and does not compose with ``mesh``.
+    wire_learn:
+        After each epoch, feed the measured wire telemetry back into
+        the adaptive selector's throughput table
+        (:meth:`repro.core.wire.adaptive.AdaptiveCodecSelector.
+        learn_from_metrics`) so later crossover decisions use observed
+        bytes/sec instead of the static defaults.  Requires
+        ``wire_codec="auto"`` (only the selector consults the table).
     mesh:
         Optional hybrid-parallelism mesh spec over the world, e.g.
         ``"pipe=2,tensor=2,data=G/4"`` (axes default to 1 when omitted;
@@ -188,6 +203,8 @@ class TrainConfig:
     wire_codec: str | None = None
     wire_chunk_bytes: int | None = None
     wire_sanitize: bool = False
+    fused_reduce: bool = False
+    wire_learn: bool = False
     mesh: str | None = None
     batched: bool | None = None
 
@@ -222,6 +239,16 @@ class TrainConfig:
             from ..core.wire.policy import WirePolicy
 
             WirePolicy.from_spec(self.wire_codec, self.wire_chunk_bytes)
+        if self.wire_learn and self.wire_codec != "auto":
+            raise ValueError(
+                "wire_learn feeds the adaptive selector's throughput "
+                'table; it requires wire_codec="auto"'
+            )
+        if self.fused_reduce and self.mesh is not None:
+            raise ValueError(
+                "fused_reduce rides the flat ring; it does not compose "
+                "with a mesh"
+            )
         if self.mesh is not None:
             # Same eager stance for the mesh: parse the spec (and check
             # it against world_size) at construction time, and reject

@@ -395,3 +395,153 @@ class TestExchangeWithWirePolicy:
             base[0].to_dense(vocab), auto[0].to_dense(vocab),
             rtol=2e-3, atol=1e-2,
         )
+
+
+class TestZeroLengthPayloads:
+    """Empty per-rank vectors must flow through the whole encoded path
+    bit-exact — a rank with nothing to contribute is routine for sparse
+    exchanges, not an edge case."""
+
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64])
+    def test_empty_vector_roundtrips_every_frame_codec(self, dtype):
+        from repro.core.wire import EntropyCodec
+
+        empty = np.zeros(0, dtype=dtype)
+        for codec in (DeltaBitpackCodec(), RunLengthCodec(), EntropyCodec()):
+            frame = codec.encode(empty)
+            assert frame.dtype == np.uint8
+            back = codec.decode(frame, empty.dtype)
+            assert back.dtype == empty.dtype and back.size == 0
+            # An empty frame still decodes as a frame stream element.
+            assert np.array_equal(decode_frames(frame, empty.dtype), empty)
+
+    def test_allgather_with_all_ranks_empty(self):
+        world = 4
+        vecs = [np.zeros(0, dtype=np.int64) for _ in range(world)]
+        out = iencoded_allgather(comm(world), vecs, DeltaBitpackCodec()).wait()
+        assert len(out) == world
+        for o in out:
+            assert o.dtype == np.int64 and o.size == 0
+
+    def test_allgather_with_some_ranks_empty_matches_raw(self):
+        world = 4
+        rng = np.random.default_rng(3)
+        vecs = [
+            np.zeros(0, dtype=np.int64)
+            if r % 2
+            else np.sort(rng.choice(10_000, 64 * (r + 1), replace=False)).astype(
+                np.int64
+            )
+            for r in range(world)
+        ]
+        raw = comm(world).iallgather(list(vecs), tag="mix").wait()
+        enc = iencoded_allgather(
+            comm(world), list(vecs), RunLengthCodec(), tag="mix"
+        ).wait()
+        for r, e in zip(raw, enc):
+            np.testing.assert_array_equal(e, r)
+        np.testing.assert_array_equal(enc[0], np.concatenate(vecs))
+
+
+class TestSelectorLearning:
+    """The adaptive selector's learned throughput table (satellite +
+    tentpole): measured telemetry replaces the static defaults, and the
+    learned table stays identical on every rank."""
+
+    def _drive_traffic(self, c, tp):
+        """Push entropy-coded index traffic through the wire layer,
+        charged at the custom throughput ``tp``."""
+        from repro.core.wire import EntropyCodec
+
+        rng = np.random.default_rng(11)
+        vecs = [
+            np.sort(rng.choice(1_000_000, 4096, replace=False)).astype(
+                np.int64
+            )
+            for _ in range(c.world_size)
+        ]
+        iencoded_allgather(
+            c, vecs, EntropyCodec(), tag="learn", throughput=tp
+        ).wait()
+        return vecs
+
+    def test_learn_recovers_charged_throughput(self):
+        from repro.core.wire.cost import (
+            DEFAULT_CODEC_THROUGHPUTS,
+            CodecThroughput,
+        )
+        from repro.telemetry import MetricsRegistry
+
+        c = comm(4)
+        c.metrics = MetricsRegistry()
+        custom = CodecThroughput(encode_bps=1e9, decode_bps=2e9)
+        self._drive_traffic(c, custom)
+        sel = AdaptiveCodecSelector()
+        learned = sel.learn_from_metrics(c.metrics)
+        assert set(learned) == {"entropy"}
+        assert learned["entropy"].encode_bps == pytest.approx(1e9, abs=1.0)
+        assert learned["entropy"].decode_bps == pytest.approx(2e9, abs=1.0)
+        # Codecs that saw no traffic keep their defaults.
+        assert sel.throughputs["delta"] == DEFAULT_CODEC_THROUGHPUTS["delta"]
+        assert sel.throughputs["entropy"] == learned["entropy"]
+
+    def test_learning_without_traffic_is_a_no_op(self):
+        from repro.core.wire.cost import DEFAULT_CODEC_THROUGHPUTS
+        from repro.telemetry import MetricsRegistry
+
+        sel = AdaptiveCodecSelector()
+        assert sel.learn_from_metrics(MetricsRegistry()) == {}
+        assert sel.throughputs == DEFAULT_CODEC_THROUGHPUTS
+
+    def test_learned_table_changes_selection(self):
+        """A glacial learned entry must steer the crossover away from
+        the codec the defaults would have picked."""
+        from repro.core.wire.cost import CodecThroughput
+
+        c = comm(4)
+        idx = [np.arange(65_536, dtype=np.int64)] * 4
+        default_pick = AdaptiveCodecSelector().select_index(idx, c)
+        assert default_pick is not None and default_pick.name == "rle"
+        crippled = AdaptiveCodecSelector(
+            throughputs={
+                "rle": CodecThroughput(encode_bps=1e3, decode_bps=1e3)
+            }
+        )
+        slow_pick = crippled.select_index(idx, c)
+        assert slow_pick is None or slow_pick.name != "rle"
+
+    def test_cross_rank_determinism_under_lockstep(self):
+        """Satellite: every rank learns the same table from the shared
+        registry, so selector-routed traffic stays in lockstep."""
+        from repro.cluster.lockstep import LockstepVerifier
+        from repro.core.wire.cost import CodecThroughput
+        from repro.telemetry import MetricsRegistry
+
+        c = comm(4)
+        c.metrics = MetricsRegistry()
+        custom = CodecThroughput(encode_bps=1e9, decode_bps=2e9)
+        self._drive_traffic(c, custom)
+
+        # One selector instance per simulated rank, each learning
+        # independently from the shared SPMD registry.
+        selectors = [AdaptiveCodecSelector() for _ in range(c.world_size)]
+        tables = [s.learn_from_metrics(c.metrics) for s in selectors]
+        assert all(t == tables[0] for t in tables[1:])
+        # Dense shifted ranges: every rank's frame encodes to the same
+        # byte count, so the wire envelope itself is rank-uniform.
+        vecs = [
+            (np.arange(65_536) + r).astype(np.int64)
+            for r in range(c.world_size)
+        ]
+        picks = [s.select_index(vecs, c) for s in selectors]
+        names = [p.name if p is not None else None for p in picks]
+        assert len(set(names)) == 1
+
+        # The agreed pick drives a collective under the lockstep
+        # verifier: identical fingerprints on every rank, no divergence.
+        LockstepVerifier.attach(c)
+        codec = picks[0] if picks[0] is not None else DeltaBitpackCodec()
+        out = iencoded_allgather(c, vecs, codec, tag="lockstep").wait()
+        report = c.verifier.check("learned-selector: end")
+        assert report.verified > 0 and not report.evicted
+        np.testing.assert_array_equal(out[0], np.concatenate(vecs))

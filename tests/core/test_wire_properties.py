@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.wire.codecs import (
     FRAME_HEADER_BYTES,
     DeltaBitpackCodec,
+    EntropyCodec,
     RunLengthCodec,
     decode_frames,
 )
@@ -67,7 +68,11 @@ def _make_vector(params: dict, rng) -> np.ndarray:
 
 
 def _codecs(params: dict):
-    return (DeltaBitpackCodec(block=params["block"]), RunLengthCodec())
+    return (
+        DeltaBitpackCodec(block=params["block"]),
+        RunLengthCodec(),
+        EntropyCodec(),
+    )
 
 
 def _prop_roundtrip(params: dict, rng) -> None:

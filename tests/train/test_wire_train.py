@@ -134,3 +134,133 @@ class TestBitExactTraining:
         wp, wn = _weights(plain), _weights(none)
         for name in wp:
             np.testing.assert_array_equal(wp[name], wn[name])
+
+
+class TestFusedReduceTraining:
+    """Fused compress-reduce on the dense-gradient allreduce: opting in
+    must not move a single bit of the training trace."""
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="mesh"):
+            TrainConfig(
+                world_size=4, batch=BatchSpec(2, 6), base_lr=0.1,
+                fused_reduce=True, mesh={"data": 2, "model": 2},
+            )
+        with pytest.raises(ValueError, match="auto"):
+            TrainConfig(
+                world_size=2, batch=BatchSpec(2, 6), base_lr=0.1,
+                wire_learn=True, wire_codec="delta",
+            )
+
+    @pytest.mark.parametrize("spec", [None, "fp16"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_fused_reduce_training_is_bit_exact(self, spec, seed):
+        """5-seed differential: fused on/off, identical weights."""
+        kw = {} if spec is None else {"wire_codec": spec}
+        plain = word_trainer(4, init_seed=seed, data_seed=seed, **kw)
+        fused = word_trainer(
+            4, init_seed=seed, data_seed=seed, fused_reduce=True, **kw
+        )
+        plain.train_epoch(max_steps=4)
+        fused.train_epoch(max_steps=4)
+        wp, wf = _weights(plain), _weights(fused)
+        assert set(wp) == set(wf)
+        for name in wp:
+            np.testing.assert_array_equal(
+                wp[name], wf[name], err_msg=f"weight {name} diverged"
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_fused_fp16_matches_uncompressed_trace(self, seed):
+        """5-seed differential against the raw uncompressed baseline.
+
+        The fp16 value codec only engages above the selector-free
+        policy's size floor; at this model size every dense gradient is
+        below it, so the fused fp16 run must equal the raw run exactly
+        (and the fused machinery adds no numerical noise of its own).
+        """
+        base = word_trainer(4, init_seed=seed, data_seed=seed)
+        fused = word_trainer(
+            4, init_seed=seed, data_seed=seed, fused_reduce=True
+        )
+        base.train_epoch(max_steps=4)
+        fused.train_epoch(max_steps=4)
+        wb, wf = _weights(base), _weights(fused)
+        for name in wb:
+            np.testing.assert_array_equal(wb[name], wf[name])
+
+    def test_fused_reduce_rejects_frame_codec_on_dense_grads(self):
+        from repro.cluster import Communicator
+        from repro.core.embedding_sync import GradientSynchronizer
+        from repro.core.wire import DeltaBitpackCodec
+        from repro.nn.parameter import Parameter
+
+        gs = GradientSynchronizer(
+            Communicator(2), codec=DeltaBitpackCodec(), fused_reduce=True
+        )
+        params = [Parameter(np.ones(8, np.float32)) for _ in range(2)]
+        for p in params:
+            p.grad = np.ones(8, np.float32)
+        with pytest.raises(ValueError, match="summable"):
+            gs._issue_dense(params, tag="dense")
+
+    def test_fused_reduce_does_not_compose_with_mesh(self):
+        from repro.cluster import Communicator
+        from repro.core.embedding_sync import GradientSynchronizer
+
+        with pytest.raises(ValueError, match="mesh_comm"):
+            GradientSynchronizer(
+                Communicator(4), mesh_comm=object(), fused_reduce=True
+            )
+
+
+class TestWireLearning:
+    """--wire-learn: the trainer folds measured wire telemetry back
+    into the adaptive selector's throughput table after each epoch."""
+
+    def test_learning_requires_auto_selector(self):
+        with pytest.raises(ValueError, match="auto"):
+            TrainConfig(
+                world_size=2, batch=BatchSpec(2, 6), base_lr=0.1,
+                wire_learn=True, wire_codec="fp16",
+            )
+
+    def test_learn_is_noop_without_metrics(self):
+        t = word_trainer(2, wire_codec="auto", wire_learn=True)
+        assert t.learn_wire_throughputs() == {}
+
+    def test_trainer_learns_from_attached_registry(self):
+        from repro.core.wire import EntropyCodec, iencoded_allgather
+        from repro.core.wire.cost import CodecThroughput
+        from repro.telemetry import MetricsRegistry
+
+        t = word_trainer(2, wire_codec="auto", wire_learn=True)
+        t.comm.metrics = MetricsRegistry()
+        rng = np.random.default_rng(5)
+        vecs = [
+            np.sort(rng.choice(100_000, 4096, replace=False)).astype(
+                np.int64
+            )
+            for _ in range(2)
+        ]
+        iencoded_allgather(
+            t.comm, vecs, EntropyCodec(),
+            throughput=CodecThroughput(encode_bps=1e9, decode_bps=2e9),
+        ).wait()
+        learned = t.learn_wire_throughputs()
+        assert set(learned) == {"entropy"}
+        assert learned["entropy"].encode_bps == pytest.approx(1e9, abs=1.0)
+        assert t.wire.selector.throughputs["entropy"] == learned["entropy"]
+
+    def test_epoch_end_learning_runs_with_telemetry(self):
+        from repro.telemetry import MetricsRegistry
+
+        t = word_trainer(2, wire_codec="auto", wire_learn=True)
+        t.comm.metrics = MetricsRegistry()
+        t.train_epoch(max_steps=2)
+        # The selector's table exists and still contains every default
+        # codec entry — learning never drops unmeasured codecs.
+        table = t.wire.selector.throughputs
+        if table is not None:
+            for name in ("fp16", "delta", "rle", "entropy"):
+                assert name in table
